@@ -1,0 +1,71 @@
+// Ablation bench — not a paper figure, but the paper's two causal claims,
+// isolated mechanism by mechanism (DESIGN.md §"ablation benches"):
+//
+//   claim A (§6.3/Fig. 7): Omega_lc tolerates crashed links *because of*
+//     the stage-2 local-leader forwarding. We run Fig. 7's nastiest setting
+//     with and without forwarding.
+//   claim B (§6.4): Omega_l stays stable despite voluntary silence *because
+//     of* the phase guard on accusations. We run the standard churn setting
+//     with and without the guard.
+#include <iostream>
+
+#include "bench_support.hpp"
+
+using namespace omega;
+
+namespace {
+
+harness::experiment_result run(election::algorithm alg, bool link_crashes,
+                               const char* tag) {
+  harness::scenario sc;
+  sc.name = std::string("ablation-") + tag;
+  sc.alg = alg;
+  sc.links = net::link_profile::lan();
+  if (link_crashes) {
+    sc.link_crashes = net::link_crash_profile::crashes(sec(60), sec(3));
+  }
+  sc = bench::with_defaults(sc);
+  return bench::run_cell(sc);
+}
+
+}  // namespace
+
+int main() {
+  harness::table fwd(
+      "Ablation A: Omega_lc forwarding under (60s, 3s) link crashes");
+  fwd.headers({"variant", "P_leader", "lambda_u (/h)", "Tr (s)"});
+  for (auto [alg, label] :
+       {std::pair{election::algorithm::omega_lc, "S2 (forwarding ON)"},
+        std::pair{election::algorithm::omega_lc_noforward,
+                  "S2 w/o forwarding"}}) {
+    const auto r = run(alg, /*link_crashes=*/true, label);
+    fwd.row({label, harness::fmt_percent(r.p_leader, 2),
+             harness::fmt_double(r.lambda_u, 1),
+             harness::fmt_ci(r.tr_mean_s, r.tr_ci95_s, 2)});
+  }
+
+  harness::table guard(
+      "Ablation B: Omega_l phase guard, default churn, LAN links");
+  guard.headers({"variant", "P_leader", "lambda_u (/h)", "unjustified"});
+  for (auto [alg, label] :
+       {std::pair{election::algorithm::omega_l, "S3 (phase guard ON)"},
+        std::pair{election::algorithm::omega_l_nophase,
+                  "S3 w/o phase guard"}}) {
+    const auto r = run(alg, /*link_crashes=*/false, label);
+    guard.row({label, harness::fmt_percent(r.p_leader, 2),
+               harness::fmt_double(r.lambda_u, 1),
+               std::to_string(r.unjustified)});
+  }
+
+  fwd.print(std::cout);
+  guard.print(std::cout);
+  std::cout << "Expected shape for A: removing forwarding collapses\n"
+               "availability under link crashes (the Figure-7 mechanism).\n"
+               "For B: aggregate metrics typically do NOT separate — the\n"
+               "graceful-withdrawal ALIVE and the not-competing check already\n"
+               "shield most voluntary silence; the phase guard closes a narrow\n"
+               "race (a stale in-flight accusation arriving just after\n"
+               "re-entry) that this workload almost never triggers. The unit\n"
+               "tests (AblationOmegaL.*) demonstrate the mechanism directly.\n";
+  return 0;
+}

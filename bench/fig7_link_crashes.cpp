@@ -1,0 +1,85 @@
+// Figure 7 — S2 vs S3 with crash-prone links.
+//
+// Paper (§6.5 "Robustness"): on top of the usual workstation churn, every
+// directed link crashes (drops everything) for ~3 s on average, with mean
+// up-time 600 s, 300 s or 60 s. S2's local-leader forwarding masks
+// individual link crashes, so it stays near-perfectly available (98.78% in
+// the nastiest setting); S3, with no forwarding, falls to 77.42% and its
+// recovery time grows to ~3 s. Both now make mistakes — unavoidable, since
+// a 3 s total blackout must defeat a 1 s detection bound.
+#include <iostream>
+
+#include "bench_support.hpp"
+
+using namespace omega;
+
+namespace {
+
+struct grid_point {
+  const char* label;
+  duration mean_uptime;
+};
+
+constexpr grid_point kGrid[3] = {
+    {"(600s, 3s)", sec(600)}, {"(300s, 3s)", sec(300)}, {"(60s, 3s)", sec(60)}};
+
+// Read off Figure 7 (top/middle/bottom).
+constexpr double kPaperTrS2[3] = {1.0, 1.0, 1.1};
+constexpr double kPaperTrS3[3] = {1.1, 1.4, 3.0};
+constexpr double kPaperLamS2[3] = {10.0, 25.0, 150.0};
+constexpr double kPaperLamS3[3] = {20.0, 80.0, 400.0};
+constexpr double kPaperPlS2[3] = {0.9980, 0.9980, 0.9878};
+constexpr double kPaperPlS3[3] = {0.9950, 0.9766, 0.7742};
+
+harness::experiment_result run(election::algorithm alg, int cell) {
+  harness::scenario sc;
+  sc.name = std::string("fig7-") + std::string(election::to_string(alg)) +
+            kGrid[cell].label;
+  sc.alg = alg;
+  sc.links = net::link_profile::lan();
+  sc.link_crashes =
+      net::link_crash_profile::crashes(kGrid[cell].mean_uptime, sec(3));
+  sc = bench::with_defaults(sc);
+  return bench::run_cell(sc);
+}
+
+}  // namespace
+
+int main() {
+  harness::table tr("Figure 7 (top): average leader recovery time (s)");
+  tr.headers({"links (up, down)", "S2 paper", "S2 measured", "S3 paper",
+              "S3 measured"});
+  harness::table lam("Figure 7 (middle): mistake rate (/hour)");
+  lam.headers({"links (up, down)", "S2 paper", "S2 measured", "S3 paper",
+               "S3 measured"});
+  harness::table pl("Figure 7 (bottom): leader availability");
+  pl.headers({"links (up, down)", "S2 paper", "S2 measured", "S3 paper",
+              "S3 measured"});
+
+  for (int i = 0; i < 3; ++i) {
+    const auto s2 = run(election::algorithm::omega_lc, i);
+    const auto s3 = run(election::algorithm::omega_l, i);
+
+    tr.row({kGrid[i].label, harness::fmt_double(kPaperTrS2[i], 2),
+            harness::fmt_ci(s2.tr_mean_s, s2.tr_ci95_s, 2),
+            harness::fmt_double(kPaperTrS3[i], 2),
+            harness::fmt_ci(s3.tr_mean_s, s3.tr_ci95_s, 2)});
+    lam.row({kGrid[i].label, harness::fmt_double(kPaperLamS2[i], 1),
+             harness::fmt_double(s2.lambda_u, 1),
+             harness::fmt_double(kPaperLamS3[i], 1),
+             harness::fmt_double(s3.lambda_u, 1)});
+    pl.row({kGrid[i].label, harness::fmt_percent(kPaperPlS2[i], 2),
+            harness::fmt_percent(s2.p_leader, 2),
+            harness::fmt_percent(kPaperPlS3[i], 2),
+            harness::fmt_percent(s3.p_leader, 2)});
+  }
+
+  tr.print(std::cout);
+  lam.print(std::cout);
+  pl.print(std::cout);
+  std::cout << "Expected shape: S2 degrades gracefully (still ~99% available at\n"
+               "60 s link up-time) while S3 collapses toward ~77%; S3's Tr grows\n"
+               "toward ~3 s; both mistake rates climb as link crashes get more\n"
+               "frequent, S3's faster than S2's.\n";
+  return 0;
+}

@@ -1,0 +1,174 @@
+// Hierarchical election — the paper's §7 "future work", built with the
+// group semantics the service already has.
+//
+// Nine processes are organized in three regions. Each region runs its own
+// election group (everyone in the region is a candidate). The processes
+// that currently lead their region additionally join a global group as
+// candidates; every other process joins the global group as a passive
+// non-candidate member (a "listener": it learns the global leader but never
+// competes — the §7 suggestion for keeping elections among a small set of
+// candidates). When regional leadership moves, the old regional leader
+// leaves the global group and the new one joins it.
+//
+// The demo crashes the current global leader's workstation and shows both
+// levels healing: its region elects a replacement, the replacement joins
+// the global group, and the global group re-elects.
+#include <iostream>
+#include <vector>
+
+#include "election/elector.hpp"
+#include "net/sim_network.hpp"
+#include "service/service.hpp"
+#include "sim/simulator.hpp"
+
+using namespace omega;
+
+namespace {
+
+constexpr std::size_t kRegions = 3;
+constexpr std::size_t kPerRegion = 3;
+constexpr std::size_t kNodes = kRegions * kPerRegion;
+const group_id kGlobal{100};
+
+group_id region_group(std::size_t region) {
+  return group_id{1 + static_cast<std::uint32_t>(region)};
+}
+
+struct node_state {
+  node_id node;
+  std::size_t region = 0;
+  std::unique_ptr<service::leader_election_service> svc;
+  bool in_global_as_candidate = false;
+};
+
+}  // namespace
+
+int main() {
+  sim::simulator sim;
+  net::sim_network net(sim, kNodes, net::link_profile::lossy(msec(5), 0.01),
+                       rng{99});
+
+  std::vector<node_id> roster;
+  for (std::size_t i = 0; i < kNodes; ++i) roster.push_back(node_id{i});
+
+  std::vector<node_state> nodes(kNodes);
+
+  // Regional leader changes re-shape the global candidate set.
+  auto on_region_leader = [&](std::size_t region, std::size_t self,
+                              std::optional<process_id> leader) {
+    node_state& me = nodes[self];
+    if (!me.svc) return;
+    const bool should_lead_globally =
+        leader.has_value() && leader->value() == self;
+    if (should_lead_globally && !me.in_global_as_candidate) {
+      // Promoted to regional leader: compete globally. Re-joining with a
+      // different candidacy is the documented way to change the flag.
+      me.svc->leave_group(process_id{self}, kGlobal);
+      service::join_options opts;
+      opts.candidate = true;
+      me.svc->join_group(process_id{self}, kGlobal, opts);
+      me.in_global_as_candidate = true;
+      std::cout << "  [t=" << to_seconds(sim.now() - time_origin) << "s] node "
+                << self << " now leads region " << region
+                << " and enters the global election\n";
+    } else if (!should_lead_globally && me.in_global_as_candidate) {
+      me.svc->leave_group(process_id{self}, kGlobal);
+      service::join_options opts;
+      opts.candidate = false;  // back to listener
+      me.svc->join_group(process_id{self}, kGlobal, opts);
+      me.in_global_as_candidate = false;
+      std::cout << "  [t=" << to_seconds(sim.now() - time_origin) << "s] node "
+                << self << " no longer leads region " << region
+                << ", withdraws from the global election\n";
+    }
+  };
+
+  for (std::size_t i = 0; i < kNodes; ++i) {
+    node_state& st = nodes[i];
+    st.node = node_id{i};
+    st.region = i / kPerRegion;
+
+    service::service_config cfg;
+    cfg.self = st.node;
+    cfg.roster = roster;
+    cfg.alg = election::algorithm::omega_l;
+    st.svc = std::make_unique<service::leader_election_service>(
+        sim, sim, net.endpoint(st.node), cfg);
+
+    const process_id pid{i};
+    st.svc->register_process(pid);
+
+    // Level 1: regional group, everyone competes.
+    service::join_options region_opts;
+    region_opts.candidate = true;
+    const std::size_t region = st.region;
+    st.svc->join_group(pid, region_group(region), region_opts,
+                       [&, region, i](group_id, std::optional<process_id> l) {
+                         on_region_leader(region, i, l);
+                       });
+
+    // Level 2: global group, start as a passive listener.
+    service::join_options global_opts;
+    global_opts.candidate = false;
+    st.svc->join_group(pid, kGlobal, global_opts);
+  }
+
+  sim.run_until(sim.now() + sec(8));
+
+  auto print_state = [&] {
+    for (std::size_t r = 0; r < kRegions; ++r) {
+      // Ask any live node of the region.
+      for (std::size_t i = r * kPerRegion; i < (r + 1) * kPerRegion; ++i) {
+        if (!nodes[i].svc) continue;
+        const auto l = nodes[i].svc->leader(region_group(r));
+        std::cout << "    region " << r << " leader: "
+                  << (l ? std::to_string(l->value()) : "(none)") << "\n";
+        break;
+      }
+    }
+    for (const auto& st : nodes) {
+      if (!st.svc) continue;
+      const auto g = st.svc->leader(kGlobal);
+      std::cout << "    global leader: "
+                << (g ? std::to_string(g->value()) : "(none)") << "\n";
+      break;
+    }
+  };
+
+  std::cout << "-- after settling:\n";
+  print_state();
+
+  // Find and crash the global leader.
+  std::optional<process_id> global_leader;
+  for (const auto& st : nodes) {
+    if (st.svc) {
+      global_leader = st.svc->leader(kGlobal);
+      break;
+    }
+  }
+  if (!global_leader) {
+    std::cerr << "no global leader elected\n";
+    return 1;
+  }
+  const std::size_t victim = global_leader->value();
+  std::cout << "-- crashing global leader (node " << victim << ")\n";
+  net.set_node_alive(node_id{victim}, false);
+  nodes[victim].svc.reset();
+
+  sim.run_until(sim.now() + sec(8));
+  std::cout << "-- after healing:\n";
+  print_state();
+
+  // Verify: some global leader exists and is not the crashed node.
+  for (const auto& st : nodes) {
+    if (!st.svc) continue;
+    const auto g = st.svc->leader(kGlobal);
+    if (!g || g->value() == victim) {
+      std::cerr << "global level failed to heal\n";
+      return 1;
+    }
+    break;
+  }
+  std::cout << "-- both levels healed\n";
+  return 0;
+}

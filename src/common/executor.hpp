@@ -1,0 +1,79 @@
+// Substrate-neutral clock and timer interfaces.
+//
+// All protocol modules (failure detector, group maintenance, electors,
+// service) are written against these two interfaces plus `net::transport`.
+// The discrete-event simulator and the real-time UDP runtime both implement
+// them, which is what lets the very same service code run in a reproducible
+// simulation or on real sockets.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "common/time.hpp"
+
+namespace omega {
+
+/// Reads the current virtual (or real) time.
+class clock_source {
+ public:
+  virtual ~clock_source() = default;
+  [[nodiscard]] virtual time_point now() const = 0;
+};
+
+/// Opaque handle for a scheduled timer; 0 is "no timer".
+using timer_id = std::uint64_t;
+inline constexpr timer_id no_timer = 0;
+
+/// One-shot timer scheduling. Implementations must guarantee that a
+/// cancelled timer never fires and that callbacks run on the component's
+/// event loop (no cross-thread callbacks).
+class timer_service {
+ public:
+  virtual ~timer_service() = default;
+
+  /// Schedules `fn` to run at absolute time `when` (or immediately if `when`
+  /// is in the past). Returns a handle usable with `cancel`.
+  virtual timer_id schedule_at(time_point when, std::function<void()> fn) = 0;
+
+  /// Schedules `fn` to run `after` from now.
+  virtual timer_id schedule_after(duration after, std::function<void()> fn) = 0;
+
+  /// Cancels a pending timer; no-op if it already fired or was cancelled.
+  virtual void cancel(timer_id id) = 0;
+};
+
+/// RAII helper owning at most one pending timer. Re-arming cancels the
+/// previous timer; destruction cancels. Protocol components use this for
+/// their periodic tasks so that tearing a component down (e.g. a simulated
+/// workstation crash) reliably silences it.
+class scoped_timer {
+ public:
+  explicit scoped_timer(timer_service& timers) : timers_(&timers) {}
+  ~scoped_timer() { cancel(); }
+
+  scoped_timer(const scoped_timer&) = delete;
+  scoped_timer& operator=(const scoped_timer&) = delete;
+
+  void arm_at(time_point when, std::function<void()> fn) {
+    cancel();
+    id_ = timers_->schedule_at(when, std::move(fn));
+  }
+  void arm_after(duration after, std::function<void()> fn) {
+    cancel();
+    id_ = timers_->schedule_after(after, std::move(fn));
+  }
+  void cancel() {
+    if (id_ != no_timer) {
+      timers_->cancel(id_);
+      id_ = no_timer;
+    }
+  }
+  [[nodiscard]] bool armed() const { return id_ != no_timer; }
+
+ private:
+  timer_service* timers_;
+  timer_id id_ = no_timer;
+};
+
+}  // namespace omega

@@ -1,0 +1,86 @@
+// Strongly-typed identifiers used across the leader-election service.
+//
+// The paper distinguishes three kinds of identity:
+//   * a workstation / node that hosts one instance of the service,
+//   * an application process registered with its local service instance,
+//   * a process group inside which a leader is elected.
+// Processes that crash and later recover come back with a fresh
+// *incarnation*; protocol state belonging to an older incarnation is
+// discarded by every peer (the recovered process is a "new" member).
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <string>
+
+namespace omega {
+
+namespace detail {
+
+// CRTP base for integer-backed strong id types: comparable, hashable,
+// printable, but never implicitly convertible between different id kinds.
+template <typename Tag, typename Rep = std::uint32_t>
+class strong_id {
+ public:
+  using rep_type = Rep;
+
+  constexpr strong_id() = default;
+  constexpr explicit strong_id(Rep value) : value_(value) {}
+
+  [[nodiscard]] constexpr Rep value() const { return value_; }
+  [[nodiscard]] constexpr bool valid() const { return value_ != invalid_rep; }
+
+  friend constexpr auto operator<=>(strong_id, strong_id) = default;
+
+  // An explicitly invalid value; default-constructed ids are invalid.
+  static constexpr Rep invalid_rep = std::numeric_limits<Rep>::max();
+  static constexpr strong_id invalid() { return strong_id{invalid_rep}; }
+
+ private:
+  Rep value_ = invalid_rep;
+};
+
+}  // namespace detail
+
+struct node_id_tag {};
+struct process_id_tag {};
+struct group_id_tag {};
+
+/// Identifies one workstation (one service instance) in the cluster roster.
+using node_id = detail::strong_id<node_id_tag>;
+
+/// Identifies one application process registered with the service.
+/// In the paper's experiments there is exactly one application process per
+/// workstation, but the API supports many processes per node.
+using process_id = detail::strong_id<process_id_tag>;
+
+/// Identifies a process group; every group elects its own leader.
+using group_id = detail::strong_id<group_id_tag>;
+
+/// Monotonically increasing restart counter of a node. A node that crashes
+/// and recovers joins with a larger incarnation; peers treat state tagged
+/// with an older incarnation as belonging to a dead instance.
+using incarnation = std::uint32_t;
+
+[[nodiscard]] inline std::string to_string(node_id id) {
+  return id.valid() ? "n" + std::to_string(id.value()) : "n<invalid>";
+}
+[[nodiscard]] inline std::string to_string(process_id id) {
+  return id.valid() ? "p" + std::to_string(id.value()) : "p<invalid>";
+}
+[[nodiscard]] inline std::string to_string(group_id id) {
+  return id.valid() ? "g" + std::to_string(id.value()) : "g<invalid>";
+}
+
+}  // namespace omega
+
+namespace std {
+template <typename Tag, typename Rep>
+struct hash<omega::detail::strong_id<Tag, Rep>> {
+  size_t operator()(omega::detail::strong_id<Tag, Rep> id) const noexcept {
+    return std::hash<Rep>{}(id.value());
+  }
+};
+}  // namespace std

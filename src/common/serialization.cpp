@@ -1,0 +1,115 @@
+#include "common/serialization.hpp"
+
+#include <cstring>
+#include <limits>
+#include <stdexcept>
+
+namespace omega {
+
+namespace {
+
+template <typename T>
+void append_le(std::vector<std::byte>& buf, T v) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  for (std::size_t i = 0; i < sizeof(T); ++i) {
+    buf.push_back(static_cast<std::byte>((static_cast<std::uint64_t>(v) >> (8 * i)) & 0xff));
+  }
+}
+
+}  // namespace
+
+void byte_writer::write_u8(std::uint8_t v) { buf_.push_back(static_cast<std::byte>(v)); }
+void byte_writer::write_u16(std::uint16_t v) { append_le(buf_, v); }
+void byte_writer::write_u32(std::uint32_t v) { append_le(buf_, v); }
+void byte_writer::write_u64(std::uint64_t v) { append_le(buf_, v); }
+
+void byte_writer::write_i64(std::int64_t v) {
+  append_le(buf_, static_cast<std::uint64_t>(v));
+}
+
+void byte_writer::write_f64(double v) {
+  std::uint64_t bits;
+  std::memcpy(&bits, &v, sizeof(bits));
+  write_u64(bits);
+}
+
+void byte_writer::write_bytes(std::span<const std::byte> bytes) {
+  if (bytes.size() > std::numeric_limits<std::uint16_t>::max()) {
+    throw std::length_error("byte_writer: byte string exceeds 64KiB");
+  }
+  write_u16(static_cast<std::uint16_t>(bytes.size()));
+  buf_.insert(buf_.end(), bytes.begin(), bytes.end());
+}
+
+void byte_writer::write_string(std::string_view s) {
+  write_bytes(std::as_bytes(std::span<const char>(s.data(), s.size())));
+}
+
+bool byte_reader::ensure(std::size_t n) {
+  if (!ok_ || data_.size() - pos_ < n) {
+    ok_ = false;
+    return false;
+  }
+  return true;
+}
+
+std::uint8_t byte_reader::read_u8() {
+  if (!ensure(1)) return 0;
+  return static_cast<std::uint8_t>(data_[pos_++]);
+}
+
+std::uint16_t byte_reader::read_u16() {
+  if (!ensure(2)) return 0;
+  std::uint16_t v = 0;
+  for (std::size_t i = 0; i < 2; ++i) {
+    v |= static_cast<std::uint16_t>(static_cast<std::uint8_t>(data_[pos_ + i])) << (8 * i);
+  }
+  pos_ += 2;
+  return v;
+}
+
+std::uint32_t byte_reader::read_u32() {
+  if (!ensure(4)) return 0;
+  std::uint32_t v = 0;
+  for (std::size_t i = 0; i < 4; ++i) {
+    v |= static_cast<std::uint32_t>(static_cast<std::uint8_t>(data_[pos_ + i])) << (8 * i);
+  }
+  pos_ += 4;
+  return v;
+}
+
+std::uint64_t byte_reader::read_u64() {
+  if (!ensure(8)) return 0;
+  std::uint64_t v = 0;
+  for (std::size_t i = 0; i < 8; ++i) {
+    v |= static_cast<std::uint64_t>(static_cast<std::uint8_t>(data_[pos_ + i])) << (8 * i);
+  }
+  pos_ += 8;
+  return v;
+}
+
+std::int64_t byte_reader::read_i64() {
+  return static_cast<std::int64_t>(read_u64());
+}
+
+double byte_reader::read_f64() {
+  const std::uint64_t bits = read_u64();
+  double v;
+  std::memcpy(&v, &bits, sizeof(v));
+  return v;
+}
+
+std::span<const std::byte> byte_reader::read_bytes() {
+  const std::uint16_t n = read_u16();
+  if (!ensure(n)) return {};
+  auto out = data_.subspan(pos_, n);
+  pos_ += n;
+  return out;
+}
+
+std::string byte_reader::read_string() {
+  auto bytes = read_bytes();
+  return std::string(reinterpret_cast<const char*>(bytes.data()), bytes.size());
+}
+
+}  // namespace omega

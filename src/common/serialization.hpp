@@ -1,0 +1,98 @@
+// Bounded binary serialization.
+//
+// Wire messages are serialized with an explicit little-endian format so that
+// (a) the byte counts used for the bandwidth figures are exact and stable and
+// (b) the same encoding works over the real UDP runtime. The reader is
+// bounds-checked: malformed or truncated input flips the stream into a failed
+// state instead of reading out of bounds (a deliberately conservative choice
+// for a network-facing parser).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/ids.hpp"
+#include "common/time.hpp"
+
+namespace omega {
+
+/// Appends primitive values to a growing byte buffer.
+class byte_writer {
+ public:
+  byte_writer() = default;
+
+  void write_u8(std::uint8_t v);
+  void write_u16(std::uint16_t v);
+  void write_u32(std::uint32_t v);
+  void write_u64(std::uint64_t v);
+  void write_i64(std::int64_t v);
+  void write_f64(double v);
+  void write_bool(bool v) { write_u8(v ? 1 : 0); }
+
+  /// Length-prefixed (u16) byte string; throws std::length_error above 64 KiB.
+  void write_bytes(std::span<const std::byte> bytes);
+  void write_string(std::string_view s);
+
+  template <typename Tag, typename Rep>
+  void write_id(detail::strong_id<Tag, Rep> id) {
+    write_u32(static_cast<std::uint32_t>(id.value()));
+  }
+
+  void write_duration(duration d) { write_i64(d.count()); }
+  void write_time(time_point t) { write_i64(t.time_since_epoch().count()); }
+
+  [[nodiscard]] const std::vector<std::byte>& buffer() const { return buf_; }
+  [[nodiscard]] std::vector<std::byte> take() { return std::move(buf_); }
+  [[nodiscard]] std::size_t size() const { return buf_.size(); }
+
+ private:
+  std::vector<std::byte> buf_;
+};
+
+/// Reads primitive values from a byte span with bounds checking.
+///
+/// After any failed read the reader is poisoned: `ok()` returns false and all
+/// subsequent reads return zero values. Callers validate once at the end.
+class byte_reader {
+ public:
+  explicit byte_reader(std::span<const std::byte> data) : data_(data) {}
+
+  std::uint8_t read_u8();
+  std::uint16_t read_u16();
+  std::uint32_t read_u32();
+  std::uint64_t read_u64();
+  std::int64_t read_i64();
+  double read_f64();
+  bool read_bool() { return read_u8() != 0; }
+
+  std::span<const std::byte> read_bytes();
+  std::string read_string();
+
+  template <typename Id>
+  Id read_id() {
+    return Id{static_cast<typename Id::rep_type>(read_u32())};
+  }
+
+  duration read_duration() { return duration{read_i64()}; }
+  time_point read_time() { return time_point{duration{read_i64()}}; }
+
+  /// True while every read so far stayed in bounds.
+  [[nodiscard]] bool ok() const { return ok_; }
+  /// Bytes not yet consumed.
+  [[nodiscard]] std::size_t remaining() const { return data_.size() - pos_; }
+  /// True iff the reader is healthy and fully consumed.
+  [[nodiscard]] bool exhausted() const { return ok_ && remaining() == 0; }
+
+ private:
+  bool ensure(std::size_t n);
+
+  std::span<const std::byte> data_;
+  std::size_t pos_ = 0;
+  bool ok_ = true;
+};
+
+}  // namespace omega

@@ -1,0 +1,60 @@
+// Virtual time used by the whole library.
+//
+// All protocol code is written against `omega::time_point` / `omega::duration`
+// (microsecond resolution). In simulation the clock is driven by the
+// discrete-event kernel; in the real-time runtime it is backed by
+// `std::chrono::steady_clock`. Keeping a single chrono-based representation
+// gives unit safety (seconds vs. microseconds bugs do not compile).
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+
+namespace omega {
+
+/// Canonical duration type: signed 64-bit microseconds.
+using duration = std::chrono::duration<std::int64_t, std::micro>;
+
+/// Chrono clock tag for the service's virtual timeline. Not a real clock:
+/// `now()` is provided by a `clock_source`, never by this type.
+struct virtual_clock {
+  using rep = omega::duration::rep;
+  using period = omega::duration::period;
+  using duration = omega::duration;  // NOLINT: chrono clock protocol name
+  using time_point = std::chrono::time_point<virtual_clock>;
+  static constexpr bool is_steady = true;
+};
+
+/// Canonical time point on the virtual timeline. Simulations start at t = 0.
+using time_point = virtual_clock::time_point;
+
+inline constexpr time_point time_origin{};
+
+/// Convenience literals-ish helpers (avoid pulling chrono literals into every
+/// header).
+[[nodiscard]] constexpr duration usec(std::int64_t n) { return duration{n}; }
+[[nodiscard]] constexpr duration msec(std::int64_t n) { return duration{n * 1000}; }
+[[nodiscard]] constexpr duration sec(std::int64_t n) { return duration{n * 1'000'000}; }
+
+/// Converts a duration to fractional seconds (for statistics and reports).
+[[nodiscard]] constexpr double to_seconds(duration d) {
+  return std::chrono::duration<double>(d).count();
+}
+[[nodiscard]] constexpr double to_seconds(time_point t) {
+  return to_seconds(t.time_since_epoch());
+}
+
+/// Converts fractional seconds to the canonical duration (rounds toward zero).
+[[nodiscard]] constexpr duration from_seconds(double s) {
+  return duration{static_cast<std::int64_t>(s * 1e6)};
+}
+
+[[nodiscard]] inline std::string to_string(duration d) {
+  return std::to_string(to_seconds(d)) + "s";
+}
+[[nodiscard]] inline std::string to_string(time_point t) {
+  return "t=" + std::to_string(to_seconds(t)) + "s";
+}
+
+}  // namespace omega

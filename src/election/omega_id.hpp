@@ -1,0 +1,33 @@
+// S1 / Omega_id: leader = smallest process id among alive candidates
+// (paper §6.2).
+//
+// The textbook algorithm [17, 8, 14]: every candidate heartbeats, everyone
+// trusts the failure detector, and the leader is simply the smallest-id
+// candidate currently deemed alive. Deliberately included as the unstable
+// baseline: whenever a process with a smaller id than the current leader
+// (re)joins the group, the working leader is demoted — the paper measures
+// about six such unjustified demotions per hour under its churn model
+// (Figure 3), all caused by the algorithm, none by the failure detector.
+#pragma once
+
+#include "election/elector.hpp"
+
+namespace omega::election {
+
+class omega_id final : public elector {
+ public:
+  explicit omega_id(elector_context ctx) : elector(std::move(ctx)) {}
+
+  void on_alive_payload(node_id from, incarnation inc,
+                        const proto::group_payload& payload) override;
+  void on_fd_transition(node_id node, bool trusted) override;
+  void on_accuse(const proto::accuse_msg& msg) override;
+  void on_member_removed(const membership::member_info& member) override;
+
+  [[nodiscard]] std::optional<process_id> evaluate() override;
+  [[nodiscard]] bool should_send_alive() const override;
+  void fill_payload(proto::group_payload& payload) override;
+  [[nodiscard]] std::string_view name() const override { return "omega_id"; }
+};
+
+}  // namespace omega::election

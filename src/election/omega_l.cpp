@@ -1,0 +1,121 @@
+#include "election/omega_l.hpp"
+
+#include <algorithm>
+
+namespace omega::election {
+
+omega_l::omega_l(elector_context ctx, options opts)
+    : elector(std::move(ctx)), opts_(opts) {
+  self_acc_ = ctx_.clock ? ctx_.clock->now() : time_point{};
+  if (ctx_.candidate) {
+    // A joining candidate competes until it hears someone better; its fresh
+    // accusation time guarantees it loses against any established leader.
+    competing_ = true;
+    phase_ = 1;
+  }
+}
+
+void omega_l::on_alive_payload(node_id from, incarnation inc,
+                               const proto::group_payload& payload) {
+  if (payload.pid == ctx_.self_pid) return;
+  auto it = contenders_.find(payload.pid);
+  if (it != contenders_.end() && inc < it->second.inc) return;  // stale
+  if (!payload.competing || !payload.candidate) {
+    // A final ALIVE with competing=false is a graceful withdrawal: drop the
+    // contender right away instead of waiting for a timeout.
+    if (it != contenders_.end()) contenders_.erase(it);
+    return;
+  }
+  contender_state& st = contenders_[payload.pid];
+  st.node = from;
+  st.inc = inc;
+  st.candidate = payload.candidate;
+  st.acc_time = std::max(st.acc_time, payload.accusation_time);
+  st.phase = payload.phase;
+}
+
+void omega_l::on_fd_transition(node_id node, bool trusted) {
+  if (trusted) return;
+  // Timeout on a contender: accuse it (tagged with the phase we last saw,
+  // so a voluntary withdrawal in the meantime makes the accusation stale)
+  // and drop it from the competition.
+  const time_point now = ctx_.clock ? ctx_.clock->now() : time_point{};
+  for (auto it = contenders_.begin(); it != contenders_.end();) {
+    const auto& [pid, st] = *it;
+    if (st.node != node) {
+      ++it;
+      continue;
+    }
+    if (ctx_.send_accuse) {
+      proto::accuse_msg accuse;
+      accuse.from = ctx_.self_node;
+      accuse.from_inc = ctx_.self_inc;
+      accuse.group = ctx_.group;
+      accuse.target = pid;
+      accuse.target_inc = st.inc;
+      accuse.phase = st.phase;
+      accuse.when = now;
+      ctx_.send_accuse(accuse, node);
+    }
+    it = contenders_.erase(it);
+  }
+}
+
+void omega_l::on_accuse(const proto::accuse_msg& msg) {
+  if (msg.target != ctx_.self_pid || msg.target_inc != ctx_.self_inc) return;
+  // The stability mechanism: only a suspicion of our *current* competition
+  // phase can demote us. Accusations earned by voluntary silence carry an
+  // older phase and are ignored. (The ablation variant counts everything,
+  // which punishes voluntary withdrawal — see options::phase_guard.)
+  if (opts_.phase_guard && (!competing_ || msg.phase != phase_)) return;
+  const time_point now = ctx_.clock ? ctx_.clock->now() : time_point{};
+  self_acc_ = std::max(self_acc_, now);
+}
+
+void omega_l::on_member_removed(const membership::member_info& member) {
+  auto it = contenders_.find(member.pid);
+  if (it != contenders_.end() && it->second.inc <= member.inc) contenders_.erase(it);
+}
+
+std::optional<process_id> omega_l::evaluate() {
+  const auto members = ctx_.members();
+  const auto is_candidate_member = [&](process_id pid, incarnation inc) {
+    return std::any_of(members.begin(), members.end(),
+                       [&](const membership::member_info& m) {
+                         return m.pid == pid && m.candidate && m.inc == inc;
+                       });
+  };
+
+  std::optional<rank> best;
+  if (ctx_.candidate) best = rank{self_acc_, ctx_.self_pid};
+  for (const auto& [pid, st] : contenders_) {
+    if (!is_candidate_member(pid, st.inc)) continue;
+    if (!ctx_.is_trusted || !ctx_.is_trusted(st.node)) continue;
+    const rank r{st.acc_time, pid};
+    if (!best || r < *best) best = r;
+  }
+
+  const bool now_competing = ctx_.candidate && best && best->pid == ctx_.self_pid;
+  if (now_competing && !competing_) {
+    competing_ = true;
+    ++phase_;  // new competition epoch: accusations from the silence are stale
+  } else if (!now_competing && competing_) {
+    competing_ = false;
+  }
+
+  if (!best) return std::nullopt;
+  return best->pid;
+}
+
+void omega_l::fill_payload(proto::group_payload& payload) {
+  payload.group = ctx_.group;
+  payload.pid = ctx_.self_pid;
+  payload.candidate = ctx_.candidate;
+  payload.competing = competing_;
+  payload.accusation_time = self_acc_;
+  payload.phase = phase_;
+  payload.local_leader = process_id::invalid();
+  payload.local_leader_acc = time_point{};
+}
+
+}  // namespace omega::election

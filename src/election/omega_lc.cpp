@@ -1,0 +1,207 @@
+#include "election/omega_lc.hpp"
+
+#include <algorithm>
+
+namespace omega::election {
+
+omega_lc::omega_lc(elector_context ctx, options opts)
+    : elector(std::move(ctx)), opts_(opts) {
+  // Joining (or re-joining after a crash) counts as having just been
+  // accused: an established leader always has an earlier accusation time,
+  // which is exactly the stability property S1 lacks.
+  self_acc_ = ctx_.clock ? ctx_.clock->now() : time_point{};
+}
+
+void omega_lc::on_alive_payload(node_id from, incarnation inc,
+                                const proto::group_payload& payload) {
+  if (payload.pid == ctx_.self_pid) return;
+  auto it = peers_.find(payload.pid);
+  if (it != peers_.end() && inc < it->second.inc) return;  // stale incarnation
+  peer_state& st = peers_[payload.pid];
+  st.node = from;
+  st.inc = inc;
+  st.candidate = payload.candidate;
+  st.acc_time = std::max(st.acc_time, payload.accusation_time);
+  st.local_leader = payload.local_leader;
+  st.local_leader_acc = payload.local_leader_acc;
+}
+
+void omega_lc::on_fd_transition(node_id node, bool trusted) {
+  if (trusted) {
+    // The link healed before the accusation became necessary: cancel any
+    // pending accusation against processes hosted there. This is the path
+    // that masks a transient single-link crash completely.
+    for (const auto& [pid, st] : peers_) {
+      if (st.node == node) pending_accuse_.erase(pid);
+    }
+    return;
+  }
+  if (!ctx_.send_accuse) return;
+  // Our FD just started suspecting `node`. For every candidate process it
+  // hosts: if somebody we trust still forwards that process as their local
+  // leader, the process is alive and only our link is at fault — hold the
+  // accusation. Otherwise accuse now; if it really crashed the message is
+  // lost, and if it is alive (an FD mistake, or all its outbound links
+  // died) it will self-demote.
+  for (const auto& [pid, st] : peers_) {
+    if (st.node != node || !st.candidate) continue;
+    if (forwarded_by_someone(pid)) {
+      pending_accuse_.insert(pid);
+    } else {
+      send_accusation(pid, st);
+    }
+  }
+}
+
+bool omega_lc::forwarded_by_someone(process_id pid) const {
+  if (!ctx_.is_trusted) return false;
+  for (const auto& [reporter, st] : peers_) {
+    if (reporter == pid || st.local_leader != pid) continue;
+    if (ctx_.is_trusted(st.node)) return true;
+  }
+  return false;
+}
+
+void omega_lc::send_accusation(process_id pid, const peer_state& st) {
+  if (!ctx_.send_accuse) return;
+  proto::accuse_msg accuse;
+  accuse.from = ctx_.self_node;
+  accuse.from_inc = ctx_.self_inc;
+  accuse.group = ctx_.group;
+  accuse.target = pid;
+  accuse.target_inc = st.inc;
+  accuse.phase = 0;  // Omega_lc does not use phases
+  accuse.when = ctx_.clock ? ctx_.clock->now() : time_point{};
+  ctx_.send_accuse(accuse, st.node);
+}
+
+void omega_lc::recheck_pending_accusations() {
+  for (auto it = pending_accuse_.begin(); it != pending_accuse_.end();) {
+    const process_id pid = *it;
+    auto peer = peers_.find(pid);
+    if (peer == peers_.end()) {
+      it = pending_accuse_.erase(it);  // removed from the group
+      continue;
+    }
+    if (ctx_.is_trusted && ctx_.is_trusted(peer->second.node)) {
+      it = pending_accuse_.erase(it);  // link healed: never accuse
+      continue;
+    }
+    if (!forwarded_by_someone(pid)) {
+      // The forwarding evidence is gone too: everyone lost it. Accuse.
+      send_accusation(pid, peer->second);
+      it = pending_accuse_.erase(it);
+      continue;
+    }
+    ++it;
+  }
+}
+
+void omega_lc::on_accuse(const proto::accuse_msg& msg) {
+  if (msg.target != ctx_.self_pid || msg.target_inc != ctx_.self_inc) return;
+  const time_point now = ctx_.clock ? ctx_.clock->now() : time_point{};
+  self_acc_ = std::max(self_acc_, now);
+}
+
+void omega_lc::on_member_removed(const membership::member_info& member) {
+  auto it = peers_.find(member.pid);
+  if (it != peers_.end() && it->second.inc <= member.inc) {
+    peers_.erase(it);
+    pending_accuse_.erase(member.pid);
+  }
+}
+
+bool omega_lc::fresh(const membership::member_info& m) const {
+  if (m.node == ctx_.self_node) return m.pid == ctx_.self_pid;
+  return ctx_.is_trusted && ctx_.is_trusted(m.node);
+}
+
+std::optional<omega_lc::rank> omega_lc::local_stage(
+    const std::vector<membership::member_info>& members) const {
+  std::optional<rank> best;
+  for (const auto& m : members) {
+    if (!m.candidate || !fresh(m)) continue;
+    time_point acc;
+    if (m.pid == ctx_.self_pid) {
+      acc = self_acc_;
+    } else {
+      auto it = peers_.find(m.pid);
+      if (it == peers_.end() || it->second.inc != m.inc) continue;  // no data yet
+      acc = it->second.acc_time;
+    }
+    const rank r{acc, m.pid};
+    if (!best || r < *best) best = r;
+  }
+  return best;
+}
+
+std::optional<process_id> omega_lc::evaluate() {
+  // Evidence may have changed since the last event batch: fire or cancel
+  // held-back accusations first.
+  recheck_pending_accusations();
+
+  const auto members = ctx_.members();
+  const auto is_candidate_member = [&](process_id pid) {
+    return std::any_of(members.begin(), members.end(),
+                       [&](const membership::member_info& m) {
+                         return m.pid == pid && m.candidate;
+                       });
+  };
+
+  // Stage 2: gather (local leader, accusation time) reports from every
+  // fresh member plus our own stage-1 result, keeping for each mentioned
+  // candidate the *latest* accusation time we can see anywhere (accusation
+  // times only grow, so max is the freshest knowledge).
+  std::unordered_map<process_id, time_point> mentioned;
+  const auto mention = [&](process_id pid, time_point acc) {
+    if (!pid.valid() || !is_candidate_member(pid)) return;
+    auto [it, inserted] = mentioned.try_emplace(pid, acc);
+    if (!inserted) it->second = std::max(it->second, acc);
+  };
+
+  if (auto own = local_stage(members)) mention(own->pid, own->acc);
+  if (opts_.forwarding) {
+    for (const auto& m : members) {
+      if (m.pid == ctx_.self_pid || !fresh(m)) continue;
+      auto it = peers_.find(m.pid);
+      if (it == peers_.end() || it->second.inc != m.inc) continue;
+      mention(it->second.local_leader, it->second.local_leader_acc);
+    }
+  }
+  // Refine with directly-known accusation times.
+  for (auto& [pid, acc] : mentioned) {
+    if (pid == ctx_.self_pid) {
+      acc = std::max(acc, self_acc_);
+    } else if (auto it = peers_.find(pid); it != peers_.end()) {
+      acc = std::max(acc, it->second.acc_time);
+    }
+  }
+
+  std::optional<rank> best;
+  for (const auto& [pid, acc] : mentioned) {
+    const rank r{acc, pid};
+    if (!best || r < *best) best = r;
+  }
+  if (!best) return std::nullopt;
+  return best->pid;
+}
+
+void omega_lc::fill_payload(proto::group_payload& payload) {
+  payload.group = ctx_.group;
+  payload.pid = ctx_.self_pid;
+  payload.candidate = ctx_.candidate;
+  payload.competing = true;  // every alive process is active in Omega_lc
+  payload.accusation_time = self_acc_;
+  // Stage-1 result travels in every heartbeat: this is the forwarding that
+  // lets peers elect a leader they cannot hear directly.
+  if (auto own = local_stage(ctx_.members())) {
+    payload.local_leader = own->pid;
+    payload.local_leader_acc = own->acc;
+  } else {
+    payload.local_leader = process_id::invalid();
+    payload.local_leader_acc = time_point{};
+  }
+  payload.phase = 0;
+}
+
+}  // namespace omega::election

@@ -1,0 +1,96 @@
+#include "fd/configurator.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace omega::fd {
+
+double delay_tail(const link_estimate& link, delay_tail_model tail,
+                  double x_seconds) {
+  if (x_seconds <= 0.0) return 1.0;
+  switch (tail) {
+    case delay_tail_model::exponential: {
+      const double mean = std::max(to_seconds(link.delay_mean), 1e-9);
+      return std::exp(-x_seconds / mean);
+    }
+    case delay_tail_model::chebyshev: {
+      const double mean = std::max(to_seconds(link.delay_mean), 0.0);
+      if (x_seconds <= mean) return 1.0;
+      const double sd = std::max(to_seconds(link.delay_stddev), 1e-9);
+      const double var = sd * sd;
+      const double excess = x_seconds - mean;
+      return var / (var + excess * excess);
+    }
+  }
+  return 1.0;
+}
+
+double mistake_probability(const link_estimate& link, delay_tail_model tail,
+                           double eta_s, double delta_s) {
+  if (eta_s <= 0.0) return 1.0;
+  const double p = std::clamp(link.loss_probability, 0.0, 1.0);
+  const int k = static_cast<int>(delta_s / eta_s) + 1;
+  double q0 = 1.0;
+  for (int j = 1; j <= k; ++j) {
+    const double x = delta_s - static_cast<double>(j - 1) * eta_s;
+    const double factor = p + (1.0 - p) * delay_tail(link, tail, x);
+    q0 *= std::min(factor, 1.0);
+    if (q0 < 1e-300) return 0.0;  // underflow guard: effectively impossible
+  }
+  return q0;
+}
+
+fd_params cold_start_params(const qos_spec& qos) {
+  fd_params params;
+  params.eta = qos.detection_time / 4;
+  params.delta = qos.detection_time - params.eta;
+  params.qos_feasible = false;  // unverified until the estimator warms up
+  return params;
+}
+
+fd_params configure(const qos_spec& qos, const link_estimate& link,
+                    const configurator_options& opts) {
+  if (link.samples < opts.min_samples) return cold_start_params(qos);
+
+  const double total = to_seconds(qos.detection_time);
+  const double tmr = to_seconds(qos.mistake_recurrence);
+  const double p = std::clamp(link.loss_probability, 0.0, 0.999999);
+  const int steps = std::max(opts.grid_steps, 4);
+
+  double best_eta = 0.0;
+  double best_q0 = 1.0;
+  double best_recurrence = 0.0;
+
+  // Walk eta from largest (cheapest) to smallest; take the first feasible
+  // point. Track the best-achievable recurrence for the infeasible fallback.
+  for (int i = steps - 1; i >= 1; --i) {
+    const double eta = total * static_cast<double>(i) / static_cast<double>(steps);
+    const double delta = total - eta;
+    const double q0 = mistake_probability(link, opts.tail, eta, delta);
+    const double recurrence = q0 > 0.0 ? eta / q0 : std::numeric_limits<double>::infinity();
+    const double accuracy = 1.0 - q0 / (1.0 - p);
+
+    if (recurrence >= tmr && accuracy >= qos.query_accuracy) {
+      // Round eta once and take delta as the exact integer complement so
+      // eta + delta == detection_time holds on the duration grid.
+      const duration eta_d = from_seconds(eta);
+      return fd_params{eta_d, qos.detection_time - eta_d, true};
+    }
+    if (recurrence > best_recurrence) {
+      best_recurrence = recurrence;
+      best_eta = eta;
+      best_q0 = q0;
+    }
+  }
+
+  // Nothing feasible (e.g. loss too high for this T^U_D): best effort.
+  (void)best_q0;
+  fd_params params;
+  params.eta = from_seconds(best_eta > 0.0 ? best_eta : total / steps);
+  params.delta = qos.detection_time - params.eta;
+  params.qos_feasible = false;
+  return params;
+}
+
+}  // namespace omega::fd

@@ -1,0 +1,60 @@
+// Failure Detector Configurator (paper §3, Figure 1; Chen et al. [5] §5).
+//
+// Translates a QoS requirement (T^U_D, T^L_MR, P^L_A) plus the current link
+// estimate (p_L, E[D], S[D]) into the NFD-S operating point (eta, delta).
+//
+// Model (NFD-S with freshness points): the sender emits heartbeat m_i at
+// sigma_i = i*eta; the monitor trusts during [tau_i, tau_{i+1}) iff some
+// m_j, j >= i, has arrived, where tau_i = sigma_i + delta. Consequences:
+//
+//  * worst-case detection time is eta + delta (crash right after a send),
+//    so any (eta, delta) with eta + delta <= T^U_D meets T^U_D;
+//  * a *mistake* happens at a freshness point tau_{i+1} iff none of the
+//    messages m_{i+1}..m_{i+k} (those already sent by tau_{i+1},
+//    k = floor(delta/eta) + 1) has arrived by tau_{i+1}:
+//        q0 = prod_{j=1..k} [ p_L + (1 - p_L) * Pr(D > delta - (j-1)*eta) ]
+//    giving an expected mistake recurrence E[T_MR] = eta / q0;
+//  * a mistake lasts until the next heartbeat gets through,
+//    E[T_M] <= eta / (1 - p_L), so the query accuracy is at least
+//        P_A >= 1 - q0 / (1 - p_L).
+//
+// The configurator picks the *largest* eta (fewest messages, i.e. cheapest
+// operating point) with delta = T^U_D - eta such that both the E[T_MR] and
+// the P_A constraints hold. When no point on the grid is feasible (e.g.
+// extremely lossy link and tight T^U_D), it returns the point with the best
+// achievable mistake recurrence and marks it `qos_feasible = false` — the
+// same "QoS under some conditions" caveat as the paper.
+#pragma once
+
+#include "fd/qos.hpp"
+
+namespace omega::fd {
+
+struct configurator_options {
+  /// Number of grid points for eta in (0, T^U_D).
+  int grid_steps = 100;
+  /// Tail bound used for Pr(D > x).
+  delay_tail_model tail = delay_tail_model::exponential;
+  /// Below this many link samples the estimator output is not trusted and
+  /// a conservative default operating point is returned instead.
+  std::size_t min_samples = 16;
+};
+
+/// Pr(D > x) under the given tail model and link estimate.
+[[nodiscard]] double delay_tail(const link_estimate& link, delay_tail_model tail,
+                                double x_seconds);
+
+/// Probability that a given freshness point opens a mistake (q0 above).
+[[nodiscard]] double mistake_probability(const link_estimate& link,
+                                         delay_tail_model tail, double eta_s,
+                                         double delta_s);
+
+/// Computes the NFD-S operating point for one monitored link.
+[[nodiscard]] fd_params configure(const qos_spec& qos, const link_estimate& link,
+                                  const configurator_options& opts = {});
+
+/// Conservative operating point used before the estimator has enough
+/// samples: eta = T^U_D / 4, delta = 3*T^U_D / 4.
+[[nodiscard]] fd_params cold_start_params(const qos_spec& qos);
+
+}  // namespace omega::fd

@@ -1,0 +1,193 @@
+#include "fd/fd_manager.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+#include <vector>
+
+namespace omega::fd {
+
+fd_manager::fd_manager(clock_source& clock, timer_service& timers, options opts)
+    : clock_(clock), timers_(timers), opts_(opts), reconfig_timer_(timers) {}
+
+fd_manager::~fd_manager() { stop(); }
+
+void fd_manager::set_transition_handler(transition_handler handler) {
+  on_transition_ = std::move(handler);
+}
+
+void fd_manager::set_rate_request_fn(rate_request_fn fn) {
+  send_rate_request_ = std::move(fn);
+}
+
+void fd_manager::add_group(group_id group, const qos_spec& qos) {
+  groups_[group] = qos;
+}
+
+void fd_manager::remove_group(group_id group) {
+  groups_.erase(group);
+  for (auto& [node, state] : remotes_) {
+    state->monitors.erase(group);
+    state->params.erase(group);
+  }
+}
+
+heartbeat_monitor& fd_manager::ensure_monitor(group_id group, node_id remote,
+                                              remote_state& state) {
+  auto it = state.monitors.find(group);
+  if (it == state.monitors.end()) {
+    auto qos_it = groups_.find(group);
+    const qos_spec qos = qos_it != groups_.end() ? qos_it->second : qos_spec{};
+    const fd_params params = [&] {
+      auto p = state.params.find(group);
+      return p != state.params.end() ? p->second : cold_start_params(qos);
+    }();
+    auto monitor = std::make_unique<heartbeat_monitor>(
+        clock_, timers_, params.delta, [this, group, remote](bool trusted) {
+          if (on_transition_) on_transition_(group, remote, trusted);
+        });
+    it = state.monitors.emplace(group, std::move(monitor)).first;
+  }
+  return *it->second;
+}
+
+void fd_manager::on_alive(const proto::alive_msg& msg, time_point recv_time) {
+  auto [it, inserted] = remotes_.try_emplace(msg.from, nullptr);
+  if (inserted) {
+    it->second = std::make_unique<remote_state>(opts_.lqe);
+    it->second->inc = msg.inc;
+  }
+  remote_state& state = *it->second;
+  if (msg.inc < state.inc) return;  // stale incarnation: drop entirely
+  if (msg.inc > state.inc) {
+    // The node restarted: its old stream statistics and freshness no longer
+    // describe this incarnation.
+    state.inc = msg.inc;
+    state.lqe.reset();
+    state.monitors.clear();
+    state.params.clear();
+  }
+  state.last_heard = recv_time;
+  state.lqe.on_heartbeat(msg.seq, msg.send_time, recv_time);
+
+  for (const auto& payload : msg.groups) {
+    if (groups_.find(payload.group) == groups_.end()) continue;  // not ours
+    ensure_monitor(payload.group, msg.from, state)
+        .on_heartbeat(msg.send_time, msg.eta);
+  }
+}
+
+void fd_manager::drop(group_id group, node_id remote) {
+  auto it = remotes_.find(remote);
+  if (it == remotes_.end()) return;
+  it->second->monitors.erase(group);
+  it->second->params.erase(group);
+}
+
+void fd_manager::drop_node(node_id remote) { remotes_.erase(remote); }
+
+void fd_manager::start() {
+  if (running_) return;
+  running_ = true;
+  reconfig_timer_.arm_after(opts_.reconfig_interval, [this] { tick(); });
+}
+
+void fd_manager::tick() {
+  reconfigure_all();
+  if (running_) {
+    reconfig_timer_.arm_after(opts_.reconfig_interval, [this] { tick(); });
+  }
+}
+
+void fd_manager::stop() {
+  running_ = false;
+  reconfig_timer_.cancel();
+}
+
+void fd_manager::reconfigure_all() {
+  const time_point now = clock_.now();
+  std::vector<node_id> gc;
+  for (auto& [node, state] : remotes_) {
+    reconfigure_remote(node, *state);
+    // GC: remotes silent for a long time with no trusted monitor hold no
+    // useful state (a re-appearing node is re-learned from its next ALIVE).
+    const bool any_trusted =
+        std::any_of(state->monitors.begin(), state->monitors.end(),
+                    [](const auto& kv) { return kv.second->trusted(); });
+    if (!any_trusted && state->last_heard + opts_.monitor_gc_after < now) {
+      gc.push_back(node);
+    }
+  }
+  for (node_id node : gc) remotes_.erase(node);
+}
+
+void fd_manager::reconfigure_remote(node_id remote, remote_state& state) {
+  const time_point now = clock_.now();
+  const link_estimate link = state.lqe.estimate();
+
+  duration min_eta{0};
+  for (const auto& [group, qos] : groups_) {
+    const fd_params params = configure(qos, link, opts_.configurator);
+    state.params[group] = params;
+    if (auto it = state.monitors.find(group); it != state.monitors.end()) {
+      it->second->set_delta(params.delta);
+    }
+    if (min_eta == duration{0} || params.eta < min_eta) min_eta = params.eta;
+  }
+  if (min_eta == duration{0}) return;  // no groups registered
+
+  // Rate renegotiation with hysteresis; skip long-silent remotes.
+  if (!send_rate_request_) return;
+  if (state.last_heard == time_point{} ||
+      state.last_heard + opts_.rate_silence_cutoff < now) {
+    return;
+  }
+  const bool first = state.last_requested_eta == duration{0};
+  const double old_s = to_seconds(state.last_requested_eta);
+  const double new_s = to_seconds(min_eta);
+  const bool changed =
+      first || std::abs(new_s - old_s) > opts_.rate_hysteresis * old_s;
+  const bool refresh_due = state.last_rate_sent + opts_.rate_refresh <= now;
+  if (changed || refresh_due) {
+    state.last_requested_eta = min_eta;
+    state.last_rate_sent = now;
+    send_rate_request_(remote, min_eta);
+  }
+}
+
+bool fd_manager::is_trusted(group_id group, node_id remote) const {
+  auto it = remotes_.find(remote);
+  if (it == remotes_.end()) return false;
+  auto m = it->second->monitors.find(group);
+  return m != it->second->monitors.end() && m->second->trusted();
+}
+
+link_estimate fd_manager::link_quality(node_id remote) const {
+  auto it = remotes_.find(remote);
+  if (it == remotes_.end()) return link_estimate{};
+  return it->second->lqe.estimate();
+}
+
+fd_params fd_manager::current_params(group_id group, node_id remote) const {
+  auto git = groups_.find(group);
+  const qos_spec qos = git != groups_.end() ? git->second : qos_spec{};
+  auto it = remotes_.find(remote);
+  if (it == remotes_.end()) return cold_start_params(qos);
+  auto p = it->second->params.find(group);
+  if (p == it->second->params.end()) return cold_start_params(qos);
+  return p->second;
+}
+
+duration fd_manager::requested_eta(node_id remote) const {
+  auto it = remotes_.find(remote);
+  if (it == remotes_.end()) return duration{0};
+  return it->second->last_requested_eta;
+}
+
+std::size_t fd_manager::monitor_count() const {
+  std::size_t n = 0;
+  for (const auto& [node, state] : remotes_) n += state->monitors.size();
+  return n;
+}
+
+}  // namespace omega::fd

@@ -1,0 +1,127 @@
+// Shared failure-detector module of one service instance (paper §3, §4).
+//
+// One fd_manager per workstation monitors every remote node the local
+// groups care about, sharing a single link-quality estimator per remote
+// across all groups (the cost-sharing idea of the Deianov-Toueg FD service
+// architecture). Per (remote, group) it runs an NFD-S heartbeat monitor
+// whose delta comes from the group's QoS via the configurator; a periodic
+// reconfiguration pass re-runs the configurator against fresh link
+// estimates — this is what makes the detector adapt to changing network
+// conditions — and renegotiates the senders' heartbeat rates with
+// hysteresis.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <unordered_map>
+
+#include "common/executor.hpp"
+#include "common/ids.hpp"
+#include "fd/configurator.hpp"
+#include "fd/heartbeat_monitor.hpp"
+#include "fd/link_quality_estimator.hpp"
+#include "fd/qos.hpp"
+#include "proto/wire.hpp"
+
+namespace omega::fd {
+
+class fd_manager {
+ public:
+  struct options {
+    link_quality_estimator::options lqe{};
+    configurator_options configurator{};
+    /// How often link estimates are re-read and (eta, delta) recomputed.
+    duration reconfig_interval = sec(1);
+    /// Relative change of requested eta that triggers a new RATE_REQ.
+    double rate_hysteresis = 0.10;
+    /// RATE_REQs are refreshed at least this often while the remote lives.
+    duration rate_refresh = sec(20);
+    /// Suspected *and* silent monitors are garbage-collected after this.
+    duration monitor_gc_after = sec(120);
+    /// Remotes silent for longer stop receiving RATE_REQs.
+    duration rate_silence_cutoff = sec(30);
+  };
+
+  /// (group, remote node, trusted?) on every trust/suspect edge.
+  using transition_handler = std::function<void(group_id, node_id, bool)>;
+  /// Called when a RATE_REQ should be sent to `node` asking for `eta`.
+  using rate_request_fn = std::function<void(node_id, duration)>;
+
+  fd_manager(clock_source& clock, timer_service& timers)
+      : fd_manager(clock, timers, options{}) {}
+  fd_manager(clock_source& clock, timer_service& timers, options opts);
+  ~fd_manager();
+
+  fd_manager(const fd_manager&) = delete;
+  fd_manager& operator=(const fd_manager&) = delete;
+
+  void set_transition_handler(transition_handler handler);
+  void set_rate_request_fn(rate_request_fn fn);
+
+  /// Registers a local group and the FD QoS its members require.
+  void add_group(group_id group, const qos_spec& qos);
+  void remove_group(group_id group);
+
+  /// Feeds one received ALIVE message: link statistics at node level, then
+  /// freshness for every carried group payload (monitors are created
+  /// lazily). Heartbeats from an unknown/old incarnation reset/discard
+  /// state as appropriate.
+  void on_alive(const proto::alive_msg& msg, time_point recv_time);
+
+  /// Drops monitoring state for one (group, remote) — the member left.
+  void drop(group_id group, node_id remote);
+  /// Drops all state for a remote node (it is known to be gone).
+  void drop_node(node_id remote);
+
+  /// Starts / stops the periodic reconfiguration loop.
+  void start();
+  void stop();
+
+  /// True iff a monitor exists and currently trusts the remote in `group`.
+  [[nodiscard]] bool is_trusted(group_id group, node_id remote) const;
+
+  /// Current link estimate for a remote (defaults if never heard).
+  [[nodiscard]] link_estimate link_quality(node_id remote) const;
+
+  /// Operating point for (group, remote): configured or cold-start default.
+  [[nodiscard]] fd_params current_params(group_id group, node_id remote) const;
+
+  /// The sending interval this manager currently asks `remote` to use
+  /// (minimum over local groups). Zero if unknown remote.
+  [[nodiscard]] duration requested_eta(node_id remote) const;
+
+  /// Number of live (trusted or recently heard) monitors, for introspection.
+  [[nodiscard]] std::size_t monitor_count() const;
+
+ private:
+  void tick();
+
+  struct remote_state {
+    incarnation inc = 0;
+    link_quality_estimator lqe;
+    std::unordered_map<group_id, std::unique_ptr<heartbeat_monitor>> monitors;
+    std::unordered_map<group_id, fd_params> params;
+    duration last_requested_eta{0};
+    time_point last_rate_sent{};
+    time_point last_heard{};
+    explicit remote_state(const link_quality_estimator::options& o) : lqe(o) {}
+  };
+
+  void reconfigure_all();
+  void reconfigure_remote(node_id remote, remote_state& state);
+  heartbeat_monitor& ensure_monitor(group_id group, node_id remote,
+                                    remote_state& state);
+
+  clock_source& clock_;
+  timer_service& timers_;
+  options opts_;
+  transition_handler on_transition_;
+  rate_request_fn send_rate_request_;
+  std::unordered_map<group_id, qos_spec> groups_;
+  std::unordered_map<node_id, std::unique_ptr<remote_state>> remotes_;
+  scoped_timer reconfig_timer_;
+  bool running_ = false;
+};
+
+}  // namespace omega::fd

@@ -1,0 +1,53 @@
+// NFD-S freshness monitor for one (remote node, group) pair (paper §3).
+//
+// Tracks whether the remote process is currently trusted. A heartbeat sent
+// at time s by a sender using interval eta is fresh until s + eta + delta
+// (the freshness point of the *next* heartbeat, shifted by delta). The
+// monitor keeps the maximum such deadline over all received heartbeats and
+// suspects when the local clock passes it. The sender's current eta is
+// taken from each ALIVE message, so rate renegotiation never desynchronizes
+// the two sides.
+#pragma once
+
+#include <functional>
+
+#include "common/executor.hpp"
+#include "common/time.hpp"
+
+namespace omega::fd {
+
+class heartbeat_monitor {
+ public:
+  /// `on_transition(trusted)` fires on every trust <-> suspect edge,
+  /// including the initial trust when the first heartbeat arrives.
+  heartbeat_monitor(clock_source& clock, timer_service& timers, duration delta,
+                    std::function<void(bool)> on_transition);
+
+  heartbeat_monitor(const heartbeat_monitor&) = delete;
+  heartbeat_monitor& operator=(const heartbeat_monitor&) = delete;
+
+  /// Feeds one received heartbeat (sender timestamp + sender's interval).
+  void on_heartbeat(time_point send_time, duration sender_eta);
+
+  /// Updates the freshness shift; applies to subsequent heartbeats.
+  void set_delta(duration delta) { delta_ = delta; }
+  [[nodiscard]] duration delta() const { return delta_; }
+
+  [[nodiscard]] bool trusted() const { return trusted_; }
+  /// Time the current freshness expires (meaningful while trusted).
+  [[nodiscard]] time_point deadline() const { return deadline_; }
+
+ private:
+  void arm();
+  void expire();
+
+  clock_source& clock_;
+  scoped_timer timer_;
+  duration delta_;
+  std::function<void(bool)> on_transition_;
+  bool trusted_ = false;
+  bool ever_heard_ = false;
+  time_point deadline_{};
+};
+
+}  // namespace omega::fd

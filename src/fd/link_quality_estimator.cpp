@@ -1,0 +1,97 @@
+#include "fd/link_quality_estimator.hpp"
+
+#include <algorithm>
+
+namespace omega::fd {
+
+link_quality_estimator::link_quality_estimator(options opts)
+    : opts_(opts),
+      delay_seconds_(opts.delay_window),
+      raw_diff_seconds_(opts.delay_window) {}
+
+void link_quality_estimator::on_heartbeat(std::uint64_t seq, time_point sent,
+                                          time_point received) {
+  ++total_received_;
+  if (opts_.synchronized_clocks) {
+    // Delay sample; clamp at zero in case of residual clock skew.
+    delay_seconds_.add(std::max(0.0, to_seconds(received - sent)));
+  } else {
+    // Skew-tolerant mode: keep the raw (offset-polluted, possibly negative)
+    // difference; estimate() re-bases against the window minimum.
+    raw_diff_seconds_.add(to_seconds(received - sent));
+  }
+
+  if (!epoch_open_) {
+    epoch_open_ = true;
+    epoch_min_seq_ = epoch_max_seq_ = seq;
+    epoch_received_ = 1;
+    return;
+  }
+  epoch_min_seq_ = std::min(epoch_min_seq_, seq);
+  epoch_max_seq_ = std::max(epoch_max_seq_, seq);
+  ++epoch_received_;
+  if (epoch_received_ >= opts_.loss_epoch) roll_epoch();
+}
+
+void link_quality_estimator::roll_epoch() {
+  const std::uint64_t span = epoch_max_seq_ - epoch_min_seq_ + 1;
+  double observed = 0.0;
+  if (span > epoch_received_) {
+    observed = 1.0 - static_cast<double>(epoch_received_) / static_cast<double>(span);
+  }
+  if (have_loss_) {
+    loss_ewma_ = (1.0 - opts_.loss_ewma_alpha) * loss_ewma_ +
+                 opts_.loss_ewma_alpha * observed;
+  } else {
+    loss_ewma_ = observed;
+    have_loss_ = true;
+  }
+  epoch_open_ = false;
+  epoch_received_ = 0;
+}
+
+void link_quality_estimator::reset() {
+  delay_seconds_.reset();
+  raw_diff_seconds_.reset();
+  total_received_ = 0;
+  epoch_open_ = false;
+  epoch_received_ = 0;
+  have_loss_ = false;
+  loss_ewma_ = 0.0;
+}
+
+link_estimate link_quality_estimator::estimate() const {
+  link_estimate est;
+  est.samples = opts_.synchronized_clocks ? delay_seconds_.count()
+                                          : raw_diff_seconds_.count();
+  if (est.samples == 0) return est;  // defaults: see qos.hpp
+
+  if (opts_.synchronized_clocks) {
+    est.delay_mean = from_seconds(delay_seconds_.mean());
+    est.delay_stddev = from_seconds(delay_seconds_.stddev());
+  } else {
+    // Jitter above the window's fastest observation. The unknown skew and
+    // propagation floor cancel out of the (eta, delta) computation up to a
+    // constant the configurator absorbs conservatively.
+    est.delay_mean = from_seconds(
+        std::max(0.0, raw_diff_seconds_.mean() - raw_diff_seconds_.minimum()));
+    est.delay_stddev = from_seconds(raw_diff_seconds_.stddev());
+  }
+
+  double loss;
+  if (have_loss_) {
+    loss = loss_ewma_;
+  } else if (epoch_open_ && epoch_received_ >= 16) {
+    // Early estimate from the partial first epoch.
+    const std::uint64_t span = epoch_max_seq_ - epoch_min_seq_ + 1;
+    loss = span > epoch_received_
+               ? 1.0 - static_cast<double>(epoch_received_) / static_cast<double>(span)
+               : 0.0;
+  } else {
+    loss = est.loss_probability;  // keep the conservative default
+  }
+  est.loss_probability = std::clamp(std::max(loss, opts_.loss_floor), 0.0, 1.0);
+  return est;
+}
+
+}  // namespace omega::fd

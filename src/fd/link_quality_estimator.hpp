@@ -1,0 +1,84 @@
+// Link Quality Estimator (paper §3, Figure 1).
+//
+// Continuously estimates the quality of the directed link from a monitored
+// process q to the local process p, using only the ALIVE messages p
+// receives from q:
+//   * message-loss probability p_L — from gaps in the heartbeat sequence
+//     numbers, folded over fixed-size epochs into an EWMA. The estimate is
+//     floored at ~1/(2*window): a finite sample can never certify a lower
+//     loss rate, and the floor is what makes the configurator keep a safety
+//     margin on clean LANs.
+//   * delay mean E[D] and standard deviation S[D] — from the difference
+//     between the embedded send timestamp and the local receive time over a
+//     sliding window. (Simulation clocks are perfectly synchronized; the
+//     real-time runtime relies on NTP-grade sync exactly like the paper's
+//     LAN testbed.)
+//
+// For deployments without synchronized clocks, the estimator has a
+// *skew-tolerant* mode (Chen et al.'s NFD-E idea): raw `received - sent`
+// differences are offset by an unknown constant (clock skew), so the mode
+// re-bases every sample against the smallest difference seen in the window
+// — the sample that experienced the least queuing. The re-based values
+// estimate delay *jitter above the minimum*; the unknown propagation floor
+// is invisible to any clock-free scheme, which only makes the (eta, delta)
+// choice slightly conservative. Loss estimation is unaffected (sequence
+// numbers carry no time).
+#pragma once
+
+#include <cstdint>
+
+#include "common/stats.hpp"
+#include "common/time.hpp"
+#include "fd/qos.hpp"
+
+namespace omega::fd {
+
+class link_quality_estimator {
+ public:
+  struct options {
+    std::size_t delay_window = 256;   // samples kept for E[D], S[D]
+    std::size_t loss_epoch = 128;     // heartbeats per loss-counting epoch
+    double loss_ewma_alpha = 0.3;     // weight of the newest epoch
+    double loss_floor = 0.5 / 256.0;  // cannot certify loss below this
+    /// True (default): sender and receiver clocks are comparable, delays
+    /// are measured absolutely. False: skew-tolerant mode — delays are
+    /// measured relative to the window's minimum difference (see header).
+    bool synchronized_clocks = true;
+  };
+
+  link_quality_estimator() : link_quality_estimator(options{}) {}
+  explicit link_quality_estimator(options opts);
+
+  /// Feeds one received heartbeat. Duplicate or reordered sequence numbers
+  /// are tolerated (reordering shrinks the apparent gap; duplicates cannot
+  /// occur because each sequence number is sent exactly once).
+  void on_heartbeat(std::uint64_t seq, time_point sent, time_point received);
+
+  /// Forgets everything (monitored process restarted with a new incarnation,
+  /// so the old stream's statistics no longer apply).
+  void reset();
+
+  /// Current (p_L, E[D], S[D]) estimate with the number of samples behind it.
+  [[nodiscard]] link_estimate estimate() const;
+
+  /// Total heartbeats observed since the last reset.
+  [[nodiscard]] std::uint64_t heartbeats_seen() const { return total_received_; }
+
+ private:
+  void roll_epoch();
+
+  options opts_;
+  windowed_stats delay_seconds_;  // absolute (synchronized) or re-based (skewed)
+  windowed_stats raw_diff_seconds_;  // skew-tolerant mode: raw recv - sent
+  std::uint64_t total_received_ = 0;
+
+  bool epoch_open_ = false;
+  std::uint64_t epoch_min_seq_ = 0;
+  std::uint64_t epoch_max_seq_ = 0;
+  std::uint64_t epoch_received_ = 0;
+
+  bool have_loss_ = false;
+  double loss_ewma_ = 0.0;
+};
+
+}  // namespace omega::fd

@@ -1,0 +1,26 @@
+#include "fd/rate_controller.hpp"
+
+#include <algorithm>
+
+namespace omega::fd {
+
+rate_controller::rate_controller(duration default_eta, duration expiry)
+    : default_eta_(default_eta), expiry_(expiry) {}
+
+void rate_controller::on_request(node_id from, duration eta, time_point now) {
+  if (eta <= duration{0}) return;  // malformed; ignore
+  requests_[from] = request{eta, now + expiry_};
+}
+
+void rate_controller::forget(node_id from) { requests_.erase(from); }
+
+duration rate_controller::effective_eta(time_point now) const {
+  duration eta = default_eta_;
+  for (const auto& [node, req] : requests_) {
+    if (req.expires <= now) continue;  // expired; pruned lazily by overwrite
+    eta = std::min(eta, req.eta);
+  }
+  return eta;
+}
+
+}  // namespace omega::fd

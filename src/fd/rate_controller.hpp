@@ -1,0 +1,48 @@
+// Sender-side heartbeat rate control.
+//
+// Monitors compute the heartbeat interval eta their QoS needs (per link) and
+// send RATE_REQ messages; the sender must emit at the *fastest* rate any
+// live monitor demands (paper §3: the configurator "computes the frequency
+// eta at which q must send alive messages"). Requests expire so that a
+// crashed monitor's demand does not pin a high rate forever.
+#pragma once
+
+#include <unordered_map>
+
+#include "common/ids.hpp"
+#include "common/time.hpp"
+
+namespace omega::fd {
+
+class rate_controller {
+ public:
+  /// `default_eta` is the rate used with no outstanding requests (derived
+  /// from the sender's own QoS spec); `expiry` ages requests out.
+  explicit rate_controller(duration default_eta, duration expiry = sec(60));
+
+  /// Records a rate request from `from` received at `now`.
+  void on_request(node_id from, duration eta, time_point now);
+
+  /// Drops any outstanding request from `from` (it left or crashed).
+  void forget(node_id from);
+
+  /// Smallest (fastest) unexpired requested interval, capped by the default.
+  [[nodiscard]] duration effective_eta(time_point now) const;
+
+  void set_default_eta(duration eta) { default_eta_ = eta; }
+  [[nodiscard]] duration default_eta() const { return default_eta_; }
+
+  [[nodiscard]] std::size_t outstanding_requests() const { return requests_.size(); }
+
+ private:
+  struct request {
+    duration eta;
+    time_point expires;
+  };
+
+  duration default_eta_;
+  duration expiry_;
+  std::unordered_map<node_id, request> requests_;
+};
+
+}  // namespace omega::fd

@@ -1,0 +1,152 @@
+#include "harness/experiment.hpp"
+
+#include <stdexcept>
+
+namespace omega::harness {
+
+experiment::experiment(scenario sc) : sc_(std::move(sc)), root_rng_(sc_.seed) {
+  if (sc_.nodes == 0) throw std::invalid_argument("experiment: zero nodes");
+  // A demotion completing within ~2 detection bounds of the demoted
+  // process's real crash is attributable to that crash, even if the
+  // process recovered in between (see the group_metrics header).
+  metrics_.set_justification_window(sc_.qos.detection_time * 2);
+  net_ = std::make_unique<net::sim_network>(sim_, sc_.nodes, sc_.links,
+                                            root_rng_.split());
+  if (sc_.link_crashes.enabled) net_->enable_link_crashes(sc_.link_crashes);
+
+  nodes_.reserve(sc_.nodes);
+  rng stagger = root_rng_.split();
+  for (std::size_t i = 0; i < sc_.nodes; ++i) {
+    workstation ws;
+    ws.node = node_id{static_cast<std::uint32_t>(i)};
+    ws.pid = process_id{static_cast<std::uint32_t>(i)};
+    ws.churn_rng = root_rng_.split();
+    nodes_.push_back(std::move(ws));
+  }
+  // Stagger the initial joins over two seconds so the cluster does not
+  // behave as if a perfectly synchronized script started it (it never does
+  // on a real testbed either).
+  for (auto& ws : nodes_) {
+    const time_point join_at = time_origin + stagger.exponential(msec(500));
+    boot_node(ws, join_at);
+  }
+}
+
+experiment::~experiment() {
+  for (auto& ws : nodes_) {
+    if (ws.churn_timer != no_timer) sim_.cancel(ws.churn_timer);
+  }
+}
+
+void experiment::boot_node(workstation& ws, time_point join_at) {
+  sim_.schedule_at(join_at, [this, &ws] { start_service(ws); });
+}
+
+void experiment::start_service(workstation& ws) {
+  ws.up = true;
+  net_->set_node_alive(ws.node, true);
+
+  service::service_config cfg;
+  cfg.self = ws.node;
+  cfg.inc = ws.next_inc++;
+  cfg.roster.reserve(sc_.nodes);
+  for (const auto& other : nodes_) cfg.roster.push_back(other.node);
+  cfg.alg = sc_.alg;
+  ws.svc = std::make_unique<service::leader_election_service>(
+      sim_, sim_, net_->endpoint(ws.node), cfg);
+
+  const bool candidate =
+      sc_.candidates == 0 || ws.pid.value() < sc_.candidates;
+  service::join_options jo;
+  jo.candidate = candidate;
+  jo.qos = sc_.qos;
+  jo.notify = service::notification_mode::interrupt;
+
+  const process_id pid = ws.pid;
+  ws.svc->register_process(pid);
+  metrics_.on_join(sim_.now(), pid);
+  ws.svc->join_group(pid, group_, jo,
+                     [this, pid](group_id, std::optional<process_id> leader) {
+                       metrics_.on_leader_view(sim_.now(), pid, leader);
+                     });
+  // The join itself may already have produced a view (e.g. self-leader).
+  metrics_.on_leader_view(sim_.now(), pid, ws.svc->leader(group_));
+}
+
+void experiment::crash_node(node_id node) {
+  workstation& ws = nodes_.at(node.value());
+  if (!ws.up) return;
+  ws.up = false;
+  ws.svc.reset();  // destroys all state; no goodbye messages
+  net_->set_node_alive(ws.node, false);
+  metrics_.on_crash(sim_.now(), ws.pid);
+}
+
+void experiment::recover_node(node_id node) {
+  workstation& ws = nodes_.at(node.value());
+  if (ws.up) return;
+  metrics_.on_recover(sim_.now(), ws.pid);
+  start_service(ws);
+}
+
+void experiment::schedule_crash(workstation& ws) {
+  const duration wait = ws.churn_rng.exponential(sc_.churn.mean_uptime);
+  ws.churn_timer = sim_.schedule_after(wait, [this, &ws] {
+    crash_node(ws.node);
+    schedule_recovery(ws);
+  });
+}
+
+void experiment::schedule_recovery(workstation& ws) {
+  const duration wait = ws.churn_rng.exponential(sc_.churn.mean_recovery);
+  ws.churn_timer = sim_.schedule_after(wait, [this, &ws] {
+    recover_node(ws.node);
+    schedule_crash(ws);
+  });
+}
+
+service::leader_election_service* experiment::node_service(node_id node) {
+  return nodes_.at(node.value()).svc.get();
+}
+
+bool experiment::node_up(node_id node) const { return nodes_.at(node.value()).up; }
+
+experiment_result experiment::run() {
+  // Warm-up: stable cluster, estimators converge, leader settles.
+  sim_.run_until(time_origin + sc_.warmup);
+
+  metrics_.begin(sim_.now());
+  net_->reset_traffic();
+  if (sc_.churn.enabled) {
+    for (auto& ws : nodes_) schedule_crash(ws);
+  }
+
+  sim_.run_until(time_origin + sc_.warmup + sc_.measured);
+  metrics_.finish(sim_.now());
+
+  experiment_result res;
+  res.p_leader = metrics_.leader_availability();
+  res.tr_mean_s = metrics_.recovery_times().mean();
+  res.tr_ci95_s = metrics_.recovery_times().ci95_half_width();
+  res.tr_samples = metrics_.recovery_times().count();
+  res.lambda_u = metrics_.mistakes_per_hour();
+  res.unjustified = metrics_.unjustified_demotions();
+  res.justified = metrics_.justified_changes();
+  res.leader_crashes = metrics_.leader_crashes();
+
+  double cpu = 0.0;
+  double kbs = 0.0;
+  for (const auto& ws : nodes_) {
+    const auto& t = net_->traffic(ws.node);
+    cpu += cost_.cpu_percent(t, sc_.measured);
+    kbs += metrics::cost_model::sent_kb_per_second(t, sc_.measured);
+  }
+  res.cpu_percent = cpu / static_cast<double>(sc_.nodes);
+  res.kb_per_second = kbs / static_cast<double>(sc_.nodes);
+
+  res.simulated_hours = to_seconds(sc_.measured) / 3600.0;
+  res.events_executed = sim_.events_executed();
+  return res;
+}
+
+}  // namespace omega::harness

@@ -1,0 +1,94 @@
+// Experiment runner: builds a simulated cluster for a scenario, injects
+// workstation churn, runs the virtual clock, and extracts the paper's QoS
+// and overhead metrics.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "common/random.hpp"
+#include "harness/scenario.hpp"
+#include "metrics/cost_model.hpp"
+#include "metrics/group_metrics.hpp"
+#include "net/sim_network.hpp"
+#include "service/service.hpp"
+#include "sim/simulator.hpp"
+
+namespace omega::harness {
+
+/// All numbers extracted from one scenario run.
+struct experiment_result {
+  // QoS metrics (paper §5).
+  double p_leader = 0.0;          // leader availability
+  double tr_mean_s = 0.0;         // average leader recovery time (seconds)
+  double tr_ci95_s = 0.0;         // 95% confidence half-width
+  std::size_t tr_samples = 0;     // number of leader crashes measured
+  double lambda_u = 0.0;          // unjustified demotions per hour
+  std::uint64_t unjustified = 0;
+  std::uint64_t justified = 0;
+  std::uint64_t leader_crashes = 0;
+
+  // Overhead (paper §6.5), averaged per workstation.
+  double cpu_percent = 0.0;
+  double kb_per_second = 0.0;
+
+  // Run bookkeeping.
+  double simulated_hours = 0.0;
+  std::uint64_t events_executed = 0;
+};
+
+/// The simulated 12-workstation testbed: one `leader_election_service` per
+/// node, one application process per service, a single group everyone
+/// joins, plus the churn injector that kills and restarts instances.
+class experiment {
+ public:
+  explicit experiment(scenario sc);
+  ~experiment();
+
+  experiment(const experiment&) = delete;
+  experiment& operator=(const experiment&) = delete;
+
+  /// Runs warm-up + measurement and returns the extracted metrics.
+  experiment_result run();
+
+  /// Access for white-box integration tests (valid after construction).
+  [[nodiscard]] sim::simulator& simulator() { return sim_; }
+  [[nodiscard]] net::sim_network& network() { return *net_; }
+  [[nodiscard]] metrics::group_metrics& group() { return metrics_; }
+  [[nodiscard]] service::leader_election_service* node_service(node_id node);
+  /// True ground truth: is the workstation currently up?
+  [[nodiscard]] bool node_up(node_id node) const;
+  /// Crash / recover a node on demand (used by tests; the churn injector
+  /// uses the same paths).
+  void crash_node(node_id node);
+  void recover_node(node_id node);
+
+ private:
+  struct workstation {
+    node_id node;
+    process_id pid;
+    incarnation next_inc = 1;
+    bool up = false;
+    std::unique_ptr<service::leader_election_service> svc;
+    rng churn_rng{0};
+    timer_id churn_timer = no_timer;
+  };
+
+  void boot_node(workstation& ws, time_point join_at);
+  void start_service(workstation& ws);
+  void schedule_crash(workstation& ws);
+  void schedule_recovery(workstation& ws);
+
+  scenario sc_;
+  rng root_rng_;
+  sim::simulator sim_;
+  std::unique_ptr<net::sim_network> net_;
+  std::vector<workstation> nodes_;
+  metrics::group_metrics metrics_;
+  metrics::cost_model cost_;
+  group_id group_ = group_id{1};
+};
+
+}  // namespace omega::harness

@@ -1,0 +1,35 @@
+// Plain-text table reporting for the benchmark binaries.
+//
+// Every figure-reproduction bench prints the same rows/series the paper
+// reports, with the paper's published value alongside the measured one so
+// the comparison is visible in the raw bench output.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace omega::harness {
+
+class table {
+ public:
+  explicit table(std::string title) : title_(std::move(title)) {}
+
+  table& headers(std::vector<std::string> cols);
+  table& row(std::vector<std::string> cells);
+  void print(std::ostream& out) const;
+
+ private:
+  std::string title_;
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Fixed-precision double, e.g. fmt_double(0.938, 2) == "0.94".
+[[nodiscard]] std::string fmt_double(double v, int precision);
+/// Fraction as percent, e.g. fmt_percent(0.99842, 2) == "99.84%".
+[[nodiscard]] std::string fmt_percent(double fraction, int precision);
+/// Mean with 95% CI half-width, e.g. "0.94 +/-0.05".
+[[nodiscard]] std::string fmt_ci(double mean, double half_width, int precision);
+
+}  // namespace omega::harness

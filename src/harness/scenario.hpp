@@ -1,0 +1,55 @@
+// Experiment scenario description (paper §6.1).
+//
+// One scenario = one cell of one figure: a cluster size, an election
+// algorithm, a link behaviour, a churn model, an FD QoS and a simulated
+// duration. The defaults reproduce the paper's standard setting: 12
+// workstations, one group with every process a candidate, per-node
+// up-time Exp(600 s) / recovery Exp(5 s), FD QoS (1 s, 100 days,
+// 0.99999988).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/time.hpp"
+#include "election/elector.hpp"
+#include "fd/qos.hpp"
+#include "net/link_model.hpp"
+
+namespace omega::harness {
+
+/// Workstation crash/recovery dynamics (§6.1 "Workstations behavior").
+struct churn_profile {
+  bool enabled = true;
+  duration mean_uptime = sec(600);
+  duration mean_recovery = sec(5);
+
+  static churn_profile none() { return {false, {}, {}}; }
+  static churn_profile paper_default() { return {}; }
+};
+
+struct scenario {
+  std::string name = "unnamed";
+  std::size_t nodes = 12;
+  election::algorithm alg = election::algorithm::omega_lc;
+
+  net::link_profile links = net::link_profile::lan();
+  net::link_crash_profile link_crashes = net::link_crash_profile::none();
+  churn_profile churn = churn_profile::paper_default();
+  fd::qos_spec qos = fd::qos_spec::paper_default();
+
+  /// Number of leadership candidates; the first `candidates` pids are
+  /// candidates, the rest join as passive (non-candidate) members.
+  /// 0 means "all".
+  std::size_t candidates = 0;
+
+  /// Simulated measurement window (after warm-up).
+  duration measured = std::chrono::duration_cast<duration>(std::chrono::hours(2));
+  /// Warm-up before metrics/traffic accounting starts (FD estimator
+  /// convergence; churn also starts after the warm-up).
+  duration warmup = sec(60);
+
+  std::uint64_t seed = 42;
+};
+
+}  // namespace omega::harness

@@ -1,0 +1,173 @@
+#include "membership/group_maintenance.hpp"
+
+#include <utility>
+
+namespace omega::membership {
+
+namespace {
+const member_table empty_table{};
+}  // namespace
+
+group_maintenance::group_maintenance(clock_source& clock, timer_service& timers,
+                                     node_id self, incarnation inc, options opts)
+    : clock_(clock), sweep_timer_(timers), self_(self), inc_(inc), opts_(opts) {}
+
+group_maintenance::~group_maintenance() { stop(); }
+
+void group_maintenance::local_join(group_id group, process_id pid, bool candidate) {
+  const time_point now = clock_.now();
+  auto& state = groups_[group];
+  state.local = member_info{pid, self_, inc_, candidate, now};
+  apply_upsert(group, pid, self_, inc_, candidate, now);
+  broadcast_hello(/*reply_requested=*/true);
+}
+
+void group_maintenance::local_leave(group_id group, process_id pid) {
+  auto it = groups_.find(group);
+  if (it == groups_.end()) return;
+  if (auto removed = it->second.table.remove(pid, inc_)) {
+    if (events_.on_member_removed) events_.on_member_removed(group, *removed);
+  }
+  if (broadcast_) {
+    broadcast_(proto::leave_msg{self_, inc_, group, pid});
+  }
+  if (it->second.local && it->second.local->pid == pid) {
+    // The local process was the node's member in this group: the node no
+    // longer participates at all, so the whole group view is dropped.
+    groups_.erase(it);
+  }
+}
+
+void group_maintenance::apply_upsert(group_id group, process_id pid, node_id node,
+                                     incarnation inc, bool candidate,
+                                     time_point now) {
+  auto it = groups_.find(group);
+  if (it == groups_.end()) return;  // not a group we participate in
+  member_table& table = it->second.table;
+  const member_info* before = table.find(pid);
+  const member_info prior = before ? *before : member_info{};
+  switch (table.upsert(pid, node, inc, candidate, now)) {
+    case upsert_result::joined:
+      if (events_.on_member_joined) events_.on_member_joined(group, *table.find(pid));
+      break;
+    case upsert_result::reincarnated:
+      if (events_.on_member_removed) events_.on_member_removed(group, prior);
+      if (events_.on_member_reincarnated) {
+        events_.on_member_reincarnated(group, *table.find(pid));
+      }
+      if (events_.on_member_joined) events_.on_member_joined(group, *table.find(pid));
+      break;
+    case upsert_result::updated:
+    case upsert_result::unchanged:
+    case upsert_result::stale_ignored:
+      break;
+  }
+}
+
+void group_maintenance::on_hello(const proto::hello_msg& msg, time_point now) {
+  for (const auto& entry : msg.entries) {
+    apply_upsert(entry.group, entry.pid, msg.from, msg.inc, entry.candidate, now);
+  }
+  if (msg.reply_requested && unicast_) {
+    unicast_(msg.from, build_snapshot());
+  }
+}
+
+void group_maintenance::on_hello_ack(const proto::hello_ack_msg& msg, time_point now) {
+  for (const auto& entry : msg.entries) {
+    apply_upsert(entry.group, entry.pid, entry.node, entry.inc, entry.candidate, now);
+  }
+}
+
+void group_maintenance::on_leave(const proto::leave_msg& msg) {
+  auto it = groups_.find(msg.group);
+  if (it == groups_.end()) return;
+  if (auto removed = it->second.table.remove(msg.pid, msg.inc)) {
+    if (events_.on_member_removed) events_.on_member_removed(msg.group, *removed);
+  }
+}
+
+void group_maintenance::on_alive(const proto::alive_msg& msg, time_point now) {
+  for (const auto& payload : msg.groups) {
+    apply_upsert(payload.group, payload.pid, msg.from, msg.inc, payload.candidate, now);
+  }
+}
+
+void group_maintenance::start() {
+  if (running_) return;
+  running_ = true;
+  sweep_timer_.arm_after(opts_.hello_interval, [this] { sweep(); });
+}
+
+void group_maintenance::stop() {
+  running_ = false;
+  sweep_timer_.cancel();
+}
+
+void group_maintenance::sweep() {
+  broadcast_hello(/*reply_requested=*/false);
+  const time_point cutoff = clock_.now() - opts_.eviction_after;
+  for (auto& [group, state] : groups_) {
+    const group_id g = group;
+    auto evicted = state.table.evict_stale(cutoff, [&](const member_info& m) {
+      if (m.node == self_) return true;  // never evict local members
+      return vouch_ ? vouch_(g, m) : false;
+    });
+    for (const member_info& m : evicted) {
+      if (events_.on_member_removed) events_.on_member_removed(g, m);
+    }
+  }
+  if (running_) {
+    sweep_timer_.arm_after(opts_.hello_interval, [this] { sweep(); });
+  }
+}
+
+void group_maintenance::broadcast_hello(bool reply_requested) {
+  if (!broadcast_) return;
+  proto::hello_msg hello = build_hello(reply_requested);
+  if (hello.entries.empty()) return;
+  broadcast_(hello);
+}
+
+proto::hello_msg group_maintenance::build_hello(bool reply_requested) const {
+  proto::hello_msg msg;
+  msg.from = self_;
+  msg.inc = inc_;
+  msg.reply_requested = reply_requested;
+  for (const auto& [group, state] : groups_) {
+    if (!state.local) continue;
+    msg.entries.push_back({group, state.local->pid, state.local->candidate});
+  }
+  return msg;
+}
+
+proto::hello_ack_msg group_maintenance::build_snapshot() const {
+  proto::hello_ack_msg msg;
+  msg.from = self_;
+  msg.inc = inc_;
+  for (const auto& [group, state] : groups_) {
+    for (const member_info& m : state.table.members()) {
+      msg.entries.push_back({group, m.pid, m.node, m.inc, m.candidate});
+    }
+  }
+  return msg;
+}
+
+const member_table& group_maintenance::table(group_id group) const {
+  auto it = groups_.find(group);
+  return it != groups_.end() ? it->second.table : empty_table;
+}
+
+std::vector<group_id> group_maintenance::groups() const {
+  std::vector<group_id> out;
+  out.reserve(groups_.size());
+  for (const auto& [group, state] : groups_) out.push_back(group);
+  return out;
+}
+
+std::optional<member_info> group_maintenance::local_member(group_id group) const {
+  auto it = groups_.find(group);
+  return it != groups_.end() ? it->second.local : std::nullopt;
+}
+
+}  // namespace omega::membership

@@ -1,0 +1,119 @@
+// Group Maintenance module (paper §4, Figure 2).
+//
+// Builds and maintains, for every group the local node participates in,
+// (a) the set of processes currently in the group and (b) enough liveness
+// bookkeeping for the service to derive the "active" subset. The protocol:
+//
+//  * on join, the node broadcasts HELLO (reply_requested) to the cluster
+//    roster; peers answer with a unicast HELLO_ACK membership snapshot;
+//  * HELLOs are re-broadcast periodically (anti-entropy) so lost packets
+//    and recovered nodes converge;
+//  * ALIVE messages implicitly refresh / create membership (a heartbeat
+//    carrying a group payload is proof of membership);
+//  * LEAVE removes a member immediately; crashed members are evicted after
+//    an eviction timeout once the failure detector stops vouching for them.
+//
+// This module is transport-agnostic: the owner injects send callbacks and
+// a "does the FD still trust this member" predicate.
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "common/executor.hpp"
+#include "common/ids.hpp"
+#include "membership/member_table.hpp"
+#include "proto/wire.hpp"
+
+namespace omega::membership {
+
+class group_maintenance {
+ public:
+  struct options {
+    /// Period of the anti-entropy HELLO broadcast and eviction sweep.
+    duration hello_interval = sec(2);
+    /// Members silent (no HELLO/ALIVE) for this long are evicted unless the
+    /// failure detector still trusts their node.
+    duration eviction_after = sec(30);
+  };
+
+  struct events {
+    /// A member joined (or was discovered) in `group`.
+    std::function<void(group_id, const member_info&)> on_member_joined;
+    /// A member left, was evicted, or its old incarnation was replaced.
+    std::function<void(group_id, const member_info&)> on_member_removed;
+    /// Convenience signal after `on_member_removed` when the same pid
+    /// immediately re-joined with a newer incarnation.
+    std::function<void(group_id, const member_info&)> on_member_reincarnated;
+  };
+
+  /// `broadcast` sends to every roster node except self; `unicast` to one.
+  using broadcast_fn = std::function<void(const proto::wire_message&)>;
+  using unicast_fn = std::function<void(node_id, const proto::wire_message&)>;
+  /// Asks the FD whether `member`'s node is currently trusted in `group`.
+  using vouch_fn = std::function<bool(group_id, const member_info&)>;
+
+  group_maintenance(clock_source& clock, timer_service& timers, node_id self,
+                    incarnation inc, options opts);
+  ~group_maintenance();
+
+  group_maintenance(const group_maintenance&) = delete;
+  group_maintenance& operator=(const group_maintenance&) = delete;
+
+  void set_broadcast(broadcast_fn fn) { broadcast_ = std::move(fn); }
+  void set_unicast(unicast_fn fn) { unicast_ = std::move(fn); }
+  void set_vouch(vouch_fn fn) { vouch_ = std::move(fn); }
+  void set_events(events ev) { events_ = std::move(ev); }
+
+  /// Local process joins a group: recorded and announced immediately.
+  void local_join(group_id group, process_id pid, bool candidate);
+
+  /// Local process leaves: LEAVE is broadcast, membership updated.
+  void local_leave(group_id group, process_id pid);
+
+  // ---- inbound protocol events (wired by the service) -------------------
+  void on_hello(const proto::hello_msg& msg, time_point now);
+  void on_hello_ack(const proto::hello_ack_msg& msg, time_point now);
+  void on_leave(const proto::leave_msg& msg);
+  /// ALIVE as implicit membership evidence for each carried group payload.
+  void on_alive(const proto::alive_msg& msg, time_point now);
+
+  /// Starts/stops the periodic HELLO + eviction sweep.
+  void start();
+  void stop();
+
+  /// Membership of `group` (empty table if unknown group).
+  [[nodiscard]] const member_table& table(group_id group) const;
+  [[nodiscard]] std::vector<group_id> groups() const;
+  /// The local member entry for `group`, if the local node joined it.
+  [[nodiscard]] std::optional<member_info> local_member(group_id group) const;
+
+ private:
+  struct group_state {
+    member_table table;
+    std::optional<member_info> local;  // this node's process in the group
+  };
+
+  void sweep();
+  void broadcast_hello(bool reply_requested);
+  [[nodiscard]] proto::hello_msg build_hello(bool reply_requested) const;
+  [[nodiscard]] proto::hello_ack_msg build_snapshot() const;
+  void apply_upsert(group_id group, process_id pid, node_id node, incarnation inc,
+                    bool candidate, time_point now);
+
+  clock_source& clock_;
+  scoped_timer sweep_timer_;
+  node_id self_;
+  incarnation inc_;
+  options opts_;
+  broadcast_fn broadcast_;
+  unicast_fn unicast_;
+  vouch_fn vouch_;
+  events events_;
+  std::unordered_map<group_id, group_state> groups_;
+  bool running_ = false;
+};
+
+}  // namespace omega::membership

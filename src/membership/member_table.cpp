@@ -1,0 +1,80 @@
+#include "membership/member_table.hpp"
+
+#include <algorithm>
+
+namespace omega::membership {
+
+upsert_result member_table::upsert(process_id pid, node_id node, incarnation inc,
+                                   bool candidate, time_point now) {
+  auto it = members_.find(pid);
+  if (it == members_.end()) {
+    members_.emplace(pid, member_info{pid, node, inc, candidate, now});
+    return upsert_result::joined;
+  }
+  member_info& m = it->second;
+  if (inc < m.inc) return upsert_result::stale_ignored;
+  if (inc > m.inc) {
+    m = member_info{pid, node, inc, candidate, now};
+    return upsert_result::reincarnated;
+  }
+  m.last_refresh = std::max(m.last_refresh, now);
+  if (m.candidate != candidate || m.node != node) {
+    m.candidate = candidate;
+    m.node = node;
+    return upsert_result::updated;
+  }
+  return upsert_result::unchanged;
+}
+
+std::optional<member_info> member_table::remove(process_id pid, incarnation inc) {
+  auto it = members_.find(pid);
+  if (it == members_.end()) return std::nullopt;
+  if (inc < it->second.inc) return std::nullopt;  // stale LEAVE: ignore
+  member_info removed = it->second;
+  members_.erase(it);
+  return removed;
+}
+
+std::vector<member_info> member_table::remove_node(node_id node) {
+  std::vector<member_info> removed;
+  for (auto it = members_.begin(); it != members_.end();) {
+    if (it->second.node == node) {
+      removed.push_back(it->second);
+      it = members_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  return removed;
+}
+
+std::vector<member_info> member_table::evict_stale(
+    time_point cutoff, const std::function<bool(const member_info&)>& still_vouched) {
+  std::vector<member_info> evicted;
+  for (auto it = members_.begin(); it != members_.end();) {
+    const member_info& m = it->second;
+    if (m.last_refresh < cutoff && !still_vouched(m)) {
+      evicted.push_back(m);
+      it = members_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  return evicted;
+}
+
+const member_info* member_table::find(process_id pid) const {
+  auto it = members_.find(pid);
+  return it != members_.end() ? &it->second : nullptr;
+}
+
+std::vector<member_info> member_table::members() const {
+  std::vector<member_info> out;
+  out.reserve(members_.size());
+  for (const auto& [pid, info] : members_) out.push_back(info);
+  std::sort(out.begin(), out.end(),
+            [](const member_info& a, const member_info& b) { return a.pid < b.pid; });
+  return out;
+}
+
+}  // namespace omega::membership

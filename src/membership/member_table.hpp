@@ -1,0 +1,69 @@
+// Membership view of one group at one service instance (paper §4, "Group
+// Maintenance" module).
+//
+// Tracks the set of processes currently believed to be in the group: who
+// hosts them, their incarnation, whether they are leadership candidates and
+// when we last heard membership evidence about them (HELLO or ALIVE).
+// Entries from older incarnations are replaced; long-silent entries are
+// evicted by the group-maintenance sweep once the failure detector no
+// longer vouches for them.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "common/ids.hpp"
+#include "common/time.hpp"
+
+namespace omega::membership {
+
+struct member_info {
+  process_id pid;
+  node_id node;
+  incarnation inc = 0;
+  bool candidate = false;
+  time_point last_refresh{};
+
+  friend bool operator==(const member_info&, const member_info&) = default;
+};
+
+/// Result of an upsert, so callers know which notifications to emit.
+enum class upsert_result {
+  unchanged,      // already knew this (refreshed the timestamp only)
+  joined,         // brand-new member
+  reincarnated,   // same pid, higher incarnation (process recovered)
+  updated,        // candidate flag or hosting node changed
+  stale_ignored,  // evidence from an older incarnation; dropped
+};
+
+class member_table {
+ public:
+  /// Inserts or refreshes a member; see `upsert_result` for the outcome.
+  upsert_result upsert(process_id pid, node_id node, incarnation inc,
+                       bool candidate, time_point now);
+
+  /// Removes a member if the evidence is not stale (incarnation >= stored).
+  /// Returns the removed entry, if any.
+  std::optional<member_info> remove(process_id pid, incarnation inc);
+
+  /// Removes every member hosted on `node`; returns the removed entries.
+  std::vector<member_info> remove_node(node_id node);
+
+  /// Removes members whose last refresh is older than `cutoff` and for whom
+  /// `still_vouched(member)` is false. Returns the evicted entries.
+  std::vector<member_info> evict_stale(
+      time_point cutoff, const std::function<bool(const member_info&)>& still_vouched);
+
+  [[nodiscard]] const member_info* find(process_id pid) const;
+  [[nodiscard]] std::vector<member_info> members() const;
+  [[nodiscard]] std::size_t size() const { return members_.size(); }
+  [[nodiscard]] bool empty() const { return members_.empty(); }
+
+ private:
+  std::unordered_map<process_id, member_info> members_;
+};
+
+}  // namespace omega::membership

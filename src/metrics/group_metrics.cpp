@@ -1,0 +1,152 @@
+#include "metrics/group_metrics.hpp"
+
+namespace omega::metrics {
+
+void group_metrics::begin(time_point start) {
+  accounting_ = true;
+  agreed_ = compute_agreement();
+  availability_.begin(start, agreed_.has_value());
+}
+
+void group_metrics::finish(time_point end) {
+  if (!accounting_) return;
+  availability_.finish(end);
+  accounting_ = false;
+}
+
+void group_metrics::on_join(time_point now, process_id pid) {
+  auto& st = processes_[pid];
+  st.member = true;
+  st.alive = true;
+  st.view.reset();
+  refresh(now);
+}
+
+void group_metrics::on_leave(time_point now, process_id pid) {
+  auto& st = processes_[pid];
+  st.member = false;
+  st.view.reset();
+  st.last_departure = now;
+  refresh(now);
+  // Invalidate after refresh(): if this leave itself broke the agreement,
+  // refresh() is what records pid as the pending previous leader.
+  if (pending_prev_leader_ && *pending_prev_leader_ == pid) {
+    pending_prev_invalidated_ = true;  // a leaving leader's demotion is justified
+  }
+}
+
+void group_metrics::on_crash(time_point now, process_id pid) {
+  auto& st = processes_[pid];
+  st.alive = false;
+  st.member = false;  // the crash killed the process; a recovery re-joins
+  st.view.reset();
+  st.last_departure = now;
+  if (agreed_ && *agreed_ == pid && accounting_) {
+    // The commonly-agreed leader crashed: a T_r sample opens now.
+    ++leader_crashes_;
+    open_recovery_start_ = now;
+  }
+  refresh(now);
+  // Invalidate after refresh(): if this crash itself broke the agreement,
+  // refresh() is what records pid as the pending previous leader. Classifying
+  // at event time (not at re-agreement time) keeps a crash-then-rejoin of the
+  // old leader correctly counted as justified.
+  if (pending_prev_leader_ && *pending_prev_leader_ == pid) {
+    pending_prev_invalidated_ = true;
+  }
+}
+
+void group_metrics::on_recover(time_point now, process_id pid) {
+  auto& st = processes_[pid];
+  st.alive = true;
+  st.member = false;  // not a member again until its service re-joins
+  st.view.reset();
+  refresh(now);
+}
+
+void group_metrics::on_leader_view(time_point now, process_id viewer,
+                                   std::optional<process_id> leader) {
+  processes_[viewer].view = leader;
+  refresh(now);
+}
+
+bool group_metrics::recently_departed(process_id pid, time_point now) const {
+  auto it = processes_.find(pid);
+  if (it == processes_.end() || !it->second.last_departure) return false;
+  return now - *it->second.last_departure <= justification_window_;
+}
+
+std::optional<process_id> group_metrics::compute_agreement() const {
+  // Agreement: at least one alive member, all alive members share one view,
+  // and the viewed leader itself is an alive member.
+  std::optional<process_id> common;
+  bool any = false;
+  for (const auto& [pid, st] : processes_) {
+    if (!st.alive || !st.member) continue;
+    any = true;
+    if (!st.view.has_value()) return std::nullopt;
+    if (!common) {
+      common = st.view;
+    } else if (*common != *st.view) {
+      return std::nullopt;
+    }
+  }
+  if (!any || !common) return std::nullopt;
+  auto it = processes_.find(*common);
+  if (it == processes_.end() || !it->second.alive || !it->second.member) {
+    return std::nullopt;
+  }
+  return common;
+}
+
+void group_metrics::refresh(time_point now) {
+  const std::optional<process_id> next = compute_agreement();
+  if (next == agreed_) return;
+
+  if (accounting_) availability_.update(now, next.has_value());
+
+  if (agreed_ && !next) {
+    // Agreement lost: remember who held it, to classify the eventual change.
+    pending_prev_leader_ = agreed_;
+    pending_prev_invalidated_ = false;
+    agreement_lost_at_ = now;
+  } else if (next) {
+    const bool had_prev = pending_prev_leader_.has_value();
+    const process_id prev =
+        had_prev ? *pending_prev_leader_ : (agreed_ ? *agreed_ : process_id::invalid());
+    const bool direct_switch = agreed_.has_value();  // L -> L' with no gap
+
+    if (accounting_) {
+      if (open_recovery_start_) {
+        recovery_.add(to_seconds(now - *open_recovery_start_));
+        open_recovery_start_.reset();
+      }
+      if (had_prev && !direct_switch) {
+        outages_.add(to_seconds(now - agreement_lost_at_));
+      }
+      const process_id old_leader = direct_switch ? *agreed_ : prev;
+      if (old_leader.valid() && old_leader != *next) {
+        const bool old_invalidated =
+            (direct_switch ? false : pending_prev_invalidated_) ||
+            recently_departed(old_leader, now);
+        if (!old_invalidated) {
+          ++unjustified_;
+        } else {
+          ++justified_;
+        }
+      }
+    }
+    pending_prev_leader_.reset();
+    pending_prev_invalidated_ = false;
+  }
+  agreed_ = next;
+  if (agreement_observer_) agreement_observer_(now, agreed_);
+}
+
+double group_metrics::mistakes_per_hour() const {
+  const double hours = to_seconds(availability_.total()) / 3600.0;
+  if (hours <= 0.0) return 0.0;
+  return static_cast<double>(unjustified_) / hours;
+}
+
+}  // namespace omega::metrics

@@ -1,0 +1,133 @@
+// Ground-truth QoS metrics of a leader-election service (paper §5).
+//
+// The experiment harness feeds this tracker two kinds of events:
+//   * each process's current leader view (from the service's interrupt
+//     notifications), and
+//   * ground-truth process lifecycle events (crash / recover / join /
+//     leave) from the churn injector.
+//
+// From these it computes the paper's three metrics:
+//
+//   P_leader — fraction of time the group *has a leader*: there is an alive
+//              member L such that every alive member's view equals L.
+//   T_r      — leader recovery time: from the crash of the agreed leader to
+//              the next instant the group has a leader again (mean + 95% CI).
+//   lambda_u — unjustified demotions per hour: the agreed leader changed
+//              from L to L' != L although L neither crashed nor left.
+//
+// A transient loss of agreement that re-forms on the *same* leader is a
+// blip, not a demotion. A demotion whose old leader crashed (or left)
+// between losing and re-forming agreement is justified.
+//
+// One subtlety: a leader can crash and recover *faster than the FD
+// detection bound*. Peers never notice; agreement transiently re-forms on
+// the recovered process (same pid, new incarnation), and only then does the
+// group switch to the stable successor — a switch caused by the real crash,
+// but happening after the re-agreement blip. Classifying that switch by
+// "is the old leader alive right now?" would mislabel it a mistake. We
+// therefore treat a demotion as justified when the demoted process crashed
+// (or left) within a configurable justification window (default 2 s —
+// twice the paper's detection bound; set it from the scenario's QoS).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <unordered_map>
+
+#include "common/ids.hpp"
+#include "common/stats.hpp"
+#include "common/time.hpp"
+
+namespace omega::metrics {
+
+class group_metrics {
+ public:
+  group_metrics() = default;
+
+  /// Starts metric accounting at `start`. Lifecycle events before `begin`
+  /// still shape the tracked state but accrue no metric time.
+  void begin(time_point start);
+  /// Stops accounting at `end` (idempotent).
+  void finish(time_point end);
+
+  // ---- events -------------------------------------------------------------
+  void on_join(time_point now, process_id pid);
+  void on_leave(time_point now, process_id pid);
+  void on_crash(time_point now, process_id pid);
+  /// Recovery restores aliveness; a following on_join makes it a member again.
+  void on_recover(time_point now, process_id pid);
+  /// `viewer`'s service announced a new leader view for the group.
+  void on_leader_view(time_point now, process_id viewer,
+                      std::optional<process_id> leader);
+
+  // ---- results ------------------------------------------------------------
+  [[nodiscard]] double leader_availability() const { return availability_.fraction(); }
+  [[nodiscard]] duration observed() const { return availability_.total(); }
+  /// T_r samples in seconds.
+  [[nodiscard]] const running_stats& recovery_times() const { return recovery_; }
+  [[nodiscard]] std::uint64_t unjustified_demotions() const { return unjustified_; }
+  [[nodiscard]] std::uint64_t justified_changes() const { return justified_; }
+  [[nodiscard]] double mistakes_per_hour() const;
+  /// Durations of leaderless episodes, in seconds (extra diagnostic).
+  [[nodiscard]] const running_stats& outage_durations() const { return outages_; }
+  /// Number of times the *agreed leader* crashed during accounting.
+  [[nodiscard]] std::uint64_t leader_crashes() const { return leader_crashes_; }
+  /// Current agreed leader, if any (for tests).
+  [[nodiscard]] std::optional<process_id> agreed_leader() const { return agreed_; }
+
+  /// Invoked on every change of the agreed leader (including to "none") —
+  /// used by demos/tools to narrate the ground truth as it evolves.
+  using agreement_observer =
+      std::function<void(time_point, std::optional<process_id>)>;
+  void set_agreement_observer(agreement_observer obs) {
+    agreement_observer_ = std::move(obs);
+  }
+
+  /// A demotion is justified when the demoted process crashed or left at
+  /// most this long ago (see the header comment). Callers should size it
+  /// from the FD QoS: twice the detection bound is comfortable.
+  void set_justification_window(duration window) {
+    justification_window_ = window;
+  }
+
+ private:
+  struct process_state {
+    bool alive = true;
+    bool member = false;
+    std::optional<process_id> view;
+    /// Last time this process crashed or voluntarily left (for the
+    /// justification window).
+    std::optional<time_point> last_departure;
+  };
+
+  [[nodiscard]] bool recently_departed(process_id pid, time_point now) const;
+
+  void refresh(time_point now);
+  [[nodiscard]] std::optional<process_id> compute_agreement() const;
+
+  std::unordered_map<process_id, process_state> processes_;
+  time_fraction availability_;
+  bool accounting_ = false;
+  duration justification_window_ = sec(2);
+
+  std::optional<process_id> agreed_;
+  // Demotion bookkeeping: the leader whose agreement was most recently lost,
+  // and whether it crashed/left since.
+  std::optional<process_id> pending_prev_leader_;
+  bool pending_prev_invalidated_ = false;
+  time_point agreement_lost_at_{};
+
+  // Open T_r sample (agreed leader crashed, waiting for new agreement).
+  std::optional<time_point> open_recovery_start_;
+
+  running_stats recovery_;
+  running_stats outages_;
+  std::uint64_t unjustified_ = 0;
+  std::uint64_t justified_ = 0;
+  std::uint64_t leader_crashes_ = 0;
+
+  agreement_observer agreement_observer_;
+};
+
+}  // namespace omega::metrics

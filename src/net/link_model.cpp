@@ -1,0 +1,12 @@
+#include "net/link_model.hpp"
+
+namespace omega::net {
+
+std::optional<duration> link_model::transit() {
+  if (!up_) return std::nullopt;  // crashed link: receiver fully disconnected
+  if (rng_.bernoulli(profile_.loss_probability)) return std::nullopt;
+  if (profile_.mean_delay <= duration{0}) return duration{0};
+  return rng_.exponential(profile_.mean_delay);
+}
+
+}  // namespace omega::net

@@ -1,0 +1,70 @@
+// Stochastic model of one directed communication link.
+//
+// Reproduces the two fault models of the paper's evaluation (§6.1):
+//  * "lossy links": every message is dropped with probability `loss_probability`;
+//    surviving messages are delayed by an exponentially distributed time with
+//    mean `mean_delay` (the paper's D).
+//  * "links prone to crashes": the link alternates between up (exponential
+//    mean up-time) and down (exponential mean down-time); while down, *all*
+//    messages are dropped — the receiver is completely disconnected from the
+//    sender. While up, losses and delays are those of the base profile.
+#pragma once
+
+#include <optional>
+
+#include "common/random.hpp"
+#include "common/time.hpp"
+
+namespace omega::net {
+
+/// Steady-state behaviour of a link: (D, p_L) in the paper's notation.
+struct link_profile {
+  /// Probability that a message is dropped (p_L).
+  double loss_probability = 0.0;
+  /// Mean of the exponentially distributed message delay (D).
+  duration mean_delay = usec(25);
+
+  /// The paper's five headline lossy-link settings.
+  static link_profile lan() { return {0.0, usec(25)}; }
+  static link_profile lossy(duration d, double pl) { return {pl, d}; }
+};
+
+/// Crash/recovery dynamics of a link; disabled by default.
+struct link_crash_profile {
+  bool enabled = false;
+  duration mean_uptime = sec(600);
+  duration mean_downtime = sec(3);
+
+  static link_crash_profile none() { return {}; }
+  static link_crash_profile crashes(duration up, duration down) {
+    return {true, up, down};
+  }
+};
+
+/// Per-directed-link state machine deciding the fate of each message.
+class link_model {
+ public:
+  link_model(link_profile profile, rng stream)
+      : profile_(profile), rng_(stream) {}
+
+  /// Decides the fate of one message sent now: `nullopt` means dropped,
+  /// otherwise the in-flight delay before delivery.
+  std::optional<duration> transit();
+
+  void set_profile(link_profile profile) { profile_ = profile; }
+  [[nodiscard]] const link_profile& profile() const { return profile_; }
+
+  void set_up(bool up) { up_ = up; }
+  [[nodiscard]] bool up() const { return up_; }
+
+  /// Draws the next up or down period for the crash process.
+  duration draw_uptime(const link_crash_profile& p) { return rng_.exponential(p.mean_uptime); }
+  duration draw_downtime(const link_crash_profile& p) { return rng_.exponential(p.mean_downtime); }
+
+ private:
+  link_profile profile_;
+  bool up_ = true;
+  rng rng_;
+};
+
+}  // namespace omega::net

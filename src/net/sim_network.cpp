@@ -1,0 +1,166 @@
+#include "net/sim_network.hpp"
+
+#include <cassert>
+#include <stdexcept>
+#include <utility>
+
+namespace omega::net {
+
+class sim_network::endpoint_impl final : public transport {
+ public:
+  endpoint_impl(sim_network& net, node_id self) : net_(net), self_(self) {}
+
+  void send(node_id dst, std::span<const std::byte> payload) override {
+    net_.on_send(self_, dst, payload);
+  }
+
+  [[nodiscard]] node_id local_node() const override { return self_; }
+
+  void set_receive_handler(receive_handler handler) override {
+    handler_ = std::move(handler);
+  }
+
+  void deliver(node_id from, std::span<const std::byte> payload) {
+    if (handler_) handler_(datagram{from, payload});
+  }
+
+ private:
+  friend class sim_network;
+  sim_network& net_;
+  node_id self_;
+  receive_handler handler_;
+};
+
+sim_network::sim_network(sim::simulator& sim, std::size_t node_count,
+                         link_profile default_profile, rng seed)
+    : sim_(sim) {
+  if (node_count == 0) throw std::invalid_argument("sim_network: node_count == 0");
+  endpoints_.reserve(node_count);
+  for (std::size_t i = 0; i < node_count; ++i) {
+    endpoints_.push_back(
+        std::make_unique<endpoint_impl>(*this, node_id{static_cast<std::uint32_t>(i)}));
+  }
+  links_.reserve(node_count * node_count);
+  for (std::size_t i = 0; i < node_count * node_count; ++i) {
+    links_.emplace_back(default_profile, seed.split());
+  }
+  alive_.assign(node_count, true);
+  traffic_.assign(node_count, traffic_totals{});
+  link_flip_timers_.assign(node_count * node_count, no_timer);
+}
+
+sim_network::~sim_network() {
+  for (timer_id id : link_flip_timers_) {
+    if (id != no_timer) sim_.cancel(id);
+  }
+}
+
+transport& sim_network::endpoint(node_id node) {
+  return *endpoints_.at(node.value());
+}
+
+void sim_network::set_node_alive(node_id node, bool alive) {
+  alive_.at(node.value()) = alive;
+}
+
+bool sim_network::node_alive(node_id node) const {
+  return alive_.at(node.value());
+}
+
+void sim_network::set_all_link_profiles(link_profile profile) {
+  for (auto& link : links_) link.set_profile(profile);
+}
+
+void sim_network::set_link_profile(node_id from, node_id to, link_profile profile) {
+  links_.at(link_index(from, to)).set_profile(profile);
+}
+
+void sim_network::enable_link_crashes(link_crash_profile profile) {
+  if (!profile.enabled) return;
+  crash_profile_ = profile;
+  for (std::size_t idx = 0; idx < links_.size(); ++idx) {
+    const std::size_t n = endpoints_.size();
+    if (idx / n == idx % n) continue;  // no self-links
+    schedule_link_flip(idx);
+  }
+}
+
+void sim_network::schedule_link_flip(std::size_t link_idx) {
+  link_model& link = links_[link_idx];
+  const duration wait = link.up() ? link.draw_uptime(crash_profile_)
+                                  : link.draw_downtime(crash_profile_);
+  link_flip_timers_[link_idx] = sim_.schedule_after(wait, [this, link_idx] {
+    link_model& l = links_[link_idx];
+    l.set_up(!l.up());
+    schedule_link_flip(link_idx);
+  });
+}
+
+void sim_network::force_link_state(node_id from, node_id to, bool up) {
+  links_.at(link_index(from, to)).set_up(up);
+}
+
+bool sim_network::link_up(node_id from, node_id to) const {
+  return links_.at(link_index(from, to)).up();
+}
+
+const traffic_totals& sim_network::traffic(node_id node) const {
+  return traffic_.at(node.value());
+}
+
+void sim_network::reset_traffic() {
+  traffic_.assign(traffic_.size(), traffic_totals{});
+}
+
+std::size_t sim_network::link_index(node_id from, node_id to) const {
+  const std::size_t n = endpoints_.size();
+  const std::size_t f = from.value();
+  const std::size_t t = to.value();
+  if (f >= n || t >= n) throw std::out_of_range("sim_network: bad node id");
+  return f * n + t;
+}
+
+void sim_network::on_send(node_id from, node_id to,
+                          std::span<const std::byte> payload) {
+  if (!alive_.at(from.value())) return;  // a dead host cannot transmit
+  auto& tx = traffic_.at(from.value());
+  ++tx.datagrams_sent;
+  tx.bytes_sent += payload.size() + wire_overhead_bytes;
+
+  if (from == to) {
+    // Loopback: immediate, lossless (matches kernel loopback behaviour).
+    deliver_later(from, to, std::vector<std::byte>(payload.begin(), payload.end()));
+    return;
+  }
+  auto delay = links_.at(link_index(from, to)).transit();
+  if (!delay.has_value()) {
+    ++dropped_by_links_;
+    return;
+  }
+  std::vector<std::byte> copy(payload.begin(), payload.end());
+  sim_.schedule_after(*delay, [this, from, to, data = std::move(copy)]() mutable {
+    deliver_now(from, to, std::move(data));
+  });
+}
+
+void sim_network::deliver_later(node_id from, node_id to,
+                                std::vector<std::byte> payload) {
+  sim_.schedule_after(duration{0},
+                      [this, from, to, data = std::move(payload)]() mutable {
+                        deliver_now(from, to, std::move(data));
+                      });
+}
+
+void sim_network::deliver_now(node_id from, node_id to,
+                              std::vector<std::byte> payload) {
+  if (!alive_.at(to.value())) {
+    ++dropped_dead_node_;
+    return;
+  }
+  auto& rx = traffic_.at(to.value());
+  ++rx.datagrams_received;
+  rx.bytes_received += payload.size() + wire_overhead_bytes;
+  endpoints_[to.value()]->deliver(from, payload);
+}
+
+}  // namespace omega::net

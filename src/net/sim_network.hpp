@@ -1,0 +1,90 @@
+// Simulated cluster network.
+//
+// Owns one `link_model` per directed node pair, one transport endpoint per
+// node, and the per-node traffic accounting used by the overhead figures.
+// Messages are serialized byte vectors; delivery is an event on the
+// discrete-event simulator after the link-sampled delay. Node liveness is
+// controlled by the churn injector: datagrams to/from a crashed node are
+// dropped, exactly like UDP datagrams addressed to a powered-off host.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "common/executor.hpp"
+#include "common/ids.hpp"
+#include "common/random.hpp"
+#include "net/link_model.hpp"
+#include "net/transport.hpp"
+#include "sim/simulator.hpp"
+
+namespace omega::net {
+
+class sim_network {
+ public:
+  /// Builds a fully connected network of `node_count` nodes where every
+  /// directed link starts with `default_profile`. Each link gets an
+  /// independent RNG stream split from `seed`.
+  sim_network(sim::simulator& sim, std::size_t node_count,
+              link_profile default_profile, rng seed);
+  ~sim_network();
+
+  sim_network(const sim_network&) = delete;
+  sim_network& operator=(const sim_network&) = delete;
+
+  [[nodiscard]] std::size_t node_count() const { return endpoints_.size(); }
+
+  /// Endpoint for `node`; valid for the lifetime of the network.
+  [[nodiscard]] transport& endpoint(node_id node);
+
+  /// Marks a node up/down. A down node neither sends nor receives.
+  void set_node_alive(node_id node, bool alive);
+  [[nodiscard]] bool node_alive(node_id node) const;
+
+  /// Replaces the steady-state profile of every directed link.
+  void set_all_link_profiles(link_profile profile);
+  /// Replaces the profile of one directed link (from -> to).
+  void set_link_profile(node_id from, node_id to, link_profile profile);
+
+  /// Enables the link crash/recovery process on every directed link
+  /// (paper §6.1, "links prone to crashes"). Each link alternates
+  /// independently; the first crash is scheduled immediately.
+  void enable_link_crashes(link_crash_profile profile);
+
+  /// Forces one directed link up or down (tests and targeted experiments).
+  void force_link_state(node_id from, node_id to, bool up);
+  [[nodiscard]] bool link_up(node_id from, node_id to) const;
+
+  /// Traffic totals for one node since construction (or last reset).
+  [[nodiscard]] const traffic_totals& traffic(node_id node) const;
+  void reset_traffic();
+
+  /// Cluster-wide totals of datagrams dropped by links (loss + crash) and
+  /// dropped because the destination node was down.
+  [[nodiscard]] std::uint64_t dropped_by_links() const { return dropped_by_links_; }
+  [[nodiscard]] std::uint64_t dropped_dead_node() const { return dropped_dead_node_; }
+
+ private:
+  class endpoint_impl;
+  friend class endpoint_impl;
+
+  [[nodiscard]] std::size_t link_index(node_id from, node_id to) const;
+  void on_send(node_id from, node_id to, std::span<const std::byte> payload);
+  void deliver_later(node_id from, node_id to, std::vector<std::byte> payload);
+  void deliver_now(node_id from, node_id to, std::vector<std::byte> payload);
+  void schedule_link_flip(std::size_t link_idx);
+
+  sim::simulator& sim_;
+  link_crash_profile crash_profile_;
+  std::vector<std::unique_ptr<endpoint_impl>> endpoints_;
+  std::vector<link_model> links_;  // row-major [from][to]
+  std::vector<bool> alive_;
+  std::vector<traffic_totals> traffic_;
+  std::vector<timer_id> link_flip_timers_;
+  std::uint64_t dropped_by_links_ = 0;
+  std::uint64_t dropped_dead_node_ = 0;
+};
+
+}  // namespace omega::net

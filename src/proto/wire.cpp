@@ -1,0 +1,253 @@
+#include "proto/wire.hpp"
+
+#include <limits>
+
+namespace omega::proto {
+
+namespace {
+
+enum class msg_type : std::uint8_t {
+  alive = 1,
+  accuse = 2,
+  hello = 3,
+  hello_ack = 4,
+  leave = 5,
+  rate_request = 6,
+};
+
+// Hard cap on repeated-element counts: a datagram cannot meaningfully carry
+// more, and the cap stops malformed length fields from causing huge
+// allocations in the parser.
+constexpr std::size_t max_repeated = 4096;
+
+void encode_body(byte_writer& w, const alive_msg& m) {
+  w.write_id(m.from);
+  w.write_u32(m.inc);
+  w.write_u64(m.seq);
+  w.write_time(m.send_time);
+  w.write_duration(m.eta);
+  w.write_u16(static_cast<std::uint16_t>(m.groups.size()));
+  for (const auto& g : m.groups) {
+    w.write_id(g.group);
+    w.write_id(g.pid);
+    w.write_bool(g.candidate);
+    w.write_bool(g.competing);
+    w.write_time(g.accusation_time);
+    w.write_u32(g.phase);
+    w.write_id(g.local_leader);
+    w.write_time(g.local_leader_acc);
+  }
+}
+
+std::optional<alive_msg> decode_alive(byte_reader& r) {
+  alive_msg m;
+  m.from = r.read_id<node_id>();
+  m.inc = r.read_u32();
+  m.seq = r.read_u64();
+  m.send_time = r.read_time();
+  m.eta = r.read_duration();
+  const std::size_t n = r.read_u16();
+  if (n > max_repeated) return std::nullopt;
+  m.groups.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    group_payload g;
+    g.group = r.read_id<group_id>();
+    g.pid = r.read_id<process_id>();
+    g.candidate = r.read_bool();
+    g.competing = r.read_bool();
+    g.accusation_time = r.read_time();
+    g.phase = r.read_u32();
+    g.local_leader = r.read_id<process_id>();
+    g.local_leader_acc = r.read_time();
+    m.groups.push_back(g);
+  }
+  if (!r.exhausted()) return std::nullopt;
+  return m;
+}
+
+void encode_body(byte_writer& w, const accuse_msg& m) {
+  w.write_id(m.from);
+  w.write_u32(m.from_inc);
+  w.write_id(m.group);
+  w.write_id(m.target);
+  w.write_u32(m.target_inc);
+  w.write_u32(m.phase);
+  w.write_time(m.when);
+}
+
+std::optional<accuse_msg> decode_accuse(byte_reader& r) {
+  accuse_msg m;
+  m.from = r.read_id<node_id>();
+  m.from_inc = r.read_u32();
+  m.group = r.read_id<group_id>();
+  m.target = r.read_id<process_id>();
+  m.target_inc = r.read_u32();
+  m.phase = r.read_u32();
+  m.when = r.read_time();
+  if (!r.exhausted()) return std::nullopt;
+  return m;
+}
+
+void encode_body(byte_writer& w, const hello_msg& m) {
+  w.write_id(m.from);
+  w.write_u32(m.inc);
+  w.write_bool(m.reply_requested);
+  w.write_u16(static_cast<std::uint16_t>(m.entries.size()));
+  for (const auto& e : m.entries) {
+    w.write_id(e.group);
+    w.write_id(e.pid);
+    w.write_bool(e.candidate);
+  }
+}
+
+std::optional<hello_msg> decode_hello(byte_reader& r) {
+  hello_msg m;
+  m.from = r.read_id<node_id>();
+  m.inc = r.read_u32();
+  m.reply_requested = r.read_bool();
+  const std::size_t n = r.read_u16();
+  if (n > max_repeated) return std::nullopt;
+  m.entries.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    hello_msg::entry e;
+    e.group = r.read_id<group_id>();
+    e.pid = r.read_id<process_id>();
+    e.candidate = r.read_bool();
+    m.entries.push_back(e);
+  }
+  if (!r.exhausted()) return std::nullopt;
+  return m;
+}
+
+void encode_body(byte_writer& w, const hello_ack_msg& m) {
+  w.write_id(m.from);
+  w.write_u32(m.inc);
+  w.write_u16(static_cast<std::uint16_t>(m.entries.size()));
+  for (const auto& e : m.entries) {
+    w.write_id(e.group);
+    w.write_id(e.pid);
+    w.write_id(e.node);
+    w.write_u32(e.inc);
+    w.write_bool(e.candidate);
+  }
+}
+
+std::optional<hello_ack_msg> decode_hello_ack(byte_reader& r) {
+  hello_ack_msg m;
+  m.from = r.read_id<node_id>();
+  m.inc = r.read_u32();
+  const std::size_t n = r.read_u16();
+  if (n > max_repeated) return std::nullopt;
+  m.entries.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    hello_ack_msg::entry e;
+    e.group = r.read_id<group_id>();
+    e.pid = r.read_id<process_id>();
+    e.node = r.read_id<node_id>();
+    e.inc = r.read_u32();
+    e.candidate = r.read_bool();
+    m.entries.push_back(e);
+  }
+  if (!r.exhausted()) return std::nullopt;
+  return m;
+}
+
+void encode_body(byte_writer& w, const leave_msg& m) {
+  w.write_id(m.from);
+  w.write_u32(m.inc);
+  w.write_id(m.group);
+  w.write_id(m.pid);
+}
+
+std::optional<leave_msg> decode_leave(byte_reader& r) {
+  leave_msg m;
+  m.from = r.read_id<node_id>();
+  m.inc = r.read_u32();
+  m.group = r.read_id<group_id>();
+  m.pid = r.read_id<process_id>();
+  if (!r.exhausted()) return std::nullopt;
+  return m;
+}
+
+void encode_body(byte_writer& w, const rate_request_msg& m) {
+  w.write_id(m.from);
+  w.write_u32(m.inc);
+  w.write_duration(m.desired_eta);
+}
+
+std::optional<rate_request_msg> decode_rate_request(byte_reader& r) {
+  rate_request_msg m;
+  m.from = r.read_id<node_id>();
+  m.inc = r.read_u32();
+  m.desired_eta = r.read_duration();
+  if (!r.exhausted()) return std::nullopt;
+  return m;
+}
+
+msg_type type_of(const wire_message& msg) {
+  struct visitor {
+    msg_type operator()(const alive_msg&) const { return msg_type::alive; }
+    msg_type operator()(const accuse_msg&) const { return msg_type::accuse; }
+    msg_type operator()(const hello_msg&) const { return msg_type::hello; }
+    msg_type operator()(const hello_ack_msg&) const { return msg_type::hello_ack; }
+    msg_type operator()(const leave_msg&) const { return msg_type::leave; }
+    msg_type operator()(const rate_request_msg&) const { return msg_type::rate_request; }
+  };
+  return std::visit(visitor{}, msg);
+}
+
+}  // namespace
+
+std::vector<std::byte> encode(const wire_message& msg) {
+  byte_writer w;
+  w.write_u8(protocol_version);
+  w.write_u8(static_cast<std::uint8_t>(type_of(msg)));
+  std::visit([&w](const auto& m) { encode_body(w, m); }, msg);
+  return w.take();
+}
+
+std::optional<wire_message> decode(std::span<const std::byte> bytes) {
+  byte_reader r(bytes);
+  const std::uint8_t version = r.read_u8();
+  const std::uint8_t type = r.read_u8();
+  if (!r.ok() || version != protocol_version) return std::nullopt;
+  switch (static_cast<msg_type>(type)) {
+    case msg_type::alive:
+      if (auto m = decode_alive(r)) return wire_message{*std::move(m)};
+      return std::nullopt;
+    case msg_type::accuse:
+      if (auto m = decode_accuse(r)) return wire_message{*std::move(m)};
+      return std::nullopt;
+    case msg_type::hello:
+      if (auto m = decode_hello(r)) return wire_message{*std::move(m)};
+      return std::nullopt;
+    case msg_type::hello_ack:
+      if (auto m = decode_hello_ack(r)) return wire_message{*std::move(m)};
+      return std::nullopt;
+    case msg_type::leave:
+      if (auto m = decode_leave(r)) return wire_message{*std::move(m)};
+      return std::nullopt;
+    case msg_type::rate_request:
+      if (auto m = decode_rate_request(r)) return wire_message{*std::move(m)};
+      return std::nullopt;
+  }
+  return std::nullopt;
+}
+
+node_id sender_of(const wire_message& msg) {
+  return std::visit([](const auto& m) { return m.from; }, msg);
+}
+
+incarnation incarnation_of(const wire_message& msg) {
+  return std::visit(
+      [](const auto& m) -> incarnation {
+        if constexpr (std::is_same_v<std::decay_t<decltype(m)>, accuse_msg>) {
+          return m.from_inc;
+        } else {
+          return m.inc;
+        }
+      },
+      msg);
+}
+
+}  // namespace omega::proto

@@ -1,0 +1,146 @@
+// Wire protocol of the leader-election service.
+//
+// Six datagram types, mirroring Figure 2 of the paper:
+//   ALIVE      — heartbeat of the shared failure detector, carrying one
+//                election payload per group the sender is active in
+//                (the shared-FD architecture of Deianov/Toueg amortizes one
+//                heartbeat stream over every group and application).
+//   ACCUSE     — "I suspected you": drives the accusation-time mechanism of
+//                the Omega_lc / Omega_l algorithms.
+//   HELLO      — group membership announcement / periodic anti-entropy.
+//   HELLO_ACK  — unicast membership snapshot sent back to a (re)joiner.
+//   LEAVE      — voluntary group departure.
+//   RATE_REQ   — failure-detector rate renegotiation: the monitor tells the
+//                sender the heartbeat interval eta its QoS requires on this
+//                link (output of the FD configurator, §3 of the paper).
+//
+// Every message carries the sender's incarnation; receivers drop state from
+// older incarnations of the same node (a recovered workstation is a new
+// member). All encodings are little-endian and bounds-checked on parse.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <variant>
+#include <vector>
+
+#include "common/ids.hpp"
+#include "common/serialization.hpp"
+#include "common/time.hpp"
+
+namespace omega::proto {
+
+/// Election state for one group, piggybacked on an ALIVE message.
+struct group_payload {
+  group_id group;
+  process_id pid;                 // sending process within this group
+  bool candidate = false;         // willing to lead (join-time flag)
+  bool competing = false;         // Omega_l: actively contending for leadership
+  time_point accusation_time{};   // last time `pid` was (effectively) accused
+  std::uint32_t phase = 0;        // Omega_l: competition epoch counter
+  // Omega_lc stage-1 result, forwarded so peers can pick a global leader even
+  // when their direct link to it is down:
+  process_id local_leader = process_id::invalid();
+  time_point local_leader_acc{};
+
+  friend bool operator==(const group_payload&, const group_payload&) = default;
+};
+
+/// Node-level heartbeat. `seq` increases by one per ALIVE actually sent, so
+/// the link-quality estimator can infer losses from gaps.
+struct alive_msg {
+  node_id from;
+  incarnation inc = 0;
+  std::uint64_t seq = 0;
+  time_point send_time{};
+  duration eta{};  // sender's current heartbeat interval
+  std::vector<group_payload> groups;
+
+  friend bool operator==(const alive_msg&, const alive_msg&) = default;
+};
+
+/// Sent by a monitor to the process it just started suspecting.
+struct accuse_msg {
+  node_id from;
+  incarnation from_inc = 0;
+  group_id group;
+  process_id target;
+  incarnation target_inc = 0;  // incarnation the accuser observed
+  std::uint32_t phase = 0;     // phase of the last ALIVE the accuser saw
+  time_point when{};           // accuser's time of the suspicion
+
+  friend bool operator==(const accuse_msg&, const accuse_msg&) = default;
+};
+
+/// Membership announcement for all local processes. Broadcast on join and
+/// periodically afterwards (anti-entropy against lost HELLOs and recoveries).
+struct hello_msg {
+  struct entry {
+    group_id group;
+    process_id pid;
+    bool candidate = false;
+    friend bool operator==(const entry&, const entry&) = default;
+  };
+  node_id from;
+  incarnation inc = 0;
+  bool reply_requested = false;  // initial join solicits a HELLO_ACK snapshot
+  std::vector<entry> entries;
+
+  friend bool operator==(const hello_msg&, const hello_msg&) = default;
+};
+
+/// Unicast membership snapshot (one entry per known (group, process)).
+struct hello_ack_msg {
+  struct entry {
+    group_id group;
+    process_id pid;
+    node_id node;
+    incarnation inc = 0;
+    bool candidate = false;
+    friend bool operator==(const entry&, const entry&) = default;
+  };
+  node_id from;
+  incarnation inc = 0;
+  std::vector<entry> entries;
+
+  friend bool operator==(const hello_ack_msg&, const hello_ack_msg&) = default;
+};
+
+/// Voluntary departure of one process from one group.
+struct leave_msg {
+  node_id from;
+  incarnation inc = 0;
+  group_id group;
+  process_id pid;
+
+  friend bool operator==(const leave_msg&, const leave_msg&) = default;
+};
+
+/// FD rate renegotiation: "my QoS needs your heartbeats every `desired_eta`".
+struct rate_request_msg {
+  node_id from;
+  incarnation inc = 0;
+  duration desired_eta{};
+
+  friend bool operator==(const rate_request_msg&, const rate_request_msg&) = default;
+};
+
+using wire_message = std::variant<alive_msg, accuse_msg, hello_msg,
+                                  hello_ack_msg, leave_msg, rate_request_msg>;
+
+/// Current protocol version; parsers reject other versions.
+inline constexpr std::uint8_t protocol_version = 1;
+
+/// Serializes `msg` with a (version, type) envelope.
+[[nodiscard]] std::vector<std::byte> encode(const wire_message& msg);
+
+/// Parses a datagram; returns nullopt on any malformed, truncated,
+/// over-long or wrong-version input.
+[[nodiscard]] std::optional<wire_message> decode(std::span<const std::byte> bytes);
+
+/// Sender node of any message variant.
+[[nodiscard]] node_id sender_of(const wire_message& msg);
+/// Sender incarnation of any message variant.
+[[nodiscard]] incarnation incarnation_of(const wire_message& msg);
+
+}  // namespace omega::proto

@@ -1,0 +1,103 @@
+#include "runtime/real_time.hpp"
+
+#include <utility>
+#include <vector>
+
+namespace omega::runtime {
+
+real_time_engine::real_time_engine()
+    : epoch_(std::chrono::steady_clock::now()), thread_([this] { loop(); }) {}
+
+real_time_engine::~real_time_engine() { stop(); }
+
+time_point real_time_engine::now() const {
+  const auto elapsed = std::chrono::steady_clock::now() - epoch_;
+  return time_point{std::chrono::duration_cast<duration>(elapsed)};
+}
+
+timer_id real_time_engine::schedule_at(time_point when, std::function<void()> fn) {
+  std::lock_guard lock(mu_);
+  const timer_id id = next_id_++;
+  timers_.emplace(when, entry{when, next_seq_++, id, std::move(fn)});
+  cv_.notify_all();
+  return id;
+}
+
+timer_id real_time_engine::schedule_after(duration after, std::function<void()> fn) {
+  if (after < duration{0}) after = duration{0};
+  return schedule_at(now() + after, std::move(fn));
+}
+
+void real_time_engine::cancel(timer_id id) {
+  std::lock_guard lock(mu_);
+  for (auto it = timers_.begin(); it != timers_.end(); ++it) {
+    if (it->second.id == id) {
+      timers_.erase(it);
+      break;
+    }
+  }
+}
+
+void real_time_engine::post(std::function<void()> fn) {
+  std::lock_guard lock(mu_);
+  posted_.push_back(std::move(fn));
+  cv_.notify_all();
+}
+
+void real_time_engine::drain(duration idle) {
+  for (;;) {
+    {
+      std::unique_lock lock(mu_);
+      const bool quiet = posted_.empty() &&
+                         (timers_.empty() || timers_.begin()->first > now() + idle);
+      if (quiet) return;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+}
+
+void real_time_engine::stop() {
+  {
+    std::lock_guard lock(mu_);
+    if (stopping_) {
+      // Already stopped; just make sure the thread is joined.
+    }
+    stopping_ = true;
+    cv_.notify_all();
+  }
+  if (thread_.joinable()) thread_.join();
+}
+
+void real_time_engine::loop() {
+  std::unique_lock lock(mu_);
+  while (!stopping_) {
+    // Run everything posted.
+    while (!posted_.empty()) {
+      auto fn = std::move(posted_.front());
+      posted_.pop_front();
+      lock.unlock();
+      fn();
+      lock.lock();
+    }
+    if (stopping_) break;
+
+    if (timers_.empty()) {
+      cv_.wait(lock, [this] { return stopping_ || !posted_.empty() || !timers_.empty(); });
+      continue;
+    }
+    const time_point next = timers_.begin()->first;
+    if (next > now()) {
+      const auto wait = std::chrono::microseconds((next - now()).count());
+      cv_.wait_for(lock, wait);
+      continue;
+    }
+    auto it = timers_.begin();
+    auto fn = std::move(it->second.fn);
+    timers_.erase(it);
+    lock.unlock();
+    fn();
+    lock.lock();
+  }
+}
+
+}  // namespace omega::runtime

@@ -1,0 +1,73 @@
+// Real-time substrate: the deployment-side implementation of the
+// clock/timer interfaces the protocol stack is written against.
+//
+// A single event-loop thread owns all protocol state (services are not
+// thread-safe by design — same as running them on the simulator). Other
+// threads hand work to the loop with `post`; the UDP receive thread uses
+// exactly that to deliver datagrams. Timers are executed on the loop
+// thread in deadline order.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <thread>
+
+#include "common/executor.hpp"
+#include "common/time.hpp"
+
+namespace omega::runtime {
+
+class real_time_engine final : public clock_source, public timer_service {
+ public:
+  real_time_engine();
+  ~real_time_engine() override;
+
+  real_time_engine(const real_time_engine&) = delete;
+  real_time_engine& operator=(const real_time_engine&) = delete;
+
+  /// Monotonic time since engine start, on the service's virtual timeline.
+  [[nodiscard]] time_point now() const override;
+
+  timer_id schedule_at(time_point when, std::function<void()> fn) override;
+  timer_id schedule_after(duration after, std::function<void()> fn) override;
+  void cancel(timer_id id) override;
+
+  /// Runs `fn` on the loop thread as soon as possible. Thread-safe.
+  void post(std::function<void()> fn);
+
+  /// Blocks until the queue is quiescent for `idle` (test helper).
+  void drain(duration idle);
+
+  /// Stops the loop thread; pending work is dropped.
+  void stop();
+
+ private:
+  struct entry {
+    time_point when;
+    std::uint64_t seq;
+    timer_id id;
+    std::function<void()> fn;
+    bool operator<(const entry& other) const {
+      if (when != other.when) return when < other.when;
+      return seq < other.seq;
+    }
+  };
+
+  void loop();
+
+  std::chrono::steady_clock::time_point epoch_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::multimap<time_point, entry> timers_;
+  std::deque<std::function<void()>> posted_;
+  timer_id next_id_ = 1;
+  std::uint64_t next_seq_ = 1;
+  bool stopping_ = false;
+  std::thread thread_;
+};
+
+}  // namespace omega::runtime

@@ -1,0 +1,111 @@
+#include "runtime/udp_transport.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <system_error>
+#include <utility>
+
+namespace omega::runtime {
+
+namespace {
+
+std::uint64_t peer_key(std::uint32_t addr, std::uint16_t port) {
+  return (static_cast<std::uint64_t>(addr) << 16) | port;
+}
+
+sockaddr_in to_sockaddr(const udp_endpoint& ep) {
+  sockaddr_in sa{};
+  sa.sin_family = AF_INET;
+  sa.sin_port = htons(ep.port);
+  if (::inet_pton(AF_INET, ep.host.c_str(), &sa.sin_addr) != 1) {
+    throw std::system_error(EINVAL, std::generic_category(),
+                            "udp_transport: bad host " + ep.host);
+  }
+  return sa;
+}
+
+}  // namespace
+
+udp_transport::udp_transport(real_time_engine& engine, node_id self,
+                             udp_roster roster)
+    : engine_(engine), self_(self), roster_(std::move(roster)) {
+  auto it = roster_.find(self_);
+  if (it == roster_.end()) {
+    throw std::system_error(EINVAL, std::generic_category(),
+                            "udp_transport: self not in roster");
+  }
+  fd_ = ::socket(AF_INET, SOCK_DGRAM, 0);
+  if (fd_ < 0) {
+    throw std::system_error(errno, std::generic_category(), "socket");
+  }
+  sockaddr_in self_addr = to_sockaddr(it->second);
+  if (::bind(fd_, reinterpret_cast<sockaddr*>(&self_addr), sizeof(self_addr)) != 0) {
+    const int err = errno;
+    ::close(fd_);
+    throw std::system_error(err, std::generic_category(), "bind");
+  }
+  sockaddr_in bound{};
+  socklen_t len = sizeof(bound);
+  ::getsockname(fd_, reinterpret_cast<sockaddr*>(&bound), &len);
+  bound_port_ = ntohs(bound.sin_port);
+
+  for (const auto& [node, ep] : roster_) {
+    const sockaddr_in sa = to_sockaddr(ep);
+    peers_.emplace(peer_key(sa.sin_addr.s_addr, ntohs(sa.sin_port)), node);
+  }
+  rx_thread_ = std::thread([this] { receive_loop(); });
+}
+
+udp_transport::~udp_transport() {
+  stopping_.store(true);
+  ::shutdown(fd_, SHUT_RDWR);
+  ::close(fd_);
+  if (rx_thread_.joinable()) rx_thread_.join();
+}
+
+void udp_transport::send(node_id dst, std::span<const std::byte> payload) {
+  auto it = roster_.find(dst);
+  if (it == roster_.end()) return;  // unknown destination: drop (UDP-like)
+  const sockaddr_in sa = to_sockaddr(it->second);
+  // Fire-and-forget; failures (e.g. ENETUNREACH) are indistinguishable from
+  // loss to the protocol and are deliberately ignored.
+  (void)::sendto(fd_, payload.data(), payload.size(), 0,
+                 reinterpret_cast<const sockaddr*>(&sa), sizeof(sa));
+}
+
+void udp_transport::set_receive_handler(net::receive_handler handler) {
+  handler_ = std::move(handler);
+}
+
+node_id udp_transport::classify_sender(std::uint32_t addr, std::uint16_t port) const {
+  auto it = peers_.find(peer_key(addr, port));
+  return it != peers_.end() ? it->second : node_id::invalid();
+}
+
+void udp_transport::receive_loop() {
+  std::vector<std::byte> buf(64 * 1024);
+  while (!stopping_.load()) {
+    sockaddr_in from{};
+    socklen_t from_len = sizeof(from);
+    const ssize_t n = ::recvfrom(fd_, buf.data(), buf.size(), 0,
+                                 reinterpret_cast<sockaddr*>(&from), &from_len);
+    if (n < 0) {
+      if (stopping_.load()) break;
+      if (errno == EINTR) continue;
+      break;  // socket closed
+    }
+    const node_id sender = classify_sender(from.sin_addr.s_addr, ntohs(from.sin_port));
+    if (!sender.valid()) continue;  // not a roster peer: drop
+    std::vector<std::byte> payload(buf.begin(), buf.begin() + n);
+    engine_.post([this, sender, data = std::move(payload)] {
+      if (handler_) handler_(net::datagram{sender, data});
+    });
+  }
+}
+
+}  // namespace omega::runtime

@@ -1,0 +1,64 @@
+// UDP transport: the deployment-side implementation of `net::transport`.
+//
+// Mirrors the paper's service, which ran over UDP on a LAN. Each node binds
+// one UDP socket; the cluster roster maps node ids to (host, port)
+// endpoints. A receive thread reads datagrams and posts them to the
+// real-time engine's loop thread, so all protocol code stays
+// single-threaded. Sends go straight out with sendto(2) — fire-and-forget,
+// exactly the semantics the protocol expects.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "common/ids.hpp"
+#include "net/transport.hpp"
+#include "runtime/real_time.hpp"
+
+namespace omega::runtime {
+
+struct udp_endpoint {
+  std::string host = "127.0.0.1";
+  std::uint16_t port = 0;
+};
+
+using udp_roster = std::unordered_map<node_id, udp_endpoint>;
+
+class udp_transport final : public net::transport {
+ public:
+  /// Binds the socket at `roster.at(self)`. Throws std::system_error on
+  /// socket/bind failure.
+  udp_transport(real_time_engine& engine, node_id self, udp_roster roster);
+  ~udp_transport() override;
+
+  udp_transport(const udp_transport&) = delete;
+  udp_transport& operator=(const udp_transport&) = delete;
+
+  void send(node_id dst, std::span<const std::byte> payload) override;
+  [[nodiscard]] node_id local_node() const override { return self_; }
+  void set_receive_handler(net::receive_handler handler) override;
+
+  /// Local port actually bound (useful when the roster used port 0).
+  [[nodiscard]] std::uint16_t bound_port() const { return bound_port_; }
+
+ private:
+  void receive_loop();
+  [[nodiscard]] node_id classify_sender(std::uint32_t addr, std::uint16_t port) const;
+
+  real_time_engine& engine_;
+  node_id self_;
+  udp_roster roster_;
+  int fd_ = -1;
+  std::uint16_t bound_port_ = 0;
+  // (ipv4 addr, port) -> node, for classifying inbound datagrams.
+  std::unordered_map<std::uint64_t, node_id> peers_;
+  net::receive_handler handler_;  // touched only on the engine loop thread
+  std::atomic<bool> stopping_{false};
+  std::thread rx_thread_;
+};
+
+}  // namespace omega::runtime

@@ -1,0 +1,62 @@
+// Configuration types of the leader-election service.
+#pragma once
+
+#include <vector>
+
+#include "common/ids.hpp"
+#include "election/elector.hpp"
+#include "fd/fd_manager.hpp"
+#include "fd/qos.hpp"
+#include "membership/group_maintenance.hpp"
+
+namespace omega::service {
+
+/// Static configuration of one service instance (one per workstation).
+struct service_config {
+  /// This workstation's identity in the cluster.
+  node_id self;
+  /// Restart counter; the harness increments it on every recovery, standing
+  /// in for the boot-id a real deployment would derive from the OS.
+  incarnation inc = 1;
+  /// All workstations that may run the service (the installation roster the
+  /// paper's deployment configures per cluster). HELLO broadcasts go to
+  /// every roster node.
+  std::vector<node_id> roster;
+  /// Which of the three election algorithms this instance runs.
+  election::algorithm alg = election::algorithm::omega_lc;
+  /// Failure-detector tuning (estimator windows, reconfiguration cadence...).
+  fd::fd_manager::options fd{};
+  /// Group-maintenance tuning (HELLO period, eviction timeout).
+  membership::group_maintenance::options gm{};
+};
+
+/// How a joined process wants to learn about leader changes (paper §4:
+/// "by an interrupt from the service ... or by querying the service").
+enum class notification_mode {
+  interrupt,  // callback on every leader change
+  query,      // the process polls leader()
+};
+
+/// Per-join parameters (paper §4: group id, candidacy, notification mode,
+/// FD QoS).
+struct join_options {
+  /// Whether this process is willing to lead the group.
+  bool candidate = true;
+  notification_mode notify = notification_mode::interrupt;
+  /// QoS of the underlying failure detector used for this group.
+  fd::qos_spec qos{};
+};
+
+/// Counters exposed for tests, benchmarks and the overhead figures.
+struct service_stats {
+  std::uint64_t alive_sent = 0;
+  std::uint64_t accuse_sent = 0;
+  std::uint64_t hello_sent = 0;
+  std::uint64_t hello_ack_sent = 0;
+  std::uint64_t leave_sent = 0;
+  std::uint64_t rate_request_sent = 0;
+  std::uint64_t datagrams_received = 0;
+  std::uint64_t malformed_received = 0;
+};
+
+}  // namespace omega::service

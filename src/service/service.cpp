@@ -1,0 +1,352 @@
+#include "service/service.hpp"
+
+#include <algorithm>
+#include <unordered_set>
+#include <utility>
+
+namespace omega::service {
+
+namespace {
+template <class... Ts>
+struct overloaded : Ts... {
+  using Ts::operator()...;
+};
+template <class... Ts>
+overloaded(Ts...) -> overloaded<Ts...>;
+}  // namespace
+
+leader_election_service::leader_election_service(clock_source& clock,
+                                                 timer_service& timers,
+                                                 net::transport& transport,
+                                                 service_config config)
+    : clock_(clock),
+      timers_(timers),
+      transport_(transport),
+      config_(std::move(config)),
+      fd_(clock, timers, config_.fd),
+      gm_(clock, timers, config_.self, config_.inc, config_.gm),
+      rate_(fd::qos_spec{}.detection_time / 4),
+      alive_timer_(timers) {
+  transport_.set_receive_handler([this](const net::datagram& d) { on_datagram(d); });
+
+  fd_.set_transition_handler([this](group_id g, node_id node, bool trusted) {
+    auto it = groups_.find(g);
+    if (it == groups_.end()) return;
+    it->second.elector->on_fd_transition(node, trusted);
+    reevaluate(g);
+  });
+  fd_.set_rate_request_fn([this](node_id node, duration eta) {
+    send_to(node, proto::rate_request_msg{config_.self, config_.inc, eta});
+  });
+
+  gm_.set_broadcast([this](const proto::wire_message& msg) { broadcast(msg); });
+  gm_.set_unicast([this](node_id dst, const proto::wire_message& msg) {
+    send_to(dst, msg);
+  });
+  gm_.set_vouch([this](group_id g, const membership::member_info& m) {
+    return fd_.is_trusted(g, m.node);
+  });
+  gm_.set_events(membership::group_maintenance::events{
+      .on_member_joined =
+          [this](group_id g, const membership::member_info&) { reevaluate(g); },
+      .on_member_removed =
+          [this](group_id g, const membership::member_info& m) {
+            auto it = groups_.find(g);
+            if (it == groups_.end()) return;
+            it->second.elector->on_member_removed(m);
+            if (m.node != config_.self) fd_.drop(g, m.node);
+            reevaluate(g);
+          },
+      .on_member_reincarnated = nullptr,
+  });
+
+  fd_.start();
+  gm_.start();
+}
+
+leader_election_service::~leader_election_service() {
+  // A destroyed instance models a crash: silence, not goodbyes.
+  transport_.set_receive_handler({});
+}
+
+// ---- application API -------------------------------------------------------
+
+bool leader_election_service::register_process(process_id pid) {
+  return registered_.try_emplace(pid, true).second;
+}
+
+void leader_election_service::unregister_process(process_id pid) {
+  std::vector<group_id> joined;
+  for (const auto& [g, gs] : groups_) {
+    if (gs.local_pid == pid) joined.push_back(g);
+  }
+  for (group_id g : joined) leave_group(pid, g);
+  registered_.erase(pid);
+}
+
+election::elector_context leader_election_service::make_context(group_id group,
+                                                                process_id pid,
+                                                                bool candidate) {
+  election::elector_context ctx;
+  ctx.self_node = config_.self;
+  ctx.self_pid = pid;
+  ctx.self_inc = config_.inc;
+  ctx.group = group;
+  ctx.candidate = candidate;
+  ctx.clock = &clock_;
+  ctx.is_trusted = [this, group](node_id node) { return fd_.is_trusted(group, node); };
+  ctx.members = [this, group] { return gm_.table(group).members(); };
+  ctx.send_accuse = [this](const proto::accuse_msg& msg, node_id dst) {
+    send_to(dst, msg);
+  };
+  return ctx;
+}
+
+bool leader_election_service::join_group(process_id pid, group_id group,
+                                         const join_options& options,
+                                         leader_callback on_change) {
+  if (registered_.find(pid) == registered_.end()) return false;
+  if (groups_.find(group) != groups_.end()) return false;
+
+  fd_.add_group(group, options.qos);
+  rate_.set_default_eta(std::min(rate_.default_eta(), options.qos.detection_time / 4));
+
+  group_state gs;
+  gs.group = group;
+  gs.local_pid = pid;
+  gs.options = options;
+  gs.elector = election::make_elector(config_.alg,
+                                      make_context(group, pid, options.candidate));
+  gs.last_self_acc = gs.elector->self_accusation_time();
+  gs.on_change = std::move(on_change);
+  auto [it, inserted] = groups_.emplace(group, std::move(gs));
+
+  gm_.local_join(group, pid, options.candidate);  // broadcasts HELLO
+  reevaluate(group);
+  if (it->second.was_sending) schedule_alive();
+  return true;
+}
+
+void leader_election_service::leave_group(process_id pid, group_id group) {
+  auto it = groups_.find(group);
+  if (it == groups_.end() || it->second.local_pid != pid) return;
+  gm_.local_leave(group, pid);  // broadcasts LEAVE
+  fd_.remove_group(group);
+  groups_.erase(it);
+  // Relax the default heartbeat cadence to the tightest *remaining* group
+  // (join_group only ever ratchets it down).
+  duration def = fd::qos_spec{}.detection_time / 4;
+  for (const auto& [g, gs] : groups_) {
+    def = std::min(def, gs.options.qos.detection_time / 4);
+  }
+  rate_.set_default_eta(def);
+  if (groups_.empty()) alive_timer_.cancel();
+}
+
+std::optional<process_id> leader_election_service::leader(group_id group) const {
+  auto it = groups_.find(group);
+  return it != groups_.end() ? it->second.last_leader : std::nullopt;
+}
+
+duration leader_election_service::current_eta() const {
+  return rate_.effective_eta(clock_.now());
+}
+
+const membership::member_table& leader_election_service::members(group_id group) const {
+  return gm_.table(group);
+}
+
+election::elector* leader_election_service::elector_for(group_id group) {
+  auto it = groups_.find(group);
+  return it != groups_.end() ? it->second.elector.get() : nullptr;
+}
+
+void leader_election_service::set_leader_observer(leader_callback observer) {
+  leader_observer_ = std::move(observer);
+}
+
+// ---- inbound dispatch -------------------------------------------------------
+
+void leader_election_service::on_datagram(const net::datagram& dgram) {
+  ++stats_.datagrams_received;
+  auto msg = proto::decode(dgram.payload);
+  if (!msg.has_value()) {
+    ++stats_.malformed_received;
+    return;
+  }
+  std::visit([this](const auto& m) { handle(m); }, *msg);
+}
+
+void leader_election_service::handle(const proto::alive_msg& msg) {
+  const time_point now = clock_.now();
+  // Membership evidence first (electors pull membership during evaluation),
+  // then failure-detector freshness, then election payloads.
+  gm_.on_alive(msg, now);
+  fd_.on_alive(msg, now);
+  for (const auto& payload : msg.groups) {
+    auto it = groups_.find(payload.group);
+    if (it == groups_.end()) continue;
+    it->second.elector->on_alive_payload(msg.from, msg.inc, payload);
+  }
+  for (const auto& payload : msg.groups) {
+    if (groups_.find(payload.group) != groups_.end()) reevaluate(payload.group);
+  }
+}
+
+void leader_election_service::handle(const proto::accuse_msg& msg) {
+  auto it = groups_.find(msg.group);
+  if (it == groups_.end() || it->second.local_pid != msg.target) return;
+  it->second.elector->on_accuse(msg);
+  reevaluate(msg.group);
+}
+
+void leader_election_service::handle(const proto::hello_msg& msg) {
+  gm_.on_hello(msg, clock_.now());
+}
+
+void leader_election_service::handle(const proto::hello_ack_msg& msg) {
+  gm_.on_hello_ack(msg, clock_.now());
+}
+
+void leader_election_service::handle(const proto::leave_msg& msg) {
+  gm_.on_leave(msg);
+}
+
+void leader_election_service::handle(const proto::rate_request_msg& msg) {
+  const time_point now = clock_.now();
+  rate_.on_request(msg.from, msg.desired_eta, now);
+  // If the new effective rate is faster than the pending tick, pull it in.
+  if (!groups_.empty()) schedule_alive();
+}
+
+// ---- election plumbing ------------------------------------------------------
+
+void leader_election_service::reevaluate(group_id group) {
+  auto it = groups_.find(group);
+  if (it == groups_.end()) return;
+  group_state& gs = it->second;
+
+  const std::optional<process_id> leader = gs.elector->evaluate();
+  const bool sending = gs.elector->should_send_alive();
+
+  if (sending != gs.was_sending) {
+    gs.was_sending = sending;
+    if (sending) {
+      // Entering the competition (or joining): announce immediately instead
+      // of waiting for the next tick — this is what keeps election time far
+      // below detection time.
+      send_alive_now();
+      schedule_alive();
+    } else {
+      // Omega_l graceful withdrawal: one final heartbeat with
+      // competing=false so peers drop us without waiting for a timeout.
+      send_alive_now(group);
+    }
+  } else if (sending &&
+             gs.elector->self_accusation_time() != gs.last_self_acc) {
+    // Our rank just worsened (we were accused): push the new accusation
+    // time to peers immediately so the group converges on the successor in
+    // one message delay instead of waiting out the heartbeat period.
+    send_alive_now();
+    schedule_alive();
+  }
+  gs.last_self_acc = gs.elector->self_accusation_time();
+
+  if (leader != gs.last_leader) {
+    gs.last_leader = leader;
+    if (gs.options.notify == notification_mode::interrupt && gs.on_change) {
+      gs.on_change(group, leader);
+    }
+    if (leader_observer_) leader_observer_(group, leader);
+  }
+}
+
+void leader_election_service::reevaluate_all() {
+  std::vector<group_id> ids;
+  ids.reserve(groups_.size());
+  for (const auto& [g, gs] : groups_) ids.push_back(g);
+  for (group_id g : ids) reevaluate(g);
+}
+
+// ---- heartbeat engine -------------------------------------------------------
+
+void leader_election_service::schedule_alive() {
+  if (groups_.empty()) return;
+  // Anchor the cadence to the last actual send: re-scheduling (e.g. after a
+  // rate request) must never push the next heartbeat further out, or a
+  // steady stream of control traffic could silence the heartbeats entirely.
+  const time_point now = clock_.now();
+  const duration eta = rate_.effective_eta(now);
+  time_point due = last_alive_sent_ + eta;
+  // Never arm in the past or at the current instant: a suppressed send (e.g.
+  // an Omega_l follower outside the competition, or a node with no peers yet)
+  // leaves last_alive_sent_ stale, and re-arming "at now" would make the
+  // timer fire repeatedly at the same simulated instant.
+  if (due <= now) due = now + eta;
+  alive_timer_.arm_at(due, [this] { alive_tick(); });
+}
+
+void leader_election_service::alive_tick() {
+  send_alive_now();
+  schedule_alive();
+}
+
+void leader_election_service::send_alive_now(std::optional<group_id> extra_group) {
+  proto::alive_msg msg;
+  msg.from = config_.self;
+  msg.inc = config_.inc;
+  msg.send_time = clock_.now();
+  msg.eta = rate_.effective_eta(clock_.now());
+
+  std::unordered_set<node_id> destinations;
+  for (auto& [g, gs] : groups_) {
+    const bool include = gs.elector->should_send_alive() ||
+                         (extra_group.has_value() && *extra_group == g);
+    if (!include) continue;
+    proto::group_payload payload;
+    gs.elector->fill_payload(payload);
+    msg.groups.push_back(payload);
+    for (const auto& m : gm_.table(g).members()) {
+      if (m.node != config_.self) destinations.insert(m.node);
+    }
+  }
+  if (msg.groups.empty() || destinations.empty()) return;
+
+  msg.seq = ++alive_seq_;
+  last_alive_sent_ = clock_.now();
+  const auto bytes = proto::encode(proto::wire_message{msg});
+  ++stats_.alive_sent;
+  for (node_id dst : destinations) {
+    transport_.send(dst, bytes);
+  }
+}
+
+// ---- outbound helpers -------------------------------------------------------
+
+void leader_election_service::count_sent(const proto::wire_message& msg) {
+  std::visit(overloaded{
+                 [this](const proto::alive_msg&) { /* counted at send_alive */ },
+                 [this](const proto::accuse_msg&) { ++stats_.accuse_sent; },
+                 [this](const proto::hello_msg&) { ++stats_.hello_sent; },
+                 [this](const proto::hello_ack_msg&) { ++stats_.hello_ack_sent; },
+                 [this](const proto::leave_msg&) { ++stats_.leave_sent; },
+                 [this](const proto::rate_request_msg&) { ++stats_.rate_request_sent; },
+             },
+             msg);
+}
+
+void leader_election_service::send_to(node_id dst, const proto::wire_message& msg) {
+  count_sent(msg);
+  transport_.send(dst, proto::encode(msg));
+}
+
+void leader_election_service::broadcast(const proto::wire_message& msg) {
+  count_sent(msg);
+  const auto bytes = proto::encode(msg);
+  for (node_id node : config_.roster) {
+    if (node == config_.self) continue;
+    transport_.send(node, bytes);
+  }
+}
+
+}  // namespace omega::service

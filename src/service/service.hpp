@@ -1,0 +1,162 @@
+// The leader-election service (paper §4, Figure 2).
+//
+// One instance runs per workstation. Application processes register with
+// their local instance, then join/leave groups; for every joined group the
+// instance wires together the three core modules:
+//
+//   Group Maintenance  — who is in the group (HELLO/LEAVE + ALIVE evidence),
+//   Failure Detector   — Chen et al. QoS detector over node-level ALIVEs,
+//   Election Algorithm — pluggable Omega_id / Omega_lc / Omega_l elector.
+//
+// The instance multiplexes all groups over a single node-level heartbeat
+// stream (the shared-FD architecture of [6, 11] that amortizes monitoring
+// cost across applications): each ALIVE datagram carries one election
+// payload per group in which this node is actively transmitting.
+//
+// Destroying the instance models a workstation crash: no goodbyes are sent
+// and all volatile state vanishes. The churn injector of the experiment
+// harness does exactly that, then constructs a fresh instance with a
+// higher incarnation to model recovery.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "common/executor.hpp"
+#include "common/ids.hpp"
+#include "election/elector.hpp"
+#include "fd/fd_manager.hpp"
+#include "fd/rate_controller.hpp"
+#include "membership/group_maintenance.hpp"
+#include "net/transport.hpp"
+#include "proto/wire.hpp"
+#include "service/config.hpp"
+
+namespace omega::service {
+
+/// Fired on leader changes: (group, new leader or nullopt while leaderless).
+using leader_callback = std::function<void(group_id, std::optional<process_id>)>;
+
+class leader_election_service {
+ public:
+  leader_election_service(clock_source& clock, timer_service& timers,
+                          net::transport& transport, service_config config);
+  ~leader_election_service();
+
+  leader_election_service(const leader_election_service&) = delete;
+  leader_election_service& operator=(const leader_election_service&) = delete;
+
+  // ---- application API (paper §4) ---------------------------------------
+
+  /// Registers an application process under a unique id. Must precede any
+  /// join. Returns false if the id is already registered here.
+  bool register_process(process_id pid);
+
+  /// Unregisters a process, leaving all groups it joined.
+  void unregister_process(process_id pid);
+
+  /// Joins `pid` to `group`. At most one local process may be the node's
+  /// member of a given group (the experiments' configuration; see
+  /// DESIGN.md). `on_change` is invoked on every leader change when the
+  /// notification mode is `interrupt`. Returns false if the join is
+  /// rejected (unregistered pid or group already joined locally).
+  bool join_group(process_id pid, group_id group, const join_options& options,
+                  leader_callback on_change = nullptr);
+
+  /// Leaves the group: broadcasts LEAVE and drops all local group state.
+  void leave_group(process_id pid, group_id group);
+
+  /// Query-mode leader lookup: the current (cached) leader choice of this
+  /// instance for `group`, or nullopt if unknown/leaderless.
+  [[nodiscard]] std::optional<process_id> leader(group_id group) const;
+
+  // ---- introspection -----------------------------------------------------
+
+  [[nodiscard]] const service_config& config() const { return config_; }
+  [[nodiscard]] const service_stats& stats() const { return stats_; }
+  [[nodiscard]] node_id self() const { return config_.self; }
+
+  /// Current effective heartbeat interval of this sender.
+  [[nodiscard]] duration current_eta() const;
+
+  /// Membership view (empty table for unknown groups).
+  [[nodiscard]] const membership::member_table& members(group_id group) const;
+
+  /// The elector driving `group`, or nullptr (exposed for tests).
+  [[nodiscard]] election::elector* elector_for(group_id group);
+
+  /// The failure-detector module (exposed for tests and benchmarks).
+  [[nodiscard]] fd::fd_manager& failure_detector() { return fd_; }
+
+  /// Observer invoked on *every* leader change of any group, after the
+  /// per-subscription callbacks. The experiment harness uses this to track
+  /// ground-truth agreement.
+  void set_leader_observer(leader_callback observer);
+
+ private:
+  struct group_state {
+    group_id group;
+    process_id local_pid;
+    join_options options;
+    std::unique_ptr<election::elector> elector;
+    std::optional<process_id> last_leader;
+    bool announced_leader_once = false;
+    bool was_sending = false;
+    /// Last self accusation time pushed to peers; a change triggers an
+    /// eager ALIVE so demotions propagate in one delay, not one eta.
+    time_point last_self_acc{};
+    leader_callback on_change;
+  };
+
+  // Wiring.
+  void on_datagram(const net::datagram& dgram);
+  void handle(const proto::alive_msg& msg);
+  void handle(const proto::accuse_msg& msg);
+  void handle(const proto::hello_msg& msg);
+  void handle(const proto::hello_ack_msg& msg);
+  void handle(const proto::leave_msg& msg);
+  void handle(const proto::rate_request_msg& msg);
+
+  // Election plumbing.
+  void reevaluate(group_id group);
+  void reevaluate_all();
+  election::elector_context make_context(group_id group, process_id pid,
+                                         bool candidate);
+
+  // Heartbeat engine.
+  void schedule_alive();
+  void alive_tick();
+  /// Sends one ALIVE immediately. When `extra_group` is set, its payload is
+  /// included even if its elector is no longer sending (the Omega_l
+  /// "graceful withdrawal" final heartbeat).
+  void send_alive_now(std::optional<group_id> extra_group = std::nullopt);
+
+  // Outbound helpers.
+  void send_to(node_id dst, const proto::wire_message& msg);
+  void broadcast(const proto::wire_message& msg);
+  void count_sent(const proto::wire_message& msg);
+
+  clock_source& clock_;
+  timer_service& timers_;
+  net::transport& transport_;
+  service_config config_;
+  service_stats stats_;
+
+  fd::fd_manager fd_;
+  membership::group_maintenance gm_;
+  fd::rate_controller rate_;
+
+  std::unordered_map<process_id, bool> registered_;  // pid -> exists
+  std::unordered_map<group_id, group_state> groups_;
+
+  scoped_timer alive_timer_;
+  std::uint64_t alive_seq_ = 0;
+  time_point last_alive_sent_{};
+
+  leader_callback leader_observer_;
+};
+
+}  // namespace omega::service

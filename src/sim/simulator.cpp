@@ -1,0 +1,69 @@
+#include "sim/simulator.hpp"
+
+#include <utility>
+
+namespace omega::sim {
+
+timer_id simulator::schedule_at(time_point when, std::function<void()> fn) {
+  const timer_id id = next_id_++;
+  if (when < now_) when = now_;  // never schedule into the past
+  queue_.push(event{when, next_seq_++, id});
+  callbacks_.emplace(id, std::move(fn));
+  return id;
+}
+
+timer_id simulator::schedule_after(duration after, std::function<void()> fn) {
+  if (after < duration{0}) after = duration{0};
+  return schedule_at(now_ + after, std::move(fn));
+}
+
+void simulator::cancel(timer_id id) {
+  auto it = callbacks_.find(id);
+  if (it == callbacks_.end()) return;  // already fired or cancelled
+  callbacks_.erase(it);
+  cancelled_.insert(id);
+}
+
+bool simulator::fire_next() {
+  while (!queue_.empty()) {
+    const event ev = queue_.top();
+    queue_.pop();
+    if (auto it = cancelled_.find(ev.id); it != cancelled_.end()) {
+      cancelled_.erase(it);
+      continue;  // purged lazily
+    }
+    auto cb_it = callbacks_.find(ev.id);
+    if (cb_it == callbacks_.end()) continue;  // defensive; should not happen
+    // Move the callback out before running: the callback may re-schedule or
+    // cancel other timers (including scheduling a timer that reuses no slot).
+    std::function<void()> fn = std::move(cb_it->second);
+    callbacks_.erase(cb_it);
+    now_ = ev.when;
+    ++executed_;
+    fn();
+    return true;
+  }
+  return false;
+}
+
+void simulator::run_until(time_point deadline) {
+  while (!queue_.empty()) {
+    // Peek through cancelled entries to find the next live event time.
+    while (!queue_.empty() && cancelled_.count(queue_.top().id) > 0) {
+      cancelled_.erase(queue_.top().id);
+      queue_.pop();
+    }
+    if (queue_.empty() || queue_.top().when > deadline) break;
+    fire_next();
+  }
+  now_ = deadline;
+}
+
+void simulator::run_all() {
+  while (fire_next()) {
+  }
+}
+
+bool simulator::step() { return fire_next(); }
+
+}  // namespace omega::sim

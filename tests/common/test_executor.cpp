@@ -1,0 +1,76 @@
+// scoped_timer tests: the RAII wrapper every periodic protocol task uses.
+#include <gtest/gtest.h>
+
+#include "common/executor.hpp"
+#include "sim/simulator.hpp"
+
+namespace omega {
+namespace {
+
+TEST(ScopedTimer, FiresAtDeadline) {
+  sim::simulator sim;
+  scoped_timer t(sim);
+  int fired = 0;
+  t.arm_at(sim.now() + sec(2), [&] { ++fired; });
+  sim.run_until(sim.now() + sec(1));
+  EXPECT_EQ(fired, 0);
+  sim.run_until(sim.now() + sec(2));
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(ScopedTimer, RearmReplacesPrevious) {
+  sim::simulator sim;
+  scoped_timer t(sim);
+  int first = 0, second = 0;
+  t.arm_at(sim.now() + sec(1), [&] { ++first; });
+  t.arm_at(sim.now() + sec(2), [&] { ++second; });
+  sim.run_until(sim.now() + sec(5));
+  EXPECT_EQ(first, 0) << "re-arming must cancel the earlier deadline";
+  EXPECT_EQ(second, 1);
+}
+
+TEST(ScopedTimer, CancelStopsFiring) {
+  sim::simulator sim;
+  scoped_timer t(sim);
+  int fired = 0;
+  t.arm_at(sim.now() + sec(1), [&] { ++fired; });
+  t.cancel();
+  sim.run_until(sim.now() + sec(5));
+  EXPECT_EQ(fired, 0);
+}
+
+TEST(ScopedTimer, DestructionCancels) {
+  sim::simulator sim;
+  int fired = 0;
+  {
+    scoped_timer t(sim);
+    t.arm_at(sim.now() + sec(1), [&] { ++fired; });
+  }
+  sim.run_until(sim.now() + sec(5));
+  EXPECT_EQ(fired, 0);
+}
+
+TEST(ScopedTimer, RearmFromInsideCallback) {
+  sim::simulator sim;
+  scoped_timer t(sim);
+  int fired = 0;
+  std::function<void()> tick = [&] {
+    if (++fired < 3) t.arm_at(sim.now() + sec(1), tick);
+  };
+  t.arm_at(sim.now() + sec(1), tick);
+  sim.run_until(sim.now() + sec(10));
+  EXPECT_EQ(fired, 3);
+}
+
+TEST(ScopedTimer, CancelIsIdempotent) {
+  sim::simulator sim;
+  scoped_timer t(sim);
+  t.cancel();
+  t.arm_at(sim.now() + sec(1), [] {});
+  t.cancel();
+  t.cancel();
+  sim.run_until(sim.now() + sec(2));  // must not crash
+}
+
+}  // namespace
+}  // namespace omega

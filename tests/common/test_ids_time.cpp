@@ -1,0 +1,58 @@
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+#include "common/ids.hpp"
+#include "common/time.hpp"
+
+namespace omega {
+namespace {
+
+TEST(Ids, DefaultIsInvalid) {
+  node_id n;
+  EXPECT_FALSE(n.valid());
+  EXPECT_EQ(n, node_id::invalid());
+}
+
+TEST(Ids, ComparisonAndEquality) {
+  EXPECT_LT(process_id{1}, process_id{2});
+  EXPECT_EQ(group_id{5}, group_id{5});
+  EXPECT_NE(node_id{0}, node_id{1});
+}
+
+TEST(Ids, Hashable) {
+  std::unordered_set<process_id> set;
+  set.insert(process_id{1});
+  set.insert(process_id{2});
+  set.insert(process_id{1});
+  EXPECT_EQ(set.size(), 2u);
+}
+
+TEST(Ids, ToString) {
+  EXPECT_EQ(to_string(node_id{3}), "n3");
+  EXPECT_EQ(to_string(process_id{4}), "p4");
+  EXPECT_EQ(to_string(group_id{9}), "g9");
+  EXPECT_EQ(to_string(node_id{}), "n<invalid>");
+}
+
+TEST(Time, UnitHelpers) {
+  EXPECT_EQ(usec(1500), msec(1) + usec(500));
+  EXPECT_EQ(msec(1000), sec(1));
+  EXPECT_EQ(sec(60).count(), 60'000'000);
+}
+
+TEST(Time, SecondsConversionRoundTrip) {
+  EXPECT_DOUBLE_EQ(to_seconds(msec(2500)), 2.5);
+  EXPECT_EQ(from_seconds(2.5), msec(2500));
+  EXPECT_DOUBLE_EQ(to_seconds(from_seconds(0.123456)), 0.123456);
+}
+
+TEST(Time, TimePointArithmetic) {
+  const time_point t = time_origin + sec(10);
+  EXPECT_EQ(t - time_origin, sec(10));
+  EXPECT_EQ(to_seconds(t), 10.0);
+  EXPECT_LT(time_origin, t);
+}
+
+}  // namespace
+}  // namespace omega

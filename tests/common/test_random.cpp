@@ -1,0 +1,127 @@
+#include "common/random.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace omega {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  rng a(12345);
+  rng b(12345);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_EQ(a.next_u64(), b.next_u64());
+  }
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  rng a(1);
+  rng b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.next_u64() == b.next_u64()) ++same;
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, Uniform01InRange) {
+  rng r(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = r.uniform01();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, Uniform01MeanIsHalf) {
+  rng r(99);
+  double sum = 0.0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) sum += r.uniform01();
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(Rng, UniformBelowRespectsBound) {
+  rng r(3);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(r.uniform_below(17), 17u);
+  }
+}
+
+TEST(Rng, UniformBelowCoversAllValues) {
+  rng r(4);
+  bool seen[8] = {};
+  for (int i = 0; i < 1000; ++i) seen[r.uniform_below(8)] = true;
+  for (bool s : seen) EXPECT_TRUE(s);
+}
+
+TEST(Rng, BernoulliEdgeCases) {
+  rng r(5);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(r.bernoulli(0.0));
+    EXPECT_TRUE(r.bernoulli(1.0));
+    EXPECT_FALSE(r.bernoulli(-0.5));
+    EXPECT_TRUE(r.bernoulli(1.5));
+  }
+}
+
+TEST(Rng, BernoulliFrequencyMatchesP) {
+  rng r(6);
+  const int n = 100000;
+  int hits = 0;
+  for (int i = 0; i < n; ++i) {
+    if (r.bernoulli(0.1)) ++hits;
+  }
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.1, 0.005);
+}
+
+TEST(Rng, ExponentialMeanMatches) {
+  rng r(8);
+  const int n = 200000;
+  double sum = 0.0;
+  for (int i = 0; i < n; ++i) sum += r.exponential(2.5);
+  EXPECT_NEAR(sum / n, 2.5, 0.05);
+}
+
+TEST(Rng, ExponentialNonNegative) {
+  rng r(9);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_GE(r.exponential(1.0), 0.0);
+  }
+}
+
+TEST(Rng, ExponentialZeroMeanYieldsZero) {
+  rng r(10);
+  EXPECT_EQ(r.exponential(0.0), 0.0);
+  EXPECT_EQ(r.exponential(-1.0), 0.0);
+}
+
+TEST(Rng, ExponentialDurationMean) {
+  rng r(11);
+  const int n = 100000;
+  double sum_s = 0.0;
+  for (int i = 0; i < n; ++i) sum_s += to_seconds(r.exponential(sec(600)));
+  EXPECT_NEAR(sum_s / n, 600.0, 10.0);
+}
+
+TEST(Rng, SplitStreamsAreIndependentAndDeterministic) {
+  rng parent1(42);
+  rng parent2(42);
+  rng childa = parent1.split();
+  rng childb = parent2.split();
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(childa.next_u64(), childb.next_u64());
+  }
+  // Child stream differs from a fresh parent stream.
+  rng parent3(42);
+  rng child = parent3.split();
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (child.next_u64() == parent3.next_u64()) ++same;
+  }
+  EXPECT_LT(same, 3);
+}
+
+}  // namespace
+}  // namespace omega

@@ -1,0 +1,133 @@
+#include "common/serialization.hpp"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+
+namespace omega {
+namespace {
+
+TEST(Serialization, PrimitivesRoundTrip) {
+  byte_writer w;
+  w.write_u8(0xAB);
+  w.write_u16(0xBEEF);
+  w.write_u32(0xDEADBEEF);
+  w.write_u64(0x0123456789ABCDEFULL);
+  w.write_i64(-42);
+  w.write_f64(3.14159);
+  w.write_bool(true);
+  w.write_bool(false);
+
+  byte_reader r(w.buffer());
+  EXPECT_EQ(r.read_u8(), 0xAB);
+  EXPECT_EQ(r.read_u16(), 0xBEEF);
+  EXPECT_EQ(r.read_u32(), 0xDEADBEEFu);
+  EXPECT_EQ(r.read_u64(), 0x0123456789ABCDEFULL);
+  EXPECT_EQ(r.read_i64(), -42);
+  EXPECT_DOUBLE_EQ(r.read_f64(), 3.14159);
+  EXPECT_TRUE(r.read_bool());
+  EXPECT_FALSE(r.read_bool());
+  EXPECT_TRUE(r.exhausted());
+}
+
+TEST(Serialization, IdsRoundTrip) {
+  byte_writer w;
+  w.write_id(node_id{7});
+  w.write_id(process_id{11});
+  w.write_id(group_id{13});
+  w.write_id(process_id::invalid());
+
+  byte_reader r(w.buffer());
+  EXPECT_EQ(r.read_id<node_id>(), node_id{7});
+  EXPECT_EQ(r.read_id<process_id>(), process_id{11});
+  EXPECT_EQ(r.read_id<group_id>(), group_id{13});
+  EXPECT_FALSE(r.read_id<process_id>().valid());
+  EXPECT_TRUE(r.exhausted());
+}
+
+TEST(Serialization, TimeTypesRoundTrip) {
+  byte_writer w;
+  w.write_duration(msec(1500));
+  w.write_time(time_origin + sec(42));
+  w.write_duration(duration{-5});
+
+  byte_reader r(w.buffer());
+  EXPECT_EQ(r.read_duration(), msec(1500));
+  EXPECT_EQ(r.read_time(), time_origin + sec(42));
+  EXPECT_EQ(r.read_duration(), duration{-5});
+}
+
+TEST(Serialization, StringsRoundTrip) {
+  byte_writer w;
+  w.write_string("hello");
+  w.write_string("");
+  w.write_string(std::string(1000, 'x'));
+
+  byte_reader r(w.buffer());
+  EXPECT_EQ(r.read_string(), "hello");
+  EXPECT_EQ(r.read_string(), "");
+  EXPECT_EQ(r.read_string(), std::string(1000, 'x'));
+  EXPECT_TRUE(r.exhausted());
+}
+
+TEST(Serialization, TruncatedInputPoisonsReader) {
+  byte_writer w;
+  w.write_u64(123);
+  auto buf = w.buffer();
+  buf.resize(4);  // cut the u64 in half
+
+  byte_reader r(buf);
+  EXPECT_EQ(r.read_u64(), 0u);
+  EXPECT_FALSE(r.ok());
+  // Subsequent reads stay zero and harmless.
+  EXPECT_EQ(r.read_u32(), 0u);
+  EXPECT_FALSE(r.exhausted());
+}
+
+TEST(Serialization, EmptyReaderFailsGracefully) {
+  byte_reader r({});
+  EXPECT_EQ(r.read_u8(), 0);
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(Serialization, BadStringLengthDetected) {
+  byte_writer w;
+  w.write_u16(100);  // claims 100 bytes follow
+  w.write_u8('x');   // only one does
+
+  byte_reader r(w.buffer());
+  EXPECT_EQ(r.read_string(), "");
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(Serialization, OversizeByteStringThrows) {
+  byte_writer w;
+  std::vector<std::byte> big(70000);
+  EXPECT_THROW(w.write_bytes(big), std::length_error);
+}
+
+TEST(Serialization, LittleEndianLayout) {
+  byte_writer w;
+  w.write_u32(0x01020304);
+  const auto& buf = w.buffer();
+  ASSERT_EQ(buf.size(), 4u);
+  EXPECT_EQ(std::to_integer<int>(buf[0]), 0x04);
+  EXPECT_EQ(std::to_integer<int>(buf[3]), 0x01);
+}
+
+TEST(Serialization, NegativeAndExtremeValues) {
+  byte_writer w;
+  w.write_i64(std::numeric_limits<std::int64_t>::min());
+  w.write_i64(std::numeric_limits<std::int64_t>::max());
+  w.write_f64(-0.0);
+  w.write_f64(std::numeric_limits<double>::infinity());
+
+  byte_reader r(w.buffer());
+  EXPECT_EQ(r.read_i64(), std::numeric_limits<std::int64_t>::min());
+  EXPECT_EQ(r.read_i64(), std::numeric_limits<std::int64_t>::max());
+  EXPECT_EQ(r.read_f64(), 0.0);
+  EXPECT_EQ(r.read_f64(), std::numeric_limits<double>::infinity());
+}
+
+}  // namespace
+}  // namespace omega

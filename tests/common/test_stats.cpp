@@ -1,0 +1,118 @@
+#include "common/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace omega {
+namespace {
+
+TEST(RunningStats, EmptyIsZero) {
+  running_stats s;
+  EXPECT_TRUE(s.empty());
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.variance(), 0.0);
+  EXPECT_EQ(s.ci95_half_width(), 0.0);
+}
+
+TEST(RunningStats, MeanAndVariance) {
+  running_stats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.variance(), 4.571428, 1e-5);  // unbiased: 32/7
+}
+
+TEST(RunningStats, SingleSample) {
+  running_stats s;
+  s.add(3.5);
+  EXPECT_DOUBLE_EQ(s.mean(), 3.5);
+  EXPECT_EQ(s.variance(), 0.0);
+  EXPECT_EQ(s.ci95_half_width(), 0.0);
+}
+
+TEST(RunningStats, CiShrinksWithSamples) {
+  running_stats small;
+  running_stats large;
+  for (int i = 0; i < 5; ++i) small.add(i % 2 == 0 ? 1.0 : 2.0);
+  for (int i = 0; i < 500; ++i) large.add(i % 2 == 0 ? 1.0 : 2.0);
+  EXPECT_GT(small.ci95_half_width(), large.ci95_half_width());
+}
+
+TEST(RunningStats, ResetClears) {
+  running_stats s;
+  s.add(1.0);
+  s.add(2.0);
+  s.reset();
+  EXPECT_TRUE(s.empty());
+  EXPECT_EQ(s.mean(), 0.0);
+}
+
+TEST(WindowedStats, RespectsCapacity) {
+  windowed_stats s(3);
+  s.add(100.0);
+  s.add(1.0);
+  s.add(2.0);
+  s.add(3.0);  // evicts 100
+  EXPECT_EQ(s.count(), 3u);
+  EXPECT_DOUBLE_EQ(s.mean(), 2.0);
+}
+
+TEST(WindowedStats, VarianceMatchesDirectComputation) {
+  windowed_stats s(10);
+  for (double x : {1.0, 2.0, 3.0, 4.0, 5.0}) s.add(x);
+  EXPECT_DOUBLE_EQ(s.mean(), 3.0);
+  EXPECT_NEAR(s.variance(), 2.5, 1e-9);
+  EXPECT_NEAR(s.stddev(), std::sqrt(2.5), 1e-9);
+}
+
+TEST(WindowedStats, FullFlag) {
+  windowed_stats s(2);
+  EXPECT_FALSE(s.full());
+  s.add(1);
+  EXPECT_FALSE(s.full());
+  s.add(2);
+  EXPECT_TRUE(s.full());
+}
+
+TEST(WindowedStats, VarianceNeverNegative) {
+  windowed_stats s(50);
+  for (int i = 0; i < 100; ++i) s.add(1e9 + 0.001 * (i % 2));
+  EXPECT_GE(s.variance(), 0.0);
+}
+
+TEST(TimeFraction, BasicAccounting) {
+  time_fraction f;
+  f.begin(time_origin, false);
+  f.update(time_origin + sec(10), true);   // 10s false
+  f.update(time_origin + sec(30), false);  // 20s true
+  f.finish(time_origin + sec(40));         // 10s false
+  EXPECT_EQ(f.total(), sec(40));
+  EXPECT_EQ(f.time_true(), sec(20));
+  EXPECT_DOUBLE_EQ(f.fraction(), 0.5);
+}
+
+TEST(TimeFraction, RedundantUpdatesIgnored) {
+  time_fraction f;
+  f.begin(time_origin, true);
+  f.update(time_origin + sec(1), true);
+  f.update(time_origin + sec(2), true);
+  f.finish(time_origin + sec(10));
+  EXPECT_DOUBLE_EQ(f.fraction(), 1.0);
+}
+
+TEST(TimeFraction, AlwaysFalse) {
+  time_fraction f;
+  f.begin(time_origin, false);
+  f.finish(time_origin + sec(5));
+  EXPECT_DOUBLE_EQ(f.fraction(), 0.0);
+}
+
+TEST(TimeFraction, ZeroDuration) {
+  time_fraction f;
+  f.begin(time_origin, true);
+  f.finish(time_origin);
+  EXPECT_DOUBLE_EQ(f.fraction(), 0.0);
+}
+
+}  // namespace
+}  // namespace omega

@@ -1,0 +1,157 @@
+// Ablation tests: each disabled mechanism must visibly lose the property it
+// exists to provide, at both unit and cluster scale. These back the
+// ablation_mechanisms bench.
+#include <gtest/gtest.h>
+
+#include "election/omega_l.hpp"
+#include "election/omega_lc.hpp"
+#include "elector_fixture.hpp"
+#include "harness/experiment.hpp"
+
+namespace omega::election {
+namespace {
+
+using testing::elector_world;
+using testing::payload_from;
+
+constexpr process_id p1{1};
+constexpr process_id p2{2};
+constexpr process_id p3{3};
+
+TEST(AblationOmegaLc, NoForwardingLosesLeaderBehindCrashedLink) {
+  // Exactly the OmegaLc.ForwardingElectsLeaderBehindCrashedLink setup, with
+  // forwarding off: the elector must fall back to itself.
+  elector_world w;
+  w.clock.set(time_origin + sec(100));
+  omega_lc e(w.context(p2, true), omega_lc::options{.forwarding = false});
+  w.add_member(p1);
+  w.add_member(p2);
+  w.add_member(p3);
+
+  proto::group_payload from_p3 = payload_from(p3, time_origin + sec(50));
+  from_p3.local_leader = p1;
+  from_p3.local_leader_acc = time_origin + sec(1);
+  e.on_alive_payload(node_id{3}, 1, from_p3);
+  w.distrust(p1);
+
+  EXPECT_EQ(e.evaluate(), p3)
+      << "without forwarding, the unreachable p1 must not be electable";
+}
+
+TEST(AblationOmegaLc, ForwardingVariantsAgreeOnHealthyLinks) {
+  // With all links healthy the ablation is behaviour-identical: forwarding
+  // only matters when direct knowledge is missing.
+  elector_world w;
+  w.clock.set(time_origin + sec(100));
+  omega_lc full(w.context(p2, true));
+  omega_lc ablated(w.context(p2, true), omega_lc::options{.forwarding = false});
+  w.add_member(p1);
+  w.add_member(p2);
+  for (auto* e : {&full, &ablated}) {
+    e->on_alive_payload(node_id{1}, 1, payload_from(p1, time_origin + sec(5)));
+  }
+  EXPECT_EQ(full.evaluate(), ablated.evaluate());
+}
+
+TEST(AblationOmegaL, NoPhaseGuardPunishesVoluntarySilence) {
+  elector_world w;
+  w.clock.set(time_origin + sec(100));
+  omega_l e(w.context(p2, true), omega_l::options{.phase_guard = false});
+  w.add_member(p1);
+  w.add_member(p2);
+  e.on_alive_payload(node_id{1}, 1, payload_from(p1, time_origin + sec(10)));
+  ASSERT_EQ(e.evaluate(), p1);  // withdrawn, voluntarily silent
+
+  const time_point before = e.self_accusation_time();
+  w.clock.advance(sec(5));
+  proto::accuse_msg accuse;
+  accuse.target = p2;
+  accuse.target_inc = 1;
+  accuse.phase = 0;  // stale phase: guard would drop it
+  e.on_accuse(accuse);
+  EXPECT_GT(e.self_accusation_time(), before)
+      << "ablated variant must accept the stale accusation";
+}
+
+TEST(AblationOmegaL, PhaseGuardVariantsAgreeOnFreshAccusations) {
+  for (bool guard : {true, false}) {
+    elector_world w;
+    w.clock.set(time_origin + sec(10));
+    omega_l e(w.context(p1, true), omega_l::options{.phase_guard = guard});
+    w.add_member(p1);
+    ASSERT_EQ(e.evaluate(), p1);
+    proto::group_payload mine;
+    e.fill_payload(mine);
+
+    w.clock.advance(sec(1));
+    proto::accuse_msg accuse;
+    accuse.target = p1;
+    accuse.target_inc = 1;
+    accuse.phase = mine.phase;  // current phase: both variants must demote
+    e.on_accuse(accuse);
+    EXPECT_EQ(e.self_accusation_time(), w.clock.now())
+        << "guard=" << guard;
+  }
+}
+
+TEST(AblationFactory, NamesDistinguishVariants) {
+  elector_world w;
+  EXPECT_EQ(make_elector(algorithm::omega_lc_noforward, w.context(p1, true))
+                ->name(),
+            "omega_lc_noforward");
+  EXPECT_EQ(make_elector(algorithm::omega_l_nophase, w.context(p1, true))
+                ->name(),
+            "omega_l_nophase");
+}
+
+// ---- cluster scale ----------------------------------------------------------
+
+TEST(AblationCluster, NoForwardingCollapsesUnderLinkCrashes) {
+  // Figure 7's mechanism claim, isolated: with frequent link crashes, S2's
+  // availability advantage must vanish when forwarding is disabled.
+  harness::scenario sc;
+  sc.name = "ablation-noforward";
+  sc.nodes = 6;
+  sc.churn = harness::churn_profile::none();
+  sc.link_crashes = net::link_crash_profile::crashes(sec(30), sec(3));
+  sc.measured = sec(900);
+  sc.seed = 5;
+
+  sc.alg = algorithm::omega_lc;
+  harness::experiment full(sc);
+  const double with_forwarding = full.run().p_leader;
+
+  sc.alg = algorithm::omega_lc_noforward;
+  harness::experiment ablated(sc);
+  const double without_forwarding = ablated.run().p_leader;
+
+  EXPECT_GT(with_forwarding, without_forwarding)
+      << "forwarding is the robustness mechanism; removing it must hurt";
+}
+
+TEST(AblationCluster, NoPhaseGuardDestabilizesOmegaL) {
+  // A quiet cluster with churn: the guarded S3 never demotes a live leader;
+  // the unguarded variant racks up unjustified demotions because withdrawn
+  // processes keep getting (wrongly) accused... whenever they re-enter.
+  harness::scenario sc;
+  sc.name = "ablation-nophase";
+  sc.nodes = 6;
+  sc.churn = harness::churn_profile::paper_default();
+  sc.churn.mean_uptime = sec(120);
+  sc.measured = sec(900);
+  sc.seed = 5;
+
+  sc.alg = algorithm::omega_l;
+  harness::experiment guarded(sc);
+  const auto rg = guarded.run();
+
+  sc.alg = algorithm::omega_l_nophase;
+  harness::experiment unguarded(sc);
+  const auto ru = unguarded.run();
+
+  EXPECT_GE(ru.unjustified, rg.unjustified);
+  EXPECT_LE(rg.unjustified, 1u) << "guarded omega_l should be stable";
+}
+
+}  // namespace
+}  // namespace omega::election

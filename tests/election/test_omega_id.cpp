@@ -1,0 +1,129 @@
+// Unit tests for Omega_id (S1): leader = smallest id among trusted
+// candidates. Includes the deliberate instability that motivates S2/S3.
+#include <gtest/gtest.h>
+
+#include "election/omega_id.hpp"
+#include "elector_fixture.hpp"
+
+namespace omega::election {
+namespace {
+
+using testing::elector_world;
+using testing::payload_from;
+
+constexpr process_id p1{1};
+constexpr process_id p2{2};
+constexpr process_id p3{3};
+
+TEST(OmegaId, AloneElectsSelf) {
+  elector_world w;
+  omega_id e(w.context(p2, /*candidate=*/true));
+  w.add_member(p2);
+  EXPECT_EQ(e.evaluate(), p2);
+}
+
+TEST(OmegaId, SmallestTrustedCandidateWins) {
+  elector_world w;
+  omega_id e(w.context(p2, true));
+  w.add_member(p1);
+  w.add_member(p2);
+  w.add_member(p3);
+  EXPECT_EQ(e.evaluate(), p1);
+}
+
+TEST(OmegaId, SuspectedProcessIsSkipped) {
+  elector_world w;
+  omega_id e(w.context(p2, true));
+  w.add_member(p1);
+  w.add_member(p2);
+  w.distrust(p1);
+  EXPECT_EQ(e.evaluate(), p2);
+}
+
+TEST(OmegaId, TrustRestoredDemotesLeader) {
+  // The instability S1 is famous for: a smaller id coming back always wins.
+  elector_world w;
+  omega_id e(w.context(p2, true));
+  w.add_member(p1);
+  w.add_member(p2);
+  w.distrust(p1);
+  ASSERT_EQ(e.evaluate(), p2);
+  w.trust(p1);
+  EXPECT_EQ(e.evaluate(), p1);
+}
+
+TEST(OmegaId, NonCandidatesNeverElected) {
+  elector_world w;
+  omega_id e(w.context(p3, true));
+  w.add_member(p1, /*candidate=*/false);
+  w.add_member(p2, /*candidate=*/false);
+  w.add_member(p3, true);
+  EXPECT_EQ(e.evaluate(), p3);
+}
+
+TEST(OmegaId, NoCandidateMeansNoLeader) {
+  elector_world w;
+  omega_id e(w.context(p2, /*candidate=*/false));
+  w.add_member(p1, false);
+  w.add_member(p2, false);
+  EXPECT_EQ(e.evaluate(), std::nullopt);
+}
+
+TEST(OmegaId, SelfIsAlwaysFresh) {
+  // A process never suspects itself even if its own node id is not in the
+  // trusted set (the FD does not monitor the local node).
+  elector_world w;
+  omega_id e(w.context(p2, true));
+  w.add_member(p2);
+  w.distrust(p2);
+  EXPECT_EQ(e.evaluate(), p2);
+}
+
+TEST(OmegaId, CandidatesSendAlive) {
+  elector_world w;
+  omega_id cand(w.context(p1, true));
+  omega_id passive(w.context(p2, false));
+  EXPECT_TRUE(cand.should_send_alive());
+  EXPECT_FALSE(passive.should_send_alive());
+}
+
+TEST(OmegaId, PayloadCarriesIdentityAndCandidacy) {
+  elector_world w;
+  omega_id e(w.context(p2, true));
+  proto::group_payload payload;
+  e.fill_payload(payload);
+  EXPECT_EQ(payload.pid, p2);
+  EXPECT_TRUE(payload.candidate);
+  EXPECT_TRUE(payload.competing);
+  EXPECT_EQ(payload.group, group_id{1});
+}
+
+TEST(OmegaId, IgnoresAccusations) {
+  // S1 has no accusation mechanism; an ACCUSE must be a no-op.
+  elector_world w;
+  omega_id e(w.context(p1, true));
+  w.add_member(p1);
+  proto::accuse_msg accuse;
+  accuse.target = p1;
+  accuse.target_inc = 1;
+  e.on_accuse(accuse);
+  EXPECT_EQ(e.evaluate(), p1);
+}
+
+TEST(OmegaId, NeverSendsAccusations) {
+  elector_world w;
+  omega_id e(w.context(p2, true));
+  w.add_member(p1);
+  w.add_member(p2);
+  e.on_fd_transition(node_id{1}, false);
+  EXPECT_TRUE(w.accusations.empty());
+}
+
+TEST(OmegaId, FactoryProducesOmegaId) {
+  elector_world w;
+  auto e = make_elector(algorithm::omega_id, w.context(p1, true));
+  EXPECT_EQ(e->name(), "omega_id");
+}
+
+}  // namespace
+}  // namespace omega::election

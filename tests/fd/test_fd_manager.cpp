@@ -1,0 +1,240 @@
+// fd_manager tests: the shared, per-workstation failure-detector module —
+// lazy monitor creation, trust transitions, incarnation handling, rate
+// renegotiation with hysteresis, and adaptation to degrading links.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "fd/fd_manager.hpp"
+#include "sim/simulator.hpp"
+
+namespace omega::fd {
+namespace {
+
+const group_id g1{1};
+const group_id g2{2};
+constexpr node_id remote{7};
+
+struct transition {
+  group_id group;
+  node_id node;
+  bool trusted;
+};
+
+struct fd_fixture {
+  sim::simulator sim;
+  fd_manager fd;
+  std::vector<transition> transitions;
+  std::vector<std::pair<node_id, duration>> rate_requests;
+
+  fd_fixture() : fd(sim, sim) {
+    fd.set_transition_handler([this](group_id g, node_id n, bool t) {
+      transitions.push_back({g, n, t});
+    });
+    fd.set_rate_request_fn([this](node_id n, duration eta) {
+      rate_requests.emplace_back(n, eta);
+    });
+    fd.start();
+  }
+
+  proto::alive_msg alive(incarnation inc, std::uint64_t seq, duration eta,
+                         std::initializer_list<group_id> groups = {g1}) {
+    proto::alive_msg msg;
+    msg.from = remote;
+    msg.inc = inc;
+    msg.seq = seq;
+    msg.send_time = sim.now();
+    msg.eta = eta;
+    for (group_id g : groups) {
+      proto::group_payload p;
+      p.group = g;
+      p.pid = process_id{remote.value()};
+      p.candidate = true;
+      p.competing = true;
+      msg.groups.push_back(p);
+    }
+    return msg;
+  }
+};
+
+TEST(FdManager, FirstAliveCreatesMonitorAndTrusts) {
+  fd_fixture f;
+  f.fd.add_group(g1, qos_spec::paper_default());
+  EXPECT_FALSE(f.fd.is_trusted(g1, remote));
+  f.fd.on_alive(f.alive(1, 1, msec(250)), f.sim.now());
+  EXPECT_TRUE(f.fd.is_trusted(g1, remote));
+  ASSERT_FALSE(f.transitions.empty());
+  EXPECT_TRUE(f.transitions.back().trusted);
+  EXPECT_EQ(f.fd.monitor_count(), 1u);
+}
+
+TEST(FdManager, AliveForUnknownGroupIgnored) {
+  fd_fixture f;
+  f.fd.add_group(g1, qos_spec::paper_default());
+  f.fd.on_alive(f.alive(1, 1, msec(250), {g2}), f.sim.now());
+  EXPECT_EQ(f.fd.monitor_count(), 0u);
+  EXPECT_FALSE(f.fd.is_trusted(g2, remote));
+}
+
+TEST(FdManager, SilenceTriggersSuspicion) {
+  fd_fixture f;
+  f.fd.add_group(g1, qos_spec::paper_default());  // T^U_D = 1 s
+  f.fd.on_alive(f.alive(1, 1, msec(250)), f.sim.now());
+  ASSERT_TRUE(f.fd.is_trusted(g1, remote));
+  f.sim.run_until(f.sim.now() + sec(3));
+  EXPECT_FALSE(f.fd.is_trusted(g1, remote));
+  ASSERT_GE(f.transitions.size(), 2u);
+  EXPECT_FALSE(f.transitions.back().trusted);
+}
+
+TEST(FdManager, SteadyHeartbeatsKeepTrust) {
+  fd_fixture f;
+  f.fd.add_group(g1, qos_spec::paper_default());
+  std::uint64_t seq = 0;
+  for (int i = 0; i < 40; ++i) {
+    f.fd.on_alive(f.alive(1, ++seq, msec(250)), f.sim.now());
+    f.sim.run_until(f.sim.now() + msec(250));
+  }
+  EXPECT_TRUE(f.fd.is_trusted(g1, remote));
+  // Exactly one transition: the initial trust.
+  EXPECT_EQ(f.transitions.size(), 1u);
+}
+
+TEST(FdManager, RecoveredHeartbeatRestoresTrust) {
+  fd_fixture f;
+  f.fd.add_group(g1, qos_spec::paper_default());
+  f.fd.on_alive(f.alive(1, 1, msec(250)), f.sim.now());
+  f.sim.run_until(f.sim.now() + sec(3));
+  ASSERT_FALSE(f.fd.is_trusted(g1, remote));
+  f.fd.on_alive(f.alive(1, 2, msec(250)), f.sim.now());
+  EXPECT_TRUE(f.fd.is_trusted(g1, remote));
+}
+
+TEST(FdManager, NewIncarnationResetsLinkHistory) {
+  fd_fixture f;
+  f.fd.add_group(g1, qos_spec::paper_default());
+  std::uint64_t seq = 0;
+  for (int i = 0; i < 300; ++i) {
+    f.fd.on_alive(f.alive(1, ++seq, msec(250)), f.sim.now());
+    f.sim.run_until(f.sim.now() + msec(250));
+  }
+  const auto before = f.fd.link_quality(remote);
+  EXPECT_GT(before.samples, 100u);
+  // The remote restarts: its heartbeat stream starts over.
+  f.fd.on_alive(f.alive(2, 1, msec(250)), f.sim.now());
+  const auto after = f.fd.link_quality(remote);
+  EXPECT_LT(after.samples, before.samples)
+      << "stale stream statistics must not survive a reincarnation";
+}
+
+TEST(FdManager, StaleIncarnationAliveDiscarded) {
+  fd_fixture f;
+  f.fd.add_group(g1, qos_spec::paper_default());
+  f.fd.on_alive(f.alive(3, 1, msec(250)), f.sim.now());
+  ASSERT_TRUE(f.fd.is_trusted(g1, remote));
+  f.sim.run_until(f.sim.now() + sec(3));
+  ASSERT_FALSE(f.fd.is_trusted(g1, remote));
+  // A ghost heartbeat from the previous life must not restore trust.
+  f.fd.on_alive(f.alive(2, 99, msec(250)), f.sim.now());
+  EXPECT_FALSE(f.fd.is_trusted(g1, remote));
+}
+
+TEST(FdManager, PerGroupMonitorsShareOneEstimator) {
+  fd_fixture f;
+  f.fd.add_group(g1, qos_spec::paper_default());
+  f.fd.add_group(g2, qos_spec::paper_default());
+  f.fd.on_alive(f.alive(1, 1, msec(250), {g1, g2}), f.sim.now());
+  EXPECT_TRUE(f.fd.is_trusted(g1, remote));
+  EXPECT_TRUE(f.fd.is_trusted(g2, remote));
+  EXPECT_EQ(f.fd.monitor_count(), 2u);
+}
+
+TEST(FdManager, TighterGroupDrivesRateRequest) {
+  fd_fixture f;
+  f.fd.add_group(g1, qos_spec::paper_default());  // 1 s bound
+  std::uint64_t seq = 0;
+  for (int i = 0; i < 40; ++i) {
+    f.fd.on_alive(f.alive(1, ++seq, msec(250)), f.sim.now());
+    f.sim.run_until(f.sim.now() + msec(250));
+  }
+  const duration eta_loose = f.fd.requested_eta(remote);
+  EXPECT_GT(eta_loose, duration{0});
+
+  qos_spec tight;
+  tight.detection_time = msec(200);
+  f.fd.add_group(g2, tight);
+  f.fd.on_alive(f.alive(1, ++seq, msec(250), {g1, g2}), f.sim.now());
+  f.sim.run_until(f.sim.now() + sec(3));
+  const duration eta_tight = f.fd.requested_eta(remote);
+  EXPECT_LT(eta_tight, eta_loose)
+      << "the tighter group must pull the requested rate down";
+  ASSERT_FALSE(f.rate_requests.empty());
+  EXPECT_EQ(f.rate_requests.back().first, remote);
+}
+
+TEST(FdManager, RateHysteresisSuppressesTinyChanges) {
+  fd_fixture f;
+  f.fd.add_group(g1, qos_spec::paper_default());
+  std::uint64_t seq = 0;
+  // Settle into a steady operating point.
+  for (int i = 0; i < 80; ++i) {
+    f.fd.on_alive(f.alive(1, ++seq, msec(250)), f.sim.now());
+    f.sim.run_until(f.sim.now() + msec(250));
+  }
+  const auto sent_before = f.rate_requests.size();
+  for (int i = 0; i < 40; ++i) {
+    f.fd.on_alive(f.alive(1, ++seq, msec(250)), f.sim.now());
+    f.sim.run_until(f.sim.now() + msec(250));
+  }
+  // Stable link, stable QoS: only periodic refreshes (<= 1 per rate_refresh
+  // window), not one per reconfiguration tick.
+  EXPECT_LE(f.rate_requests.size() - sent_before, 2u);
+}
+
+TEST(FdManager, DropForgetsGroupMonitor) {
+  fd_fixture f;
+  f.fd.add_group(g1, qos_spec::paper_default());
+  f.fd.add_group(g2, qos_spec::paper_default());
+  f.fd.on_alive(f.alive(1, 1, msec(250), {g1, g2}), f.sim.now());
+  f.fd.drop(g1, remote);
+  EXPECT_FALSE(f.fd.is_trusted(g1, remote));
+  EXPECT_TRUE(f.fd.is_trusted(g2, remote));
+  f.fd.drop_node(remote);
+  EXPECT_FALSE(f.fd.is_trusted(g2, remote));
+  EXPECT_EQ(f.fd.monitor_count(), 0u);
+}
+
+TEST(FdManager, RemoveGroupDropsItsMonitors) {
+  fd_fixture f;
+  f.fd.add_group(g1, qos_spec::paper_default());
+  f.fd.on_alive(f.alive(1, 1, msec(250)), f.sim.now());
+  ASSERT_EQ(f.fd.monitor_count(), 1u);
+  f.fd.remove_group(g1);
+  EXPECT_EQ(f.fd.monitor_count(), 0u);
+  EXPECT_FALSE(f.fd.is_trusted(g1, remote));
+}
+
+TEST(FdManager, ParamsAdaptWhenLinkDegrades) {
+  fd_fixture f;
+  fd_manager::options opts;
+  f.fd.add_group(g1, qos_spec::paper_default());
+  std::uint64_t seq = 0;
+  // Clean link first: heartbeats arrive instantly.
+  for (int i = 0; i < 200; ++i) {
+    f.fd.on_alive(f.alive(1, ++seq, msec(250)), f.sim.now());
+    f.sim.run_until(f.sim.now() + msec(250));
+  }
+  const auto clean = f.fd.current_params(g1, remote);
+  // Degrade: half the heartbeats vanish (sequence gaps).
+  for (int i = 0; i < 400; ++i) {
+    seq += 2;  // every other heartbeat lost
+    f.fd.on_alive(f.alive(1, seq, msec(250)), f.sim.now());
+    f.sim.run_until(f.sim.now() + msec(250));
+  }
+  const auto lossy = f.fd.current_params(g1, remote);
+  EXPECT_LT(lossy.eta, clean.eta)
+      << "heavy loss must force faster heartbeats to hold the QoS";
+}
+
+}  // namespace
+}  // namespace omega::fd

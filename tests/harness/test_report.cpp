@@ -1,0 +1,71 @@
+// Formatting tests for the bench report tables.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "harness/report.hpp"
+
+namespace omega::harness {
+namespace {
+
+TEST(Report, FmtDouble) {
+  EXPECT_EQ(fmt_double(0.938, 2), "0.94");
+  EXPECT_EQ(fmt_double(5.0, 1), "5.0");
+  EXPECT_EQ(fmt_double(-1.25, 2), "-1.25");
+  EXPECT_EQ(fmt_double(0.0, 3), "0.000");
+}
+
+TEST(Report, FmtPercent) {
+  EXPECT_EQ(fmt_percent(0.99842, 2), "99.84%");
+  EXPECT_EQ(fmt_percent(1.0, 2), "100.00%");
+  EXPECT_EQ(fmt_percent(0.7742, 2), "77.42%");
+  EXPECT_EQ(fmt_percent(0.0, 1), "0.0%");
+}
+
+TEST(Report, FmtCi) {
+  EXPECT_EQ(fmt_ci(0.94, 0.052, 2), "0.94 +/-0.05");
+  EXPECT_EQ(fmt_ci(3.0, 0.0, 1), "3.0 +/-0.0");
+}
+
+TEST(Report, TableAlignsColumns) {
+  table t("Demo");
+  t.headers({"name", "value"});
+  t.row({"short", "1"});
+  t.row({"a much longer cell", "22"});
+  std::ostringstream out;
+  t.print(out);
+  const std::string s = out.str();
+  EXPECT_NE(s.find("== Demo =="), std::string::npos);
+  EXPECT_NE(s.find("name"), std::string::npos);
+  EXPECT_NE(s.find("a much longer cell"), std::string::npos);
+
+  // All data lines are padded to the same width per column: the separator
+  // row must be at least as wide as the widest cell row.
+  std::istringstream lines(s);
+  std::string line, sep;
+  std::size_t max_len = 0;
+  while (std::getline(lines, line)) {
+    if (line.find("---") != std::string::npos) sep = line;
+    max_len = std::max(max_len, line.size());
+  }
+  ASSERT_FALSE(sep.empty());
+}
+
+TEST(Report, EmptyTableStillPrintsTitle) {
+  table t("Nothing");
+  std::ostringstream out;
+  t.print(out);
+  EXPECT_NE(out.str().find("Nothing"), std::string::npos);
+}
+
+TEST(Report, RowsShorterThanHeadersTolerated) {
+  table t("Ragged");
+  t.headers({"a", "b", "c"});
+  t.row({"1"});
+  std::ostringstream out;
+  t.print(out);  // must not crash
+  EXPECT_NE(out.str().find("1"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace omega::harness

@@ -1,0 +1,198 @@
+// Failure-injection integration tests: targeted link/node faults against
+// the full service stack, exercising the behaviours Figures 4-7 rest on.
+#include <gtest/gtest.h>
+
+#include "harness/experiment.hpp"
+
+namespace omega::harness {
+namespace {
+
+scenario quiet(election::algorithm alg, std::size_t nodes = 4) {
+  scenario sc;
+  sc.name = "failure-injection";
+  sc.nodes = nodes;
+  sc.alg = alg;
+  sc.links = net::link_profile::lan();
+  sc.churn = churn_profile::none();
+  sc.measured = sec(60);
+  sc.warmup = sec(30);
+  sc.seed = 21;
+  return sc;
+}
+
+/// Runs until the cluster has settled and returns the agreed leader.
+process_id settle(experiment& exp) {
+  exp.simulator().run_until(time_origin + sec(30));
+  const auto leader = exp.group().agreed_leader();
+  EXPECT_TRUE(leader.has_value());
+  return leader.value_or(process_id::invalid());
+}
+
+TEST(FailureInjection, OmegaLcMasksLeaderOutboundLinkCrash) {
+  // One leader-outbound link dies. With forwarding, every follower keeps
+  // the leader: availability must not collapse and the leader must hold.
+  experiment exp(quiet(election::algorithm::omega_lc));
+  const process_id leader = settle(exp);
+  exp.group().begin(exp.simulator().now());
+
+  // Find a follower and cut leader -> follower.
+  const node_id lnode{leader.value()};
+  const node_id victim{(leader.value() + 1) % 4};
+  exp.network().force_link_state(lnode, victim, false);
+  exp.simulator().run_until(exp.simulator().now() + sec(30));
+  exp.network().force_link_state(lnode, victim, true);
+  exp.simulator().run_until(exp.simulator().now() + sec(10));
+  exp.group().finish(exp.simulator().now());
+
+  EXPECT_EQ(exp.group().agreed_leader(), leader)
+      << "forwarding should have masked the single link crash";
+  EXPECT_GT(exp.group().leader_availability(), 0.9);
+}
+
+TEST(FailureInjection, OmegaLRecoversAfterLeaderLinkCrash) {
+  // Same fault under Omega_l: no forwarding, so the orphaned follower
+  // diverges. After the link heals the group must re-converge on one
+  // leader (possibly a new one).
+  experiment exp(quiet(election::algorithm::omega_l));
+  const process_id leader = settle(exp);
+
+  const node_id lnode{leader.value()};
+  const node_id victim{(leader.value() + 1) % 4};
+  exp.network().force_link_state(lnode, victim, false);
+  exp.simulator().run_until(exp.simulator().now() + sec(30));
+  exp.network().force_link_state(lnode, victim, true);
+  exp.simulator().run_until(exp.simulator().now() + sec(30));
+
+  const auto healed = exp.group().agreed_leader();
+  ASSERT_TRUE(healed.has_value()) << "group failed to re-converge";
+}
+
+TEST(FailureInjection, SymmetricPartitionHealsToOneLeader) {
+  // Split 4 nodes into {0,1} | {2,3} for a while, then heal. Both halves
+  // run elections during the partition; after healing everyone must agree
+  // on a single leader again.
+  experiment exp(quiet(election::algorithm::omega_lc));
+  settle(exp);
+
+  for (std::uint32_t a : {0u, 1u}) {
+    for (std::uint32_t b : {2u, 3u}) {
+      exp.network().force_link_state(node_id{a}, node_id{b}, false);
+      exp.network().force_link_state(node_id{b}, node_id{a}, false);
+    }
+  }
+  exp.simulator().run_until(exp.simulator().now() + sec(30));
+
+  // During the partition there can be no global agreement: the two sides
+  // trust different leaders (each side's members still count as alive).
+  for (std::uint32_t a : {0u, 1u}) {
+    for (std::uint32_t b : {2u, 3u}) {
+      exp.network().force_link_state(node_id{a}, node_id{b}, true);
+      exp.network().force_link_state(node_id{b}, node_id{a}, true);
+    }
+  }
+  exp.simulator().run_until(exp.simulator().now() + sec(30));
+
+  const auto healed = exp.group().agreed_leader();
+  ASSERT_TRUE(healed.has_value()) << "no agreement after partition healed";
+  for (std::uint32_t i = 0; i < 4; ++i) {
+    auto* svc = exp.node_service(node_id{i});
+    ASSERT_NE(svc, nullptr);
+    EXPECT_EQ(svc->leader(group_id{1}), healed) << "node " << i << " dissents";
+  }
+}
+
+TEST(FailureInjection, AsymmetricIsolationOfLeaderEventuallyDemotes) {
+  // All of the leader's *outbound* links die (it can still hear others).
+  // Nobody receives its heartbeats, so the group must elect someone else —
+  // this is the one-way-link case Omega_lc is proven for [4].
+  experiment exp(quiet(election::algorithm::omega_lc));
+  const process_id leader = settle(exp);
+
+  const node_id lnode{leader.value()};
+  for (std::uint32_t i = 0; i < 4; ++i) {
+    if (i != leader.value()) {
+      exp.network().force_link_state(lnode, node_id{i}, false);
+    }
+  }
+  exp.simulator().run_until(exp.simulator().now() + sec(30));
+
+  for (std::uint32_t i = 0; i < 4; ++i) {
+    if (i == leader.value()) continue;
+    auto* svc = exp.node_service(node_id{i});
+    ASSERT_NE(svc, nullptr);
+    const auto view = svc->leader(group_id{1});
+    ASSERT_TRUE(view.has_value());
+    EXPECT_NE(*view, leader) << "node " << i << " still follows the mute leader";
+  }
+}
+
+TEST(FailureInjection, NodeFlappingDoesNotWedgeTheGroup) {
+  // A node that crashes and recovers rapidly must not prevent the rest of
+  // the group from keeping a stable leader.
+  experiment exp(quiet(election::algorithm::omega_lc));
+  settle(exp);
+  exp.group().begin(exp.simulator().now());
+
+  const node_id flappy{3};
+  for (int i = 0; i < 6; ++i) {
+    exp.crash_node(flappy);
+    exp.simulator().run_until(exp.simulator().now() + msec(400));
+    exp.recover_node(flappy);
+    exp.simulator().run_until(exp.simulator().now() + msec(600));
+  }
+  exp.simulator().run_until(exp.simulator().now() + sec(10));
+  exp.group().finish(exp.simulator().now());
+
+  EXPECT_TRUE(exp.group().agreed_leader().has_value());
+  // The flapping non-leader must not have demoted anyone.
+  EXPECT_EQ(exp.group().unjustified_demotions(), 0u);
+}
+
+TEST(FailureInjection, TotalBlackoutRecovers) {
+  // Every link down for 10 s: all processes suspect everyone, then the
+  // world comes back. The group must converge again.
+  experiment exp(quiet(election::algorithm::omega_lc));
+  settle(exp);
+
+  for (std::uint32_t a = 0; a < 4; ++a) {
+    for (std::uint32_t b = 0; b < 4; ++b) {
+      if (a != b) exp.network().force_link_state(node_id{a}, node_id{b}, false);
+    }
+  }
+  exp.simulator().run_until(exp.simulator().now() + sec(10));
+  for (std::uint32_t a = 0; a < 4; ++a) {
+    for (std::uint32_t b = 0; b < 4; ++b) {
+      if (a != b) exp.network().force_link_state(node_id{a}, node_id{b}, true);
+    }
+  }
+  exp.simulator().run_until(exp.simulator().now() + sec(30));
+
+  const auto healed = exp.group().agreed_leader();
+  ASSERT_TRUE(healed.has_value());
+}
+
+TEST(FailureInjection, SequentialLeaderAssassination) {
+  // Kill whoever is leader, four times in a row; the service must always
+  // produce a successor while candidates remain.
+  experiment exp(quiet(election::algorithm::omega_lc, 6));
+  settle(exp);
+  exp.group().begin(exp.simulator().now());
+
+  for (int round = 0; round < 4; ++round) {
+    const auto leader = exp.group().agreed_leader();
+    ASSERT_TRUE(leader.has_value()) << "round " << round;
+    exp.crash_node(node_id{leader->value()});
+    exp.simulator().run_until(exp.simulator().now() + sec(5));
+  }
+  const auto last = exp.group().agreed_leader();
+  ASSERT_TRUE(last.has_value());
+  exp.group().finish(exp.simulator().now());
+  EXPECT_EQ(exp.group().unjustified_demotions(), 0u);
+  EXPECT_EQ(exp.group().leader_crashes(), 4u);
+  EXPECT_EQ(exp.group().recovery_times().count(), 4u);
+  // Every recovery respected (roughly) the 1 s detection + election margin.
+  EXPECT_LT(exp.group().recovery_times().mean(), 2.0);
+}
+
+}  // namespace
+}  // namespace omega::harness

@@ -1,0 +1,71 @@
+// Cost-model tests: the work-proxy CPU accounting and exact bandwidth
+// accounting behind Figure 6.
+#include <gtest/gtest.h>
+
+#include "metrics/cost_model.hpp"
+
+namespace omega::metrics {
+namespace {
+
+net::traffic_totals traffic(std::uint64_t sent, std::uint64_t sent_bytes,
+                            std::uint64_t recv, std::uint64_t recv_bytes) {
+  net::traffic_totals t;
+  t.datagrams_sent = sent;
+  t.bytes_sent = sent_bytes;
+  t.datagrams_received = recv;
+  t.bytes_received = recv_bytes;
+  return t;
+}
+
+TEST(CostModel, ZeroTrafficZeroCost) {
+  cost_model m;
+  EXPECT_DOUBLE_EQ(m.cpu_percent(traffic(0, 0, 0, 0), sec(60)), 0.0);
+  EXPECT_DOUBLE_EQ(cost_model::sent_kb_per_second(traffic(0, 0, 0, 0), sec(60)),
+                   0.0);
+}
+
+TEST(CostModel, CpuScalesLinearlyWithDatagrams) {
+  cost_model m;
+  const double one = m.cpu_percent(traffic(1000, 100000, 1000, 100000), sec(60));
+  const double two = m.cpu_percent(traffic(2000, 200000, 2000, 200000), sec(60));
+  EXPECT_NEAR(two, 2.0 * one, 1e-12);
+}
+
+TEST(CostModel, CpuCountsBothDirections) {
+  cost_model m;
+  const double tx = m.cpu_percent(traffic(1000, 100000, 0, 0), sec(60));
+  const double rx = m.cpu_percent(traffic(0, 0, 1000, 100000), sec(60));
+  EXPECT_DOUBLE_EQ(tx, rx) << "send and receive cost the same per datagram";
+}
+
+TEST(CostModel, KnownValue) {
+  // 10^6 us of work over 10^8 us elapsed = 1% CPU.
+  cost_model m;
+  m.us_per_datagram = 10.0;
+  m.us_per_kilobyte = 0.0;
+  const auto t = traffic(100000, 0, 0, 0);  // 10^5 datagrams * 10us = 10^6 us
+  EXPECT_NEAR(m.cpu_percent(t, sec(100)), 1.0, 1e-9);
+}
+
+TEST(CostModel, BandwidthCountsSentOnly) {
+  // The paper reports traffic *generated* per workstation.
+  const auto t = traffic(100, 61440, 100, 1024000);
+  EXPECT_NEAR(cost_model::sent_kb_per_second(t, sec(60)), 1.0, 1e-12);
+}
+
+TEST(CostModel, ShorterWindowHigherRate) {
+  const auto t = traffic(100, 61440, 0, 0);
+  EXPECT_GT(cost_model::sent_kb_per_second(t, sec(30)),
+            cost_model::sent_kb_per_second(t, sec(60)));
+}
+
+TEST(CostModel, ZeroElapsedIsSafe) {
+  cost_model m;
+  EXPECT_DOUBLE_EQ(m.cpu_percent(traffic(10, 100, 10, 100), duration{0}), 0.0);
+  EXPECT_DOUBLE_EQ(cost_model::sent_kb_per_second(traffic(10, 100, 0, 0),
+                                                  duration{0}),
+                   0.0);
+}
+
+}  // namespace
+}  // namespace omega::metrics

@@ -1,0 +1,168 @@
+#include "metrics/group_metrics.hpp"
+
+#include <gtest/gtest.h>
+
+namespace omega::metrics {
+namespace {
+
+constexpr process_id p1{1};
+constexpr process_id p2{2};
+constexpr process_id p3{3};
+
+time_point at(int s) { return time_origin + sec(s); }
+
+// A three-process group that agrees on p1 from t=0.
+group_metrics agreed_group() {
+  group_metrics g;
+  g.on_join(at(0), p1);
+  g.on_join(at(0), p2);
+  g.on_join(at(0), p3);
+  g.on_leader_view(at(0), p1, p1);
+  g.on_leader_view(at(0), p2, p1);
+  g.on_leader_view(at(0), p3, p1);
+  g.begin(at(0));
+  return g;
+}
+
+TEST(GroupMetrics, FullAgreementFullAvailability) {
+  group_metrics g = agreed_group();
+  g.finish(at(100));
+  EXPECT_DOUBLE_EQ(g.leader_availability(), 1.0);
+  EXPECT_EQ(g.unjustified_demotions(), 0u);
+  EXPECT_EQ(g.agreed_leader(), p1);  // state survives finish()
+}
+
+TEST(GroupMetrics, AgreedLeaderExposed) {
+  group_metrics g = agreed_group();
+  EXPECT_EQ(g.agreed_leader(), p1);
+}
+
+TEST(GroupMetrics, DisagreementBreaksAvailability) {
+  group_metrics g = agreed_group();
+  g.on_leader_view(at(50), p3, p2);  // p3 dissents
+  g.on_leader_view(at(75), p3, p1);  // p3 returns
+  g.finish(at(100));
+  EXPECT_NEAR(g.leader_availability(), 0.75, 1e-9);
+  // Re-agreement on the same leader is a blip, not a demotion.
+  EXPECT_EQ(g.unjustified_demotions(), 0u);
+}
+
+TEST(GroupMetrics, MissingViewBlocksAgreement) {
+  group_metrics g;
+  g.on_join(at(0), p1);
+  g.on_join(at(0), p2);
+  g.on_leader_view(at(0), p1, p1);
+  g.begin(at(0));  // p2 has no view yet
+  g.on_leader_view(at(10), p2, p1);
+  g.finish(at(20));
+  EXPECT_NEAR(g.leader_availability(), 0.5, 1e-9);
+}
+
+TEST(GroupMetrics, DeadLeaderViewIsNoAgreement) {
+  group_metrics g = agreed_group();
+  g.on_crash(at(10), p1);  // everyone still views p1, but p1 is dead
+  g.finish(at(20));
+  EXPECT_NEAR(g.leader_availability(), 0.5, 1e-9);
+}
+
+TEST(GroupMetrics, LeaderCrashOpensRecoverySample) {
+  group_metrics g = agreed_group();
+  g.on_crash(at(10), p1);
+  g.on_leader_view(at(11), p2, p2);
+  g.on_leader_view(at(12), p3, p2);  // agreement on p2 at t=12
+  g.finish(at(20));
+  EXPECT_EQ(g.leader_crashes(), 1u);
+  ASSERT_EQ(g.recovery_times().count(), 1u);
+  EXPECT_NEAR(g.recovery_times().mean(), 2.0, 1e-9);
+  // Old leader crashed: the change is justified.
+  EXPECT_EQ(g.unjustified_demotions(), 0u);
+  EXPECT_EQ(g.justified_changes(), 1u);
+}
+
+TEST(GroupMetrics, UnjustifiedDemotionDetected) {
+  group_metrics g = agreed_group();
+  // p1 stays alive, but everyone switches to p2 (e.g. a smaller-id rejoin
+  // in S1 or an FD mistake).
+  g.on_leader_view(at(10), p1, p2);
+  g.on_leader_view(at(10), p2, p2);
+  g.on_leader_view(at(11), p3, p2);
+  g.finish(at(20));
+  EXPECT_EQ(g.unjustified_demotions(), 1u);
+  EXPECT_EQ(g.justified_changes(), 0u);
+  EXPECT_GT(g.mistakes_per_hour(), 0.0);
+}
+
+TEST(GroupMetrics, NonLeaderCrashNoRecoverySample) {
+  group_metrics g = agreed_group();
+  g.on_crash(at(10), p3);
+  g.finish(at(20));
+  EXPECT_EQ(g.leader_crashes(), 0u);
+  EXPECT_EQ(g.recovery_times().count(), 0u);
+  // p1 and p2 still agree on p1.
+  EXPECT_DOUBLE_EQ(g.leader_availability(), 1.0);
+}
+
+TEST(GroupMetrics, RecoveredProcessMustRejoinAndView) {
+  group_metrics g = agreed_group();
+  g.on_crash(at(10), p3);
+  g.on_recover(at(15), p3);
+  // p3 recovered but has not rejoined: agreement unaffected.
+  EXPECT_EQ(g.agreed_leader(), p1);
+  g.on_join(at(16), p3);
+  // Joined but no view yet: agreement lost.
+  EXPECT_EQ(g.agreed_leader(), std::nullopt);
+  g.on_leader_view(at(17), p3, p1);
+  EXPECT_EQ(g.agreed_leader(), p1);
+  g.finish(at(20));
+  EXPECT_EQ(g.unjustified_demotions(), 0u);
+}
+
+TEST(GroupMetrics, LeaderLeaveIsJustified) {
+  group_metrics g = agreed_group();
+  g.on_leave(at(10), p1);
+  g.on_leader_view(at(11), p2, p2);
+  g.on_leader_view(at(11), p3, p2);
+  g.finish(at(20));
+  EXPECT_EQ(g.unjustified_demotions(), 0u);
+  EXPECT_EQ(g.justified_changes(), 1u);
+  EXPECT_EQ(g.leader_crashes(), 0u);  // not a crash
+}
+
+TEST(GroupMetrics, RecoveryContinuesAcrossSecondCrash) {
+  group_metrics g = agreed_group();
+  g.on_crash(at(10), p1);
+  // The would-be successor crashes too before agreement forms.
+  g.on_crash(at(12), p2);
+  g.on_leader_view(at(15), p3, p3);
+  g.finish(at(20));
+  ASSERT_EQ(g.recovery_times().count(), 1u);
+  EXPECT_NEAR(g.recovery_times().mean(), 5.0, 1e-9);  // 10 -> 15
+}
+
+TEST(GroupMetrics, EmptyGroupHasNoLeader) {
+  group_metrics g;
+  g.begin(at(0));
+  g.finish(at(10));
+  EXPECT_DOUBLE_EQ(g.leader_availability(), 0.0);
+}
+
+TEST(GroupMetrics, MistakesPerHourNormalization) {
+  group_metrics g = agreed_group();
+  g.on_leader_view(at(10), p1, p2);
+  g.on_leader_view(at(10), p2, p2);
+  g.on_leader_view(at(10), p3, p2);
+  g.finish(at(1800));  // half an hour
+  EXPECT_NEAR(g.mistakes_per_hour(), 2.0, 1e-9);
+}
+
+TEST(GroupMetrics, OutageDurationsTracked) {
+  group_metrics g = agreed_group();
+  g.on_leader_view(at(10), p3, p2);  // agreement lost
+  g.on_leader_view(at(13), p3, p1);  // restored (same leader)
+  g.finish(at(20));
+  ASSERT_EQ(g.outage_durations().count(), 1u);
+  EXPECT_NEAR(g.outage_durations().mean(), 3.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace omega::metrics

@@ -1,0 +1,124 @@
+// Tests for the demotion justification window: a leader that crashes and
+// recovers faster than the FD can detect must not turn the (crash-caused)
+// leader change into an "unjustified" demotion.
+#include <gtest/gtest.h>
+
+#include "metrics/group_metrics.hpp"
+
+namespace omega::metrics {
+namespace {
+
+constexpr process_id p1{1};
+constexpr process_id p2{2};
+constexpr process_id p3{3};
+
+time_point at(double s) { return time_origin + from_seconds(s); }
+
+group_metrics agreed_group() {
+  group_metrics g;
+  g.set_justification_window(sec(2));
+  g.on_join(at(0), p1);
+  g.on_join(at(0), p2);
+  g.on_join(at(0), p3);
+  g.on_leader_view(at(0), p1, p1);
+  g.on_leader_view(at(0), p2, p1);
+  g.on_leader_view(at(0), p3, p1);
+  g.begin(at(0));
+  return g;
+}
+
+TEST(JustificationWindow, FlashRecoveryBlipThenSwitchIsJustified) {
+  group_metrics g = agreed_group();
+  // p1 crashes at t=10 and is back 0.1 s later — before anyone detected it.
+  g.on_crash(at(10.0), p1);
+  g.on_recover(at(10.1), p1);
+  g.on_join(at(10.1), p1);
+  g.on_leader_view(at(10.1), p1, p1);  // fresh instance self-view
+  // Agreement transiently re-forms on p1 (peers never changed their view).
+  EXPECT_EQ(g.agreed_leader(), p1);
+  // The fresh incarnation ranks last, so the group moves to p2 momentarily.
+  g.on_leader_view(at(10.6), p1, p2);
+  g.on_leader_view(at(10.6), p2, p2);
+  g.on_leader_view(at(10.7), p3, p2);
+  g.finish(at(20));
+
+  EXPECT_EQ(g.unjustified_demotions(), 0u)
+      << "the p1->p2 switch was caused by p1's real crash";
+  EXPECT_EQ(g.justified_changes(), 1u);
+}
+
+TEST(JustificationWindow, SwitchLongAfterRecoveryIsUnjustified) {
+  group_metrics g = agreed_group();
+  g.on_crash(at(10.0), p1);
+  g.on_recover(at(10.1), p1);
+  g.on_join(at(10.1), p1);
+  g.on_leader_view(at(10.1), p1, p1);
+  EXPECT_EQ(g.agreed_leader(), p1);
+  // The switch away happens 30 s later: way outside the window, so it
+  // cannot be attributed to the old crash.
+  g.on_leader_view(at(40.0), p1, p2);
+  g.on_leader_view(at(40.0), p2, p2);
+  g.on_leader_view(at(40.1), p3, p2);
+  g.finish(at(60));
+
+  EXPECT_EQ(g.unjustified_demotions(), 1u);
+}
+
+TEST(JustificationWindow, DirectSwitchAfterRecentCrashJustified) {
+  // Even an instantaneous L -> L' agreement flip (no leaderless gap) is
+  // justified when L crashed moments ago.
+  group_metrics g = agreed_group();
+  g.on_crash(at(10.0), p1);
+  g.on_recover(at(10.05), p1);
+  g.on_join(at(10.05), p1);
+  g.on_leader_view(at(10.05), p1, p1);
+  ASSERT_EQ(g.agreed_leader(), p1);
+  // All three views flip to p2 in one instant: direct switch.
+  g.on_leader_view(at(10.5), p1, p2);
+  g.on_leader_view(at(10.5), p2, p2);
+  g.on_leader_view(at(10.5), p3, p2);
+  g.finish(at(20));
+  EXPECT_EQ(g.unjustified_demotions(), 0u);
+  EXPECT_EQ(g.justified_changes(), 1u);
+}
+
+TEST(JustificationWindow, UnrelatedDemotionStillCounted) {
+  // p3 crashed recently, but the demoted leader is p1: no masking.
+  group_metrics g = agreed_group();
+  g.on_crash(at(9.5), p3);
+  g.on_leader_view(at(10.0), p1, p2);
+  g.on_leader_view(at(10.0), p2, p2);
+  g.finish(at(20));
+  EXPECT_EQ(g.unjustified_demotions(), 1u);
+}
+
+TEST(JustificationWindow, LeaveInsideWindowJustifiesSwitch) {
+  group_metrics g = agreed_group();
+  g.on_leave(at(10.0), p1);
+  g.on_join(at(10.2), p1);  // immediately re-joins (no crash)
+  g.on_leader_view(at(10.2), p1, p1);
+  ASSERT_EQ(g.agreed_leader(), p1);
+  g.on_leader_view(at(10.9), p1, p2);
+  g.on_leader_view(at(10.9), p2, p2);
+  g.on_leader_view(at(10.9), p3, p2);
+  g.finish(at(20));
+  EXPECT_EQ(g.unjustified_demotions(), 0u);
+}
+
+TEST(JustificationWindow, WindowIsConfigurable) {
+  group_metrics g = agreed_group();
+  g.set_justification_window(msec(100));  // very tight
+  g.on_crash(at(10.0), p1);
+  g.on_recover(at(10.05), p1);
+  g.on_join(at(10.05), p1);
+  g.on_leader_view(at(10.05), p1, p1);
+  // Switch at t=11: 1 s after the crash — outside the 100 ms window.
+  g.on_leader_view(at(11.0), p1, p2);
+  g.on_leader_view(at(11.0), p2, p2);
+  g.on_leader_view(at(11.0), p3, p2);
+  g.finish(at(20));
+  EXPECT_EQ(g.unjustified_demotions(), 1u);
+}
+
+}  // namespace
+}  // namespace omega::metrics

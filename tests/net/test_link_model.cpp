@@ -1,0 +1,80 @@
+#include "net/link_model.hpp"
+
+#include <gtest/gtest.h>
+
+namespace omega::net {
+namespace {
+
+TEST(LinkModel, LosslessLinkDeliversEverything) {
+  link_model link(link_profile{0.0, msec(1)}, rng(1));
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_TRUE(link.transit().has_value());
+  }
+}
+
+TEST(LinkModel, FullLossDropsEverything) {
+  link_model link(link_profile{1.0, msec(1)}, rng(2));
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_FALSE(link.transit().has_value());
+  }
+}
+
+TEST(LinkModel, LossRateMatchesProfile) {
+  link_model link(link_profile{0.1, msec(1)}, rng(3));
+  int dropped = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    if (!link.transit().has_value()) ++dropped;
+  }
+  EXPECT_NEAR(static_cast<double>(dropped) / n, 0.1, 0.01);
+}
+
+TEST(LinkModel, DelayMeanMatchesProfile) {
+  link_model link(link_profile{0.0, msec(100)}, rng(4));
+  double sum = 0.0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) sum += to_seconds(*link.transit());
+  EXPECT_NEAR(sum / n, 0.1, 0.005);
+}
+
+TEST(LinkModel, ZeroDelayProfile) {
+  link_model link(link_profile{0.0, duration{0}}, rng(5));
+  EXPECT_EQ(*link.transit(), duration{0});
+}
+
+TEST(LinkModel, CrashedLinkDropsAll) {
+  link_model link(link_profile{0.0, msec(1)}, rng(6));
+  link.set_up(false);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(link.transit().has_value());
+  }
+  link.set_up(true);
+  EXPECT_TRUE(link.transit().has_value());
+}
+
+TEST(LinkModel, CrashDurationsFollowProfile) {
+  link_model link(link_profile{}, rng(7));
+  const link_crash_profile p = link_crash_profile::crashes(sec(60), sec(3));
+  double up_sum = 0.0;
+  double down_sum = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    up_sum += to_seconds(link.draw_uptime(p));
+    down_sum += to_seconds(link.draw_downtime(p));
+  }
+  EXPECT_NEAR(up_sum / n, 60.0, 1.5);
+  EXPECT_NEAR(down_sum / n, 3.0, 0.1);
+}
+
+TEST(LinkProfile, PaperFactories) {
+  EXPECT_EQ(link_profile::lan().loss_probability, 0.0);
+  EXPECT_EQ(link_profile::lan().mean_delay, usec(25));
+  const auto lossy = link_profile::lossy(msec(100), 0.1);
+  EXPECT_EQ(lossy.mean_delay, msec(100));
+  EXPECT_DOUBLE_EQ(lossy.loss_probability, 0.1);
+  EXPECT_FALSE(link_crash_profile::none().enabled);
+  EXPECT_TRUE(link_crash_profile::crashes(sec(60), sec(3)).enabled);
+}
+
+}  // namespace
+}  // namespace omega::net

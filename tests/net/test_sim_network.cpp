@@ -1,0 +1,154 @@
+#include "net/sim_network.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "sim/simulator.hpp"
+
+namespace omega::net {
+namespace {
+
+std::vector<std::byte> bytes_of(const std::string& s) {
+  std::vector<std::byte> out(s.size());
+  for (std::size_t i = 0; i < s.size(); ++i) out[i] = std::byte(s[i]);
+  return out;
+}
+
+std::string string_of(std::span<const std::byte> b) {
+  return std::string(reinterpret_cast<const char*>(b.data()), b.size());
+}
+
+class SimNetworkTest : public ::testing::Test {
+ protected:
+  sim::simulator sim;
+  net::sim_network net{sim, 3, link_profile{0.0, msec(1)}, rng(42)};
+};
+
+TEST_F(SimNetworkTest, DeliversBetweenNodes) {
+  std::vector<std::string> received;
+  net.endpoint(node_id{1}).set_receive_handler([&](const datagram& d) {
+    received.push_back(to_string(d.from) + ":" + string_of(d.payload));
+  });
+  net.endpoint(node_id{0}).send(node_id{1}, bytes_of("hi"));
+  sim.run_until(time_origin + sec(1));
+  ASSERT_EQ(received.size(), 1u);
+  EXPECT_EQ(received[0], "n0:hi");
+}
+
+TEST_F(SimNetworkTest, DeliveryIsDelayed) {
+  time_point arrival{};
+  net.endpoint(node_id{1}).set_receive_handler(
+      [&](const datagram&) { arrival = sim.now(); });
+  net.endpoint(node_id{0}).send(node_id{1}, bytes_of("x"));
+  sim.run_until(time_origin + sec(1));
+  EXPECT_GT(arrival, time_origin);
+  EXPECT_LT(arrival, time_origin + sec(1));
+}
+
+TEST_F(SimNetworkTest, DeadDestinationDropsDatagrams) {
+  int received = 0;
+  net.endpoint(node_id{1}).set_receive_handler([&](const datagram&) { ++received; });
+  net.set_node_alive(node_id{1}, false);
+  net.endpoint(node_id{0}).send(node_id{1}, bytes_of("x"));
+  sim.run_until(time_origin + sec(1));
+  EXPECT_EQ(received, 0);
+  EXPECT_EQ(net.dropped_dead_node(), 1u);
+}
+
+TEST_F(SimNetworkTest, DeadSourceCannotSend) {
+  int received = 0;
+  net.endpoint(node_id{1}).set_receive_handler([&](const datagram&) { ++received; });
+  net.set_node_alive(node_id{0}, false);
+  net.endpoint(node_id{0}).send(node_id{1}, bytes_of("x"));
+  sim.run_until(time_origin + sec(1));
+  EXPECT_EQ(received, 0);
+  EXPECT_EQ(net.traffic(node_id{0}).datagrams_sent, 0u);
+}
+
+TEST_F(SimNetworkTest, CrashedNodeInFlightDeliveryDropped) {
+  // Datagram sent while destination alive, but the destination dies before
+  // the delay elapses: the datagram must vanish.
+  int received = 0;
+  net.endpoint(node_id{1}).set_receive_handler([&](const datagram&) { ++received; });
+  net.endpoint(node_id{0}).send(node_id{1}, bytes_of("x"));
+  net.set_node_alive(node_id{1}, false);
+  sim.run_until(time_origin + sec(1));
+  EXPECT_EQ(received, 0);
+}
+
+TEST_F(SimNetworkTest, TrafficAccountingIncludesOverhead) {
+  net.endpoint(node_id{0}).send(node_id{1}, bytes_of("abcd"));
+  sim.run_until(time_origin + sec(1));
+  const auto& tx = net.traffic(node_id{0});
+  const auto& rx = net.traffic(node_id{1});
+  EXPECT_EQ(tx.datagrams_sent, 1u);
+  EXPECT_EQ(tx.bytes_sent, 4u + wire_overhead_bytes);
+  EXPECT_EQ(rx.datagrams_received, 1u);
+  EXPECT_EQ(rx.bytes_received, 4u + wire_overhead_bytes);
+}
+
+TEST_F(SimNetworkTest, ResetTrafficZeroes) {
+  net.endpoint(node_id{0}).send(node_id{1}, bytes_of("x"));
+  sim.run_until(time_origin + sec(1));
+  net.reset_traffic();
+  EXPECT_EQ(net.traffic(node_id{0}).datagrams_sent, 0u);
+  EXPECT_EQ(net.traffic(node_id{1}).datagrams_received, 0u);
+}
+
+TEST_F(SimNetworkTest, ForcedLinkDownDropsOneDirection) {
+  int to1 = 0;
+  int to0 = 0;
+  net.endpoint(node_id{1}).set_receive_handler([&](const datagram&) { ++to1; });
+  net.endpoint(node_id{0}).set_receive_handler([&](const datagram&) { ++to0; });
+  net.force_link_state(node_id{0}, node_id{1}, false);
+  net.endpoint(node_id{0}).send(node_id{1}, bytes_of("a"));  // dropped
+  net.endpoint(node_id{1}).send(node_id{0}, bytes_of("b"));  // delivered
+  sim.run_until(time_origin + sec(1));
+  EXPECT_EQ(to1, 0);
+  EXPECT_EQ(to0, 1);
+  EXPECT_EQ(net.dropped_by_links(), 1u);
+  EXPECT_FALSE(net.link_up(node_id{0}, node_id{1}));
+  EXPECT_TRUE(net.link_up(node_id{1}, node_id{0}));
+}
+
+TEST_F(SimNetworkTest, LinkCrashProcessTogglesLinks) {
+  net.enable_link_crashes(link_crash_profile::crashes(sec(10), sec(2)));
+  // After enough simulated time at least one link must have gone down at
+  // some point; statistically all of them.
+  int down_observed = 0;
+  for (int t = 1; t <= 200; ++t) {
+    sim.run_until(time_origin + sec(t));
+    if (!net.link_up(node_id{0}, node_id{1})) ++down_observed;
+  }
+  EXPECT_GT(down_observed, 0);
+}
+
+TEST_F(SimNetworkTest, LossyLinkDropsExpectedFraction) {
+  net.set_all_link_profiles(link_profile{0.5, msec(1)});
+  int received = 0;
+  net.endpoint(node_id{1}).set_receive_handler([&](const datagram&) { ++received; });
+  const int n = 10000;
+  for (int i = 0; i < n; ++i) {
+    net.endpoint(node_id{0}).send(node_id{1}, bytes_of("x"));
+  }
+  sim.run_until(time_origin + sec(10));
+  EXPECT_NEAR(static_cast<double>(received) / n, 0.5, 0.03);
+}
+
+TEST_F(SimNetworkTest, MutedEndpointDropsSilently) {
+  // No receive handler installed on node 2 at all.
+  net.endpoint(node_id{0}).send(node_id{2}, bytes_of("x"));
+  sim.run_until(time_origin + sec(1));
+  EXPECT_EQ(net.traffic(node_id{2}).datagrams_received, 1u);
+}
+
+TEST(SimNetworkCtor, ZeroNodesRejected) {
+  sim::simulator sim;
+  EXPECT_THROW(net::sim_network(sim, 0, link_profile{}, rng(1)),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace omega::net

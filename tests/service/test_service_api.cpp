@@ -1,0 +1,316 @@
+// Service-layer API tests: registration, join/leave semantics, notification
+// modes, multi-group multiplexing, and the heartbeat engine's behaviour —
+// all on a small simulated cluster.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "net/sim_network.hpp"
+#include "service/service.hpp"
+#include "sim/simulator.hpp"
+
+namespace omega::service {
+namespace {
+
+struct cluster {
+  explicit cluster(std::size_t n,
+                   election::algorithm alg = election::algorithm::omega_lc,
+                   net::link_profile links = net::link_profile::lan())
+      : net(sim, n, links, rng{11}) {
+    for (std::size_t i = 0; i < n; ++i) roster.push_back(node_id{i});
+    for (std::size_t i = 0; i < n; ++i) {
+      service_config cfg;
+      cfg.self = node_id{i};
+      cfg.roster = roster;
+      cfg.alg = alg;
+      services.push_back(std::make_unique<leader_election_service>(
+          sim, sim, net.endpoint(node_id{i}), cfg));
+    }
+  }
+
+  leader_election_service& at(std::size_t i) { return *services[i]; }
+  void settle(duration d = sec(5)) { sim.run_until(sim.now() + d); }
+
+  sim::simulator sim;
+  net::sim_network net;
+  std::vector<node_id> roster;
+  std::vector<std::unique_ptr<leader_election_service>> services;
+};
+
+const group_id g1{1};
+const group_id g2{2};
+
+TEST(ServiceApi, RegisterRejectsDuplicates) {
+  cluster c(1);
+  EXPECT_TRUE(c.at(0).register_process(process_id{0}));
+  EXPECT_FALSE(c.at(0).register_process(process_id{0}));
+}
+
+TEST(ServiceApi, JoinRequiresRegistration) {
+  cluster c(1);
+  EXPECT_FALSE(c.at(0).join_group(process_id{0}, g1, {}));
+  c.at(0).register_process(process_id{0});
+  EXPECT_TRUE(c.at(0).join_group(process_id{0}, g1, {}));
+}
+
+TEST(ServiceApi, SecondLocalJoinToSameGroupRejected) {
+  cluster c(1);
+  c.at(0).register_process(process_id{0});
+  c.at(0).register_process(process_id{100});
+  EXPECT_TRUE(c.at(0).join_group(process_id{0}, g1, {}));
+  EXPECT_FALSE(c.at(0).join_group(process_id{100}, g1, {}));
+}
+
+TEST(ServiceApi, LeaderQueryUnknownGroupIsEmpty) {
+  cluster c(1);
+  EXPECT_EQ(c.at(0).leader(group_id{99}), std::nullopt);
+}
+
+TEST(ServiceApi, SingleNodeElectsItself) {
+  cluster c(1);
+  c.at(0).register_process(process_id{0});
+  c.at(0).join_group(process_id{0}, g1, {});
+  c.settle();
+  EXPECT_EQ(c.at(0).leader(g1), process_id{0});
+}
+
+TEST(ServiceApi, ThreeNodesAgree) {
+  cluster c(3);
+  for (std::size_t i = 0; i < 3; ++i) {
+    c.at(i).register_process(process_id{i});
+    c.at(i).join_group(process_id{i}, g1, {});
+  }
+  c.settle();
+  const auto leader = c.at(0).leader(g1);
+  ASSERT_TRUE(leader.has_value());
+  EXPECT_EQ(c.at(1).leader(g1), leader);
+  EXPECT_EQ(c.at(2).leader(g1), leader);
+}
+
+TEST(ServiceApi, InterruptModeFiresOnChanges) {
+  cluster c(2);
+  int fired = 0;
+  std::optional<process_id> last;
+  c.at(0).register_process(process_id{0});
+  join_options opts;
+  opts.notify = notification_mode::interrupt;
+  c.at(0).join_group(process_id{0}, g1, opts,
+                     [&](group_id g, std::optional<process_id> leader) {
+                       EXPECT_EQ(g, g1);
+                       ++fired;
+                       last = leader;
+                     });
+  c.at(1).register_process(process_id{1});
+  c.at(1).join_group(process_id{1}, g1, {});
+  c.settle();
+  EXPECT_GT(fired, 0);
+  EXPECT_TRUE(last.has_value());
+}
+
+TEST(ServiceApi, NonCandidateFollowsButNeverLeads) {
+  cluster c(3);
+  for (std::size_t i = 0; i < 3; ++i) {
+    c.at(i).register_process(process_id{i});
+    join_options opts;
+    opts.candidate = i != 0;  // process 0 is a passive listener
+    c.at(i).join_group(process_id{i}, g1, opts);
+  }
+  c.settle();
+  const auto leader = c.at(0).leader(g1);
+  ASSERT_TRUE(leader.has_value());
+  EXPECT_NE(*leader, process_id{0});
+}
+
+TEST(ServiceApi, LeaveGroupStopsParticipation) {
+  cluster c(3);
+  for (std::size_t i = 0; i < 3; ++i) {
+    c.at(i).register_process(process_id{i});
+    c.at(i).join_group(process_id{i}, g1, {});
+  }
+  c.settle();
+  const auto leader = c.at(0).leader(g1);
+  ASSERT_TRUE(leader.has_value());
+
+  // The leader's process leaves voluntarily.
+  const std::size_t idx = leader->value();
+  c.at(idx).leave_group(process_id{idx}, g1);
+  c.settle();
+
+  for (std::size_t i = 0; i < 3; ++i) {
+    if (i == idx) {
+      EXPECT_EQ(c.at(i).leader(g1), std::nullopt);
+      continue;
+    }
+    const auto l = c.at(i).leader(g1);
+    ASSERT_TRUE(l.has_value());
+    EXPECT_NE(*l, *leader) << "departed process still leads";
+  }
+}
+
+TEST(ServiceApi, UnregisterLeavesAllGroups) {
+  cluster c(2);
+  c.at(0).register_process(process_id{0});
+  c.at(0).join_group(process_id{0}, g1, {});
+  c.at(0).join_group(process_id{0}, g2, {});
+  c.at(1).register_process(process_id{1});
+  c.at(1).join_group(process_id{1}, g1, {});
+  c.at(1).join_group(process_id{1}, g2, {});
+  c.settle();
+
+  c.at(0).unregister_process(process_id{0});
+  c.settle();
+  EXPECT_EQ(c.at(0).leader(g1), std::nullopt);
+  EXPECT_EQ(c.at(0).leader(g2), std::nullopt);
+  EXPECT_EQ(c.at(1).leader(g1), process_id{1});
+  EXPECT_EQ(c.at(1).leader(g2), process_id{1});
+}
+
+TEST(ServiceApi, GroupsAreIndependent) {
+  // Different candidate sets per group on the same nodes.
+  cluster c(3);
+  for (std::size_t i = 0; i < 3; ++i) {
+    c.at(i).register_process(process_id{i});
+    join_options o1;
+    o1.candidate = (i == 1);
+    c.at(i).join_group(process_id{i}, g1, o1);
+    join_options o2;
+    o2.candidate = (i == 2);
+    c.at(i).join_group(process_id{i}, g2, o2);
+  }
+  c.settle();
+  EXPECT_EQ(c.at(0).leader(g1), process_id{1});
+  EXPECT_EQ(c.at(0).leader(g2), process_id{2});
+}
+
+TEST(ServiceApi, MultipleGroupsShareOneHeartbeatStream) {
+  // The shared-FD architecture: joining a second group must not double the
+  // ALIVE rate (payloads are multiplexed onto the node-level stream).
+  cluster c(2, election::algorithm::omega_lc);
+  for (std::size_t i = 0; i < 2; ++i) {
+    c.at(i).register_process(process_id{i});
+    c.at(i).join_group(process_id{i}, g1, {});
+  }
+  c.settle(sec(30));
+  const auto one_group = c.at(0).stats().alive_sent;
+
+  for (std::size_t i = 0; i < 2; ++i) {
+    c.at(i).join_group(process_id{i}, g2, {});
+  }
+  c.settle(sec(30));
+  const auto two_groups = c.at(0).stats().alive_sent - one_group;
+
+  // Equal windows: the second window's count must stay well below 2x the
+  // first (allow 1.5x for the join-time extra announcements).
+  EXPECT_LT(two_groups, one_group * 3 / 2)
+      << "second group should ride the same ALIVE stream";
+}
+
+TEST(ServiceApi, MalformedDatagramsCountedNotFatal) {
+  cluster c(2);
+  c.at(0).register_process(process_id{0});
+  c.at(0).join_group(process_id{0}, g1, {});
+  c.at(1).register_process(process_id{1});
+  c.at(1).join_group(process_id{1}, g1, {});
+
+  // Inject garbage directly into node 0's endpoint.
+  const std::vector<std::byte> junk = {std::byte{0xFF}, std::byte{0x00},
+                                       std::byte{0xAB}};
+  c.net.endpoint(node_id{1}).send(node_id{0}, junk);
+  c.settle();
+  EXPECT_GE(c.at(0).stats().malformed_received, 1u);
+  EXPECT_EQ(c.at(0).leader(g1), c.at(1).leader(g1));
+}
+
+TEST(ServiceApi, EtaRespondsToQoS) {
+  // A tighter detection bound must drive a faster heartbeat cadence.
+  cluster loose(2);
+  cluster tight(2);
+  for (std::size_t i = 0; i < 2; ++i) {
+    loose.at(i).register_process(process_id{i});
+    join_options lo;
+    lo.qos.detection_time = sec(2);
+    loose.at(i).join_group(process_id{i}, g1, lo);
+
+    tight.at(i).register_process(process_id{i});
+    join_options to;
+    to.qos.detection_time = msec(200);
+    tight.at(i).join_group(process_id{i}, g1, to);
+  }
+  loose.settle(sec(60));
+  tight.settle(sec(60));
+  EXPECT_LT(tight.at(0).current_eta(), loose.at(0).current_eta());
+}
+
+TEST(ServiceApi, StatsCountTraffic) {
+  cluster c(2);
+  for (std::size_t i = 0; i < 2; ++i) {
+    c.at(i).register_process(process_id{i});
+    c.at(i).join_group(process_id{i}, g1, {});
+  }
+  c.settle(sec(10));
+  EXPECT_GT(c.at(0).stats().alive_sent, 0u);
+  EXPECT_GT(c.at(0).stats().hello_sent, 0u);
+  EXPECT_GT(c.at(0).stats().datagrams_received, 0u);
+  EXPECT_EQ(c.at(0).stats().malformed_received, 0u);
+}
+
+TEST(ServiceApi, OmegaLFollowersFallSilent) {
+  // Communication efficiency end-to-end: after settling, only the S3 leader
+  // keeps producing ALIVEs.
+  cluster c(3, election::algorithm::omega_l);
+  for (std::size_t i = 0; i < 3; ++i) {
+    c.at(i).register_process(process_id{i});
+    c.at(i).join_group(process_id{i}, g1, {});
+  }
+  c.settle(sec(30));
+  const auto leader = c.at(0).leader(g1);
+  ASSERT_TRUE(leader.has_value());
+
+  std::vector<std::uint64_t> before(3), after(3);
+  for (std::size_t i = 0; i < 3; ++i) before[i] = c.at(i).stats().alive_sent;
+  c.settle(sec(30));
+  for (std::size_t i = 0; i < 3; ++i) after[i] = c.at(i).stats().alive_sent;
+
+  for (std::size_t i = 0; i < 3; ++i) {
+    const auto delta = after[i] - before[i];
+    if (process_id{i} == *leader) {
+      EXPECT_GT(delta, 10u) << "leader must keep heartbeating";
+    } else {
+      EXPECT_LE(delta, 2u) << "follower " << i << " should be silent";
+    }
+  }
+}
+
+TEST(ServiceApi, OmegaLcEveryoneKeepsSending) {
+  cluster c(3, election::algorithm::omega_lc);
+  for (std::size_t i = 0; i < 3; ++i) {
+    c.at(i).register_process(process_id{i});
+    c.at(i).join_group(process_id{i}, g1, {});
+  }
+  c.settle(sec(30));
+  std::vector<std::uint64_t> before(3);
+  for (std::size_t i = 0; i < 3; ++i) before[i] = c.at(i).stats().alive_sent;
+  c.settle(sec(30));
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_GT(c.at(i).stats().alive_sent - before[i], 10u)
+        << "S2 node " << i << " must keep broadcasting";
+  }
+}
+
+TEST(ServiceApi, LeaveLastGroupSilencesNode) {
+  cluster c(2);
+  for (std::size_t i = 0; i < 2; ++i) {
+    c.at(i).register_process(process_id{i});
+    c.at(i).join_group(process_id{i}, g1, {});
+  }
+  c.settle(sec(10));
+  c.at(0).leave_group(process_id{0}, g1);
+  c.settle(sec(1));
+  const auto sent = c.at(0).stats().alive_sent;
+  c.settle(sec(30));
+  EXPECT_EQ(c.at(0).stats().alive_sent, sent)
+      << "a node with no groups must not heartbeat";
+}
+
+}  // namespace
+}  // namespace omega::service
