@@ -1,0 +1,17 @@
+#!/usr/bin/env bash
+# One-command pipeline: tier-1 verify (configure + build + ctest) plus a
+# bench smoke run. Mirrors the "Tier-1 verify" line in ROADMAP.md.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+cmake -B build -S .
+cmake --build build -j
+(cd build && ctest --output-on-failure -j"$(nproc)")
+
+# Bench smoke: a fast sanity pass over the figure machinery, then the
+# adaptive-tuning figure (writes BENCH_adaptive.json at the repo root).
+OMEGA_BENCH_HOURS="${OMEGA_BENCH_HOURS:-0.2}" ./build/smoke_check
+OMEGA_BENCH_HOURS="${OMEGA_BENCH_HOURS:-0.2}" ./build/fig9_adaptive
+
+echo "ci.sh: all green"

@@ -1,0 +1,104 @@
+#include "adaptive/engine.hpp"
+
+namespace omega::adaptive {
+
+std::string_view to_string(tuning_mode mode) {
+  switch (mode) {
+    case tuning_mode::continuous: return "continuous";
+    case tuning_mode::frozen: return "frozen";
+    case tuning_mode::adaptive: return "adaptive";
+  }
+  return "unknown";
+}
+
+engine::engine(clock_source& clock, timer_service& timers, fd::fd_manager& fd,
+               engine_options opts)
+    : clock_(clock),
+      fd_(fd),
+      opts_(opts),
+      tracker_(opts.tracker),
+      scorer_(opts.scorer),
+      tick_timer_(timers) {}
+
+engine::~engine() { stop(); }
+
+void engine::start() {
+  if (running_) return;
+  running_ = true;
+  tick_timer_.arm_after(opts_.tick_interval, [this] { tick(); });
+}
+
+void engine::stop() {
+  running_ = false;
+  tick_timer_.cancel();
+}
+
+void engine::add_group(group_id group, const fd::qos_spec& qos) {
+  retuners_[group] = std::make_unique<retuner>(qos, opts_.retuner);
+  // Pin the cold-start point immediately: until the tracker has confident
+  // estimates the adaptive instance behaves exactly like the frozen one
+  // (and like the continuous one, whose configurator is still warming up).
+  fd_.set_params_override(group, fd::cold_start_params(qos));
+}
+
+void engine::remove_group(group_id group) {
+  retuners_.erase(group);
+  fd_.clear_params_override(group);
+}
+
+void engine::on_link_sample(node_id peer, const fd::link_estimate& est,
+                            time_point now) {
+  tracker_.observe(peer, est, now);
+  scorer_.set_link_loss(peer, est.loss_probability);
+}
+
+void engine::on_payload_observed(node_id from, incarnation inc,
+                                 const proto::group_payload& payload,
+                                 time_point now) {
+  scorer_.on_member_seen(payload.pid, from, inc, now);
+  if (payload.candidate) {
+    scorer_.on_accusation_observed(payload.pid, inc, payload.accusation_time,
+                                   now);
+  }
+}
+
+void engine::on_member_removed(process_id pid, incarnation inc) {
+  scorer_.on_member_removed(pid, inc);
+}
+
+void engine::on_node_dropped(node_id node) {
+  tracker_.forget(node);
+  scorer_.forget_node(node);
+}
+
+double engine::stability(process_id pid) const {
+  return scorer_.score(pid, clock_.now());
+}
+
+const retuner* engine::retuner_for(group_id group) const {
+  auto it = retuners_.find(group);
+  return it != retuners_.end() ? it->second.get() : nullptr;
+}
+
+std::uint64_t engine::total_retunes() const {
+  std::uint64_t n = 0;
+  for (const auto& [group, rt] : retuners_) n += rt->retune_count();
+  return n;
+}
+
+void engine::tick() {
+  const time_point now = clock_.now();
+  const fd::link_estimate binding = tracker_.aggregate(now);
+
+  for (auto& [group, rt] : retuners_) {
+    if (auto params = rt->evaluate(binding, now)) {
+      fd_.set_params_override(group, *params);
+    }
+  }
+
+  if (running_) {
+    tick_timer_.arm_after(opts_.tick_interval, [this] { tick(); });
+  }
+}
+
+}  // namespace omega::adaptive

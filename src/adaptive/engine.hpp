@@ -1,0 +1,109 @@
+// Adaptation engine: the measurement -> configuration loop (DESIGN.md §5).
+//
+// One engine runs inside each service instance (when enabled) and closes
+// the loop the paper leaves open between "the configurator solved (eta,
+// delta) once" and "the network keeps changing":
+//
+//   fd_manager link samples ──> link_tracker ──> worst-link aggregate
+//                                                      │ (periodic tick)
+//   fd_manager params override <── retuner (hysteresis + min-dwell) <──┘
+//
+// Adopted operating points are pushed into the failure detector as a
+// per-group *override*: monitors pick up the new delta immediately and the
+// next reconfiguration pass renegotiates sender rates (RATE_REQ through the
+// existing rate_controller) toward the override's eta. The stability_scorer
+// rides the same observation stream (ALIVE payloads) and serves candidate
+// scores to electors that opted in.
+//
+// Tuning modes of a service instance:
+//   continuous — the seed behaviour: fd_manager re-runs the paper
+//                configurator every reconfig tick, undamped. No engine.
+//   frozen     — the cold-start operating point is pinned forever (the
+//                static baseline the adaptive bench compares against).
+//   adaptive   — this engine: damped re-tuning with the min-detection
+//                objective plus stability scoring.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+
+#include "adaptive/link_tracker.hpp"
+#include "adaptive/retuner.hpp"
+#include "adaptive/stability_scorer.hpp"
+#include "common/executor.hpp"
+#include "common/ids.hpp"
+#include "fd/fd_manager.hpp"
+#include "proto/wire.hpp"
+
+namespace omega::adaptive {
+
+enum class tuning_mode {
+  continuous,  // per-tick paper configurator (seed behaviour)
+  frozen,      // cold-start operating point pinned forever
+  adaptive,    // adaptation engine: damped min-detection re-tuning
+};
+
+[[nodiscard]] std::string_view to_string(tuning_mode mode);
+
+struct engine_options {
+  tuning_mode mode = tuning_mode::continuous;
+  /// How often the engine re-reads the tracker and consults the retuners.
+  duration tick_interval = sec(2);
+  link_tracker::options tracker{};
+  retuner_options retuner{};
+  stability_scorer::options scorer{};
+};
+
+class engine {
+ public:
+  engine(clock_source& clock, timer_service& timers, fd::fd_manager& fd,
+         engine_options opts);
+  ~engine();
+
+  engine(const engine&) = delete;
+  engine& operator=(const engine&) = delete;
+
+  void start();
+  void stop();
+
+  /// Registers a group whose operating point this engine manages.
+  void add_group(group_id group, const fd::qos_spec& qos);
+  void remove_group(group_id group);
+
+  /// One link-quality sample from the failure detector's estimator.
+  void on_link_sample(node_id peer, const fd::link_estimate& est,
+                      time_point now);
+
+  /// One received ALIVE payload: membership + accusation evidence for the
+  /// stability scorer.
+  void on_payload_observed(node_id from, incarnation inc,
+                           const proto::group_payload& payload,
+                           time_point now);
+
+  void on_member_removed(process_id pid, incarnation inc);
+  void on_node_dropped(node_id node);
+
+  /// Stability score of a candidate at the current clock (for electors).
+  [[nodiscard]] double stability(process_id pid) const;
+
+  [[nodiscard]] link_tracker& tracker() { return tracker_; }
+  [[nodiscard]] stability_scorer& scorer() { return scorer_; }
+  [[nodiscard]] const retuner* retuner_for(group_id group) const;
+  [[nodiscard]] std::uint64_t total_retunes() const;
+  [[nodiscard]] const engine_options& options() const { return opts_; }
+
+ private:
+  void tick();
+
+  clock_source& clock_;
+  fd::fd_manager& fd_;
+  engine_options opts_;
+  link_tracker tracker_;
+  stability_scorer scorer_;
+  std::unordered_map<group_id, std::unique_ptr<retuner>> retuners_;
+  scoped_timer tick_timer_;
+  bool running_ = false;
+};
+
+}  // namespace omega::adaptive

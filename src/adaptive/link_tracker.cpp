@@ -1,0 +1,136 @@
+#include "adaptive/link_tracker.hpp"
+
+#include <algorithm>
+#include <vector>
+#include <cmath>
+
+namespace omega::adaptive {
+
+void link_tracker::observe(node_id peer, const fd::link_estimate& est,
+                           time_point now) {
+  // Estimates below the confidence floor still carry the estimator's
+  // *prior* (default loss) rather than measurement; recording them would
+  // bleed the prior into the smoothing window and walk the blended loss
+  // through quantization cells as they age out — thrash, not signal.
+  if (est.samples < opts_.confidence_floor) return;
+  peer_record& rec = peers_[peer];
+  rec.window.push_back(snapshot{now, est});
+  prune(rec, now);
+}
+
+void link_tracker::forget(node_id peer) { peers_.erase(peer); }
+
+void link_tracker::clear() { peers_.clear(); }
+
+void link_tracker::prune(peer_record& rec, time_point now) const {
+  while (rec.window.size() > opts_.max_snapshots) rec.window.pop_front();
+  // Keep the newest snapshot unconditionally: silence must decay confidence
+  // via `blend`, not erase the link.
+  while (rec.window.size() > 1 && rec.window.front().at + opts_.window < now) {
+    rec.window.pop_front();
+  }
+}
+
+fd::link_estimate link_tracker::blend(const peer_record& rec,
+                                      time_point now) const {
+  // Unweighted mean over the in-window snapshots; the window itself is the
+  // recency weighting (old snapshots age out entirely).
+  double loss = 0.0;
+  double delay = 0.0;
+  double stddev = 0.0;
+  std::size_t counted = 0;
+  for (const snapshot& s : rec.window) {
+    if (s.at + opts_.window < now) continue;
+    loss += s.est.loss_probability;
+    delay += to_seconds(s.est.delay_mean);
+    stddev += to_seconds(s.est.delay_stddev);
+    ++counted;
+  }
+  const snapshot& newest = rec.window.back();
+  fd::link_estimate out = newest.est;
+  if (counted > 0) {
+    const double n = static_cast<double>(counted);
+    out.loss_probability = loss / n;
+    out.delay_mean = from_seconds(delay / n);
+    out.delay_stddev = from_seconds(stddev / n);
+  }
+
+  // Staleness decay: confidence halves (by default) per `stale_after` of
+  // silence beyond the first grace period.
+  const duration age = now - newest.at;
+  if (age > opts_.stale_after && opts_.stale_after > duration{0}) {
+    const double periods =
+        to_seconds(age - opts_.stale_after) / to_seconds(opts_.stale_after);
+    const double factor = std::pow(opts_.stale_decay, periods);
+    out.samples = static_cast<std::size_t>(
+        static_cast<double>(newest.est.samples) * factor);
+  }
+  return out;
+}
+
+std::optional<fd::link_estimate> link_tracker::tracked(node_id peer,
+                                                       time_point now) const {
+  auto it = peers_.find(peer);
+  if (it == peers_.end() || it->second.window.empty()) return std::nullopt;
+  return blend(it->second, now);
+}
+
+fd::link_estimate link_tracker::aggregate(time_point now) const {
+  std::vector<double> losses;
+  std::vector<double> delays;
+  std::vector<double> stddevs;
+  std::size_t min_samples = 0;
+  for (const auto& [peer, rec] : peers_) {
+    if (rec.window.empty()) continue;
+    const fd::link_estimate est = blend(rec, now);
+    if (est.samples < opts_.confidence_floor) continue;
+    losses.push_back(est.loss_probability);
+    delays.push_back(to_seconds(est.delay_mean));
+    stddevs.push_back(to_seconds(est.delay_stddev));
+    // Confidence of the aggregate is the confidence of its least-known link.
+    min_samples = losses.size() == 1 ? est.samples
+                                     : std::min(min_samples, est.samples);
+  }
+  fd::link_estimate agg;
+  agg.loss_probability = 0.0;
+  agg.delay_mean = duration{0};
+  agg.delay_stddev = duration{0};
+  agg.samples = 0;
+  if (losses.empty()) return agg;
+
+  const double q = std::clamp(opts_.aggregate_quantile, 0.0, 1.0);
+  const auto at_quantile = [&](std::vector<double>& v) {
+    const auto idx = static_cast<std::size_t>(
+        std::ceil(q * static_cast<double>(v.size() - 1)));
+    std::nth_element(v.begin(), v.begin() + static_cast<std::ptrdiff_t>(idx),
+                     v.end());
+    return v[idx];
+  };
+  agg.loss_probability = at_quantile(losses);
+  agg.delay_mean = from_seconds(at_quantile(delays));
+  agg.delay_stddev = from_seconds(at_quantile(stddevs));
+  agg.samples = min_samples;
+  return agg;
+}
+
+duration link_tracker::delay_trend_stddev(node_id peer, time_point now) const {
+  auto it = peers_.find(peer);
+  if (it == peers_.end() || it->second.window.empty()) return duration{0};
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  std::size_t n = 0;
+  for (const snapshot& s : it->second.window) {
+    if (s.at + opts_.window < now) continue;
+    const double d = to_seconds(s.est.delay_mean);
+    sum += d;
+    sum_sq += d * d;
+    ++n;
+  }
+  if (n < 2) return duration{0};
+  const double mean = sum / static_cast<double>(n);
+  const double var =
+      std::max(0.0, sum_sq / static_cast<double>(n) - mean * mean);
+  return from_seconds(std::sqrt(var));
+}
+
+}  // namespace omega::adaptive

@@ -1,0 +1,174 @@
+#include "adaptive/retuner.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace omega::adaptive {
+
+namespace {
+
+/// The shared QoS-constraint predicate, with this solver's option plumbing.
+bool feasible_point(const fd::qos_spec& qos, const fd::link_estimate& link,
+                    const fd::configurator_options& copts, double eta_s,
+                    double delta_s, double margin) {
+  return fd::qos_constraints_hold(qos, link, copts.tail, eta_s, delta_s,
+                                  margin);
+}
+
+fd::fd_params solve_min_detection(const fd::qos_spec& qos,
+                                  const fd::link_estimate& link,
+                                  const retuner_options& opts) {
+  const double total = to_seconds(qos.detection_time);
+  // The budget is a floor on eta, but eta must leave room for a positive
+  // delta within the detection bound: clamp a misconfigured budget.
+  const double budget =
+      std::clamp(opts.eta_budget > duration{0} ? to_seconds(opts.eta_budget)
+                                               : total / 4.0,
+                 0.0, 0.9 * total);
+  const double eta_max = std::max(budget, total / 2.0);
+  const int eta_steps = std::max(opts.eta_steps, 1);
+  const int delta_steps = std::max(opts.delta_steps, 4);
+
+  std::optional<fd::fd_params> best;
+  double best_latency = std::numeric_limits<double>::infinity();
+
+  // eta sweeps up from the budget (never below it: rate is capped); delta
+  // sweeps up from small until the point becomes feasible — the first
+  // feasible delta is the smallest, and latency delta + eta/2 then only
+  // grows with eta unless larger eta admits no smaller delta, so we still
+  // scan all eta values (the search space is tiny).
+  for (int i = 0; i <= eta_steps; ++i) {
+    const double eta = budget + (eta_max - budget) * static_cast<double>(i) /
+                                    static_cast<double>(eta_steps);
+    if (eta <= 0.0 || eta >= total) continue;
+    const double delta_max = total - eta;
+    for (int j = 1; j <= delta_steps; ++j) {
+      const double delta =
+          delta_max * static_cast<double>(j) / static_cast<double>(delta_steps);
+      if (!feasible_point(qos, link, opts.configurator, eta, delta,
+                          opts.adopt_margin)) {
+        continue;
+      }
+      const double latency = delta + eta / 2.0;
+      if (latency < best_latency) {
+        best_latency = latency;
+        const duration eta_d = from_seconds(eta);
+        best = fd::fd_params{eta_d, from_seconds(delta), true};
+      }
+      break;  // larger delta at this eta is feasible but strictly slower
+    }
+  }
+  if (best) return *best;
+  // Nothing within the rate budget can hold the QoS on this link: see
+  // retuner_options::rate_cap_hard for the policy choice. The clamped
+  // budget keeps the fallback delta non-negative.
+  if (opts.rate_cap_hard) {
+    const duration eta_d = from_seconds(budget);
+    return fd::fd_params{eta_d, qos.detection_time - eta_d, false};
+  }
+  return fd::configure(qos, link, opts.configurator);
+}
+
+/// Smallest value of the geometric grid {base * step^n} that is >= x.
+double round_up_geometric(double x, double base, double step) {
+  if (x <= base) return base;
+  const double n = std::ceil(std::log(x / base) / std::log(step));
+  return base * std::pow(step, n);
+}
+
+/// Conservative coarse quantization of a link estimate (see
+/// retuner_options::quantize_inputs).
+fd::link_estimate quantize(const fd::link_estimate& link) {
+  fd::link_estimate q = link;
+  // Loss: round up onto a 1-2-5 decade grid, floored at the estimator's
+  // own certification floor (~0.2%).
+  static constexpr double kLossGrid[] = {0.002, 0.005, 0.01, 0.02, 0.05,
+                                         0.1,   0.2,   0.5,  1.0};
+  q.loss_probability = 1.0;
+  for (double g : kLossGrid) {
+    if (link.loss_probability <= g) {
+      q.loss_probability = g;
+      break;
+    }
+  }
+  // Delays: round up onto a 1.5^n grid anchored at 100 us. The grid is
+  // deliberately coarse: a true delay sitting near a fine cell boundary
+  // would flip cells under EWMA wobble and thrash the retuner.
+  q.delay_mean = from_seconds(
+      round_up_geometric(to_seconds(link.delay_mean), 100e-6, 1.5));
+  q.delay_stddev = from_seconds(
+      round_up_geometric(to_seconds(link.delay_stddev), 100e-6, 1.5));
+  return q;
+}
+
+}  // namespace
+
+fd::fd_params retuner::solve(const fd::qos_spec& qos,
+                             const fd::link_estimate& raw_link,
+                             const retuner_options& opts) {
+  if (raw_link.samples < opts.configurator.min_samples) {
+    return fd::cold_start_params(qos);
+  }
+  const fd::link_estimate link =
+      opts.quantize_inputs ? quantize(raw_link) : raw_link;
+  switch (opts.objective) {
+    case tuning_objective::paper_max_eta:
+      return fd::configure(qos, link, opts.configurator);
+    case tuning_objective::min_detection:
+      return solve_min_detection(qos, link, opts);
+  }
+  return fd::cold_start_params(qos);
+}
+
+bool retuner::point_feasible(const fd::qos_spec& qos,
+                             const fd::link_estimate& raw_link,
+                             const fd::fd_params& params,
+                             const retuner_options& opts, double margin) {
+  if (raw_link.samples < opts.configurator.min_samples) return true;
+  const fd::link_estimate link =
+      opts.quantize_inputs ? quantize(raw_link) : raw_link;
+  return feasible_point(qos, link, opts.configurator, to_seconds(params.eta),
+                        to_seconds(params.delta), margin);
+}
+
+retuner::retuner(fd::qos_spec qos, retuner_options opts)
+    : qos_(qos), opts_(opts), current_(fd::cold_start_params(qos)) {}
+
+bool retuner::outside_dead_band(const fd::fd_params& candidate) const {
+  if (candidate.qos_feasible != current_.qos_feasible) return true;
+  const double eta_cur = std::max(to_seconds(current_.eta), 1e-9);
+  const double delta_cur = std::max(to_seconds(current_.delta), 1e-9);
+  const double eta_rel =
+      std::abs(to_seconds(candidate.eta) - eta_cur) / eta_cur;
+  const double delta_rel =
+      std::abs(to_seconds(candidate.delta) - delta_cur) / delta_cur;
+  return eta_rel > opts_.eta_band || delta_rel > opts_.delta_band;
+}
+
+std::optional<fd::fd_params> retuner::evaluate(const fd::link_estimate& link,
+                                               time_point now) {
+  // Dwell gate first: inside the dwell window the current point stands no
+  // matter what the estimates claim. This is the oscillation bound.
+  if (adopted_once_ && now < last_retune_ + opts_.min_dwell) {
+    return std::nullopt;
+  }
+  const fd::fd_params candidate = solve(qos_, link, opts_);
+  // A current point that claims QoS feasibility but no longer delivers it
+  // under the latest estimate is stale: the dead band must not keep it.
+  // Judged with the lenient margin (Schmitt trigger, see retuner_options).
+  const bool current_broken =
+      current_.qos_feasible &&
+      !point_feasible(qos_, link, current_, opts_, opts_.keep_margin);
+  if (adopted_once_ && !current_broken && !outside_dead_band(candidate)) {
+    return std::nullopt;
+  }
+  if (candidate == current_ && adopted_once_) return std::nullopt;
+  current_ = candidate;
+  adopted_once_ = true;
+  last_retune_ = now;
+  ++retune_count_;
+  return current_;
+}
+
+}  // namespace omega::adaptive

@@ -1,0 +1,150 @@
+// Online NFD-S operating-point re-tuning (DESIGN.md §5).
+//
+// The paper's configurator answers "given the QoS bounds and the link,
+// what is the *cheapest* operating point?" — it maximizes eta under the
+// detection bound. That leaves measurable performance on the table when the
+// link is good: with T^U_D fixed, the expected crash-detection latency of
+// NFD-S is E[T_D] ~ delta + eta/2, so a smaller feasible delta means
+// strictly faster detection at the same heartbeat rate.
+//
+// The retuner therefore supports two objectives:
+//
+//   paper_max_eta  — the original grid search (fd::configure): largest eta
+//                    with delta = T^U_D - eta meeting E[T_MR] and P_A.
+//   min_detection  — minimize delta + eta/2 subject to the same mistake-
+//                    recurrence and accuracy constraints, the detection
+//                    bound eta + delta <= T^U_D, and a heartbeat *rate
+//                    budget* eta >= eta_budget, so adapting never sends
+//                    faster than the static configuration it replaces.
+//                    When no point within the budget is feasible (the link
+//                    degraded beyond what the budget can monitor), it falls
+//                    back to the paper solver: accuracy wins over cost, the
+//                    same priority the paper gives it.
+//
+// Stability: re-solving every estimator tick would let estimate jitter
+// oscillate (eta, delta) and thrash the cluster with RATE_REQ renegotiation.
+// Two dampers make the retuner provably calm:
+//
+//   * hysteresis dead band — a candidate point replaces the current one
+//     only if eta or delta moved by more than a relative band (or the
+//     feasibility verdict flipped);
+//   * min-dwell — once adopted, an operating point is held for at least
+//     `min_dwell`, bounding the retune rate to one per dwell window no
+//     matter how noisy the estimates are.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "common/time.hpp"
+#include "fd/configurator.hpp"
+#include "fd/qos.hpp"
+
+namespace omega::adaptive {
+
+enum class tuning_objective {
+  paper_max_eta,
+  min_detection,
+};
+
+struct retuner_options {
+  tuning_objective objective = tuning_objective::min_detection;
+  /// Heartbeat-rate budget for `min_detection`: the solver never picks
+  /// eta below this. Zero means "derive from the QoS": T^U_D / 4, the
+  /// cold-start rate, so adaptive never exceeds the frozen baseline.
+  /// Values are clamped to at most 0.9 * T^U_D so a positive delta always
+  /// fits inside the detection bound.
+  duration eta_budget{0};
+  /// What to do when no point within the budget can hold the QoS. True
+  /// (default): hold the line on cost — eta stays at the budget, delta
+  /// stretches to the full detection window (maximum heartbeats per
+  /// freshness point, the best recurrence the budget buys) and the point
+  /// is marked infeasible, mirroring the paper's best-effort caveat. The
+  /// sending rate is then *provably* capped, which also stops transient
+  /// estimate spikes from pinning peers to a fast rate through the 60 s
+  /// RATE_REQ expiry. False: fall back to the paper solver, which may
+  /// exceed the budget to restore accuracy.
+  bool rate_cap_hard = true;
+  /// Minimum time between two adopted retunes.
+  duration min_dwell = sec(10);
+  /// Relative dead band on eta and delta: candidate points inside the band
+  /// do not replace the current one — unless the current point stopped
+  /// satisfying the QoS under the latest estimate (a stale point is never
+  /// kept for calm's sake).
+  double eta_band = 0.20;
+  double delta_band = 0.20;
+  /// Grid resolution of the min-detection search: eta values tried between
+  /// the budget and T^U_D / 2 (expected detection delta + eta/2 only grows
+  /// with eta once the loss-driven delta >= (k-1)*eta dominates, so larger
+  /// eta never wins), delta values tried per eta.
+  int eta_steps = 16;
+  int delta_steps = 100;
+  /// Schmitt trigger on QoS feasibility. New points are solved with a
+  /// stricter margin (`adopt_margin` > 1 scales the recurrence/accuracy
+  /// requirements up), while the current point is only declared stale when
+  /// it misses the *relaxed* requirement (`keep_margin` < 1). A point that
+  /// was adopted with margin therefore cannot be invalidated by estimate
+  /// jitter around the exact constraint boundary.
+  double adopt_margin = 1.25;
+  double keep_margin = 0.8;
+  /// Round the link estimate up (conservatively) onto a coarse geometric
+  /// grid before solving. This makes the solved operating point piecewise
+  /// constant in the raw estimates: per-heartbeat estimator jitter lands in
+  /// the same cell and produces bit-identical parameters, so the dead band
+  /// and dwell timer only ever see *real* link changes. Disabling it is
+  /// useful in tests that probe the solver itself.
+  bool quantize_inputs = true;
+  fd::configurator_options configurator{};
+};
+
+class retuner {
+ public:
+  retuner(fd::qos_spec qos, retuner_options opts);
+
+  /// Pure solver (no hysteresis state): the operating point this objective
+  /// picks for `link`. Falls back to `fd::cold_start_params` below the
+  /// configurator's sample floor, exactly like `fd::configure`.
+  [[nodiscard]] static fd::fd_params solve(const fd::qos_spec& qos,
+                                           const fd::link_estimate& link,
+                                           const retuner_options& opts);
+
+  /// Does `params` satisfy the recurrence and accuracy constraints of
+  /// `qos` under `link` (quantized per `opts`), scaled by `margin` (> 1
+  /// stricter, < 1 more lenient)? True when the estimate has too few
+  /// samples to judge.
+  [[nodiscard]] static bool point_feasible(const fd::qos_spec& qos,
+                                           const fd::link_estimate& link,
+                                           const fd::fd_params& params,
+                                           const retuner_options& opts,
+                                           double margin = 1.0);
+
+  /// One damped re-tuning step at time `now`: solves for `link` and returns
+  /// the new operating point iff it clears the dwell gate and moved outside
+  /// the dead band (or feasibility flipped). Returns nullopt when the
+  /// current point stands.
+  [[nodiscard]] std::optional<fd::fd_params> evaluate(
+      const fd::link_estimate& link, time_point now);
+
+  [[nodiscard]] const fd::fd_params& current() const { return current_; }
+  [[nodiscard]] std::uint64_t retune_count() const { return retune_count_; }
+  [[nodiscard]] time_point last_retune() const { return last_retune_; }
+  [[nodiscard]] const fd::qos_spec& qos() const { return qos_; }
+
+  /// Expected crash-detection latency of an operating point under NFD-S
+  /// (crash uniformly within a send interval): delta + eta / 2.
+  [[nodiscard]] static double expected_detection_s(const fd::fd_params& p) {
+    return to_seconds(p.delta) + to_seconds(p.eta) / 2.0;
+  }
+
+ private:
+  [[nodiscard]] bool outside_dead_band(const fd::fd_params& candidate) const;
+
+  fd::qos_spec qos_;
+  retuner_options opts_;
+  fd::fd_params current_;
+  bool adopted_once_ = false;
+  std::uint64_t retune_count_ = 0;
+  time_point last_retune_{};
+};
+
+}  // namespace omega::adaptive

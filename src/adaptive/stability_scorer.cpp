@@ -1,0 +1,95 @@
+#include "adaptive/stability_scorer.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace omega::adaptive {
+
+void stability_scorer::on_member_seen(process_id pid, node_id node,
+                                      incarnation inc, time_point now) {
+  auto [it, inserted] = records_.try_emplace(pid);
+  record& rec = it->second;
+  if (inserted || inc > rec.inc) {
+    rec = record{};
+    rec.inc = inc;
+    rec.first_seen = now;
+  } else if (inc < rec.inc) {
+    return;  // stale incarnation evidence
+  }
+  rec.node = node;
+}
+
+double stability_scorer::decayed_events(const record& rec,
+                                        time_point now) const {
+  if (rec.events <= 0.0) return 0.0;
+  const double hl = to_seconds(opts_.event_halflife);
+  if (hl <= 0.0) return rec.events;
+  const double dt = std::max(0.0, to_seconds(now - rec.events_as_of));
+  return rec.events * std::pow(0.5, dt / hl);
+}
+
+void stability_scorer::on_accusation_observed(process_id pid, incarnation inc,
+                                              time_point acc_time,
+                                              time_point now) {
+  auto it = records_.find(pid);
+  if (it == records_.end()) {
+    on_member_seen(pid, node_id::invalid(), inc, now);
+    it = records_.find(pid);
+  }
+  record& rec = it->second;
+  if (inc < rec.inc) return;
+  // The very first accusation time we see is the candidate's baseline (its
+  // join time), not an event; only *advances* count as instability.
+  if (rec.has_acc_time && acc_time > rec.last_acc_time) {
+    rec.events = decayed_events(rec, now) + 1.0;
+    rec.events_as_of = now;
+  }
+  if (!rec.has_acc_time || acc_time > rec.last_acc_time) {
+    rec.last_acc_time = acc_time;
+    rec.has_acc_time = true;
+  }
+}
+
+void stability_scorer::on_member_removed(process_id pid, incarnation inc) {
+  auto it = records_.find(pid);
+  if (it != records_.end() && it->second.inc <= inc) records_.erase(it);
+}
+
+void stability_scorer::forget_node(node_id node) { link_loss_.erase(node); }
+
+void stability_scorer::set_link_loss(node_id node, double loss_probability) {
+  link_loss_[node] = std::clamp(loss_probability, 0.0, 1.0);
+}
+
+double stability_scorer::instability_events(process_id pid,
+                                            time_point now) const {
+  auto it = records_.find(pid);
+  return it != records_.end() ? decayed_events(it->second, now) : 0.0;
+}
+
+double stability_scorer::score(process_id pid, time_point now) const {
+  auto it = records_.find(pid);
+  if (it == records_.end()) return 0.0;
+  const record& rec = it->second;
+
+  const double uptime_s = std::max(0.0, to_seconds(now - rec.first_seen));
+  const double scale = std::max(to_seconds(opts_.uptime_scale), 1e-9);
+  const double uptime_term = 1.0 - std::exp(-uptime_s / scale);
+
+  const double events_term =
+      std::exp(-opts_.event_weight * decayed_events(rec, now));
+
+  double link_term = 1.0;  // unknown link: no penalty
+  if (auto loss = link_loss_.find(rec.node); loss != link_loss_.end()) {
+    const double sat = std::max(opts_.loss_saturation, 1e-9);
+    link_term = std::clamp(1.0 - loss->second / sat, 0.0, 1.0);
+  }
+
+  const double w_total =
+      std::max(opts_.w_uptime + opts_.w_events + opts_.w_link, 1e-9);
+  return (opts_.w_uptime * uptime_term + opts_.w_events * events_term +
+          opts_.w_link * link_term) /
+         w_total;
+}
+
+}  // namespace omega::adaptive

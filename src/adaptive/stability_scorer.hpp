@@ -1,0 +1,98 @@
+// SEER-style per-candidate stability scoring (DESIGN.md §5).
+//
+// The accusation-time mechanism of Omega_lc / Omega_l already demotes
+// processes *after* they misbehave; the scorer adds a forward-looking
+// ranking signal: how stable has this candidate looked recently? Three
+// observable ingredients, all derivable from traffic every node already
+// receives (no new messages):
+//
+//   * uptime — how long the candidate's current incarnation has been seen
+//     in the group (fresh recoveries score low, exactly the instability S1
+//     suffers from);
+//   * accusation history — every *advance* of a candidate's accusation time
+//     (carried in its ALIVE payloads) is one observed instability event.
+//     Events decay exponentially, so ancient history stops mattering;
+//   * link quality — the measured loss toward the candidate's node: a
+//     leader we can barely hear is a leader we will wrongly suspect.
+//
+// The score is in [0, 1], higher = more stable. It is *advisory*: electors
+// consult it only when the join enabled stability ranking, and only to
+// choose among candidates (see omega_lc: candidates within a tolerance of
+// the best band are ranked by the usual (accusation time, pid) order, so
+// the classic correctness argument is untouched once scores converge).
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "common/ids.hpp"
+#include "common/time.hpp"
+
+namespace omega::adaptive {
+
+class stability_scorer {
+ public:
+  struct options {
+    /// Uptime scale: score credit is 1 - exp(-uptime / uptime_scale).
+    duration uptime_scale = sec(120);
+    /// Half-life of an observed instability (accusation) event.
+    duration event_halflife = sec(300);
+    /// Score penalty steepness per (decayed) instability event.
+    double event_weight = 1.0;
+    /// Loss fraction that zeroes the link term (10% loss by default).
+    double loss_saturation = 0.10;
+    /// Blend weights (normalized internally).
+    double w_uptime = 0.5;
+    double w_events = 0.3;
+    double w_link = 0.2;
+  };
+
+  stability_scorer() : stability_scorer(options{}) {}
+  explicit stability_scorer(options opts) : opts_(opts) {}
+
+  /// Membership evidence: `pid`'s incarnation `inc` hosted on `node` was
+  /// seen at `now`. A higher incarnation resets uptime and history (the
+  /// recovered process is a new member).
+  void on_member_seen(process_id pid, node_id node, incarnation inc,
+                      time_point now);
+
+  /// A candidate's broadcast accusation time advanced: one observed
+  /// instability event at `now`.
+  void on_accusation_observed(process_id pid, incarnation inc,
+                              time_point acc_time, time_point now);
+
+  void on_member_removed(process_id pid, incarnation inc);
+
+  /// Drops per-node link state (the node is known gone).
+  void forget_node(node_id node);
+
+  /// Current measured loss toward the node hosting a candidate.
+  void set_link_loss(node_id node, double loss_probability);
+
+  /// Stability score in [0, 1]; unknown processes score 0.
+  [[nodiscard]] double score(process_id pid, time_point now) const;
+
+  /// Decayed instability-event count (exposed for tests/metrics).
+  [[nodiscard]] double instability_events(process_id pid, time_point now) const;
+
+  [[nodiscard]] std::size_t tracked_count() const { return records_.size(); }
+
+ private:
+  struct record {
+    node_id node;
+    incarnation inc = 0;
+    time_point first_seen{};
+    time_point last_acc_time{};
+    bool has_acc_time = false;
+    double events = 0.0;        // decayed instability events
+    time_point events_as_of{};  // decay reference point
+  };
+
+  [[nodiscard]] double decayed_events(const record& rec, time_point now) const;
+
+  options opts_;
+  std::unordered_map<process_id, record> records_;
+  std::unordered_map<node_id, double> link_loss_;
+};
+
+}  // namespace omega::adaptive

@@ -59,6 +59,11 @@ struct elector_context {
   std::function<std::vector<membership::member_info>()> members;
   /// Sends an ACCUSE message to the node hosting the accused process.
   std::function<void(const proto::accuse_msg&, node_id)> send_accuse;
+  /// Optional stability score in [0, 1] for a candidate (higher = more
+  /// stable), served by the adaptation engine when the join enabled
+  /// stability ranking. Null when the feature is off — electors must
+  /// behave exactly as the paper specifies in that case.
+  std::function<double(process_id)> stability_score;
 };
 
 class elector {

@@ -118,7 +118,9 @@ bool omega_lc::fresh(const membership::member_info& m) const {
 
 std::optional<omega_lc::rank> omega_lc::local_stage(
     const std::vector<membership::member_info>& members) const {
-  std::optional<rank> best;
+  // Collect the eligible candidates (fresh, with accusation data) first:
+  // the optional stability filter needs the whole field before ranking.
+  std::vector<rank> eligible;
   for (const auto& m : members) {
     if (!m.candidate || !fresh(m)) continue;
     time_point acc;
@@ -129,7 +131,27 @@ std::optional<omega_lc::rank> omega_lc::local_stage(
       if (it == peers_.end() || it->second.inc != m.inc) continue;  // no data yet
       acc = it->second.acc_time;
     }
-    const rank r{acc, m.pid};
+    eligible.push_back(rank{acc, m.pid});
+  }
+  if (eligible.empty()) return std::nullopt;
+
+  if (ctx_.stability_score && eligible.size() > 1) {
+    // SEER-style pre-filter: keep only candidates within the tolerance of
+    // the most stable one, then fall through to the paper's order. The
+    // filter never empties the field (the best-scoring candidate always
+    // survives), so a leader is still always chosen.
+    double best_score = 0.0;
+    for (const rank& r : eligible) {
+      best_score = std::max(best_score, ctx_.stability_score(r.pid));
+    }
+    const double cutoff = best_score - opts_.stability_tolerance;
+    std::erase_if(eligible, [&](const rank& r) {
+      return ctx_.stability_score(r.pid) < cutoff;
+    });
+  }
+
+  std::optional<rank> best;
+  for (const rank& r : eligible) {
     if (!best || r < *best) best = r;
   }
   return best;

@@ -49,6 +49,13 @@ class omega_lc final : public elector {
     /// election to "earliest accusation time among directly trusted
     /// candidates" and forfeits the tolerance to crashed links (Figure 7).
     bool forwarding = true;
+    /// Stability-aware candidate filtering (active only when the hosting
+    /// service supplies ctx.stability_score): stage 1 drops candidates
+    /// scoring more than this far below the best-scoring candidate before
+    /// applying the usual (accusation time, pid) order. Once the system is
+    /// stable all scores converge high and the filter passes everyone, so
+    /// the classic eventual-leadership argument is unchanged.
+    double stability_tolerance = 0.25;
   };
 
   explicit omega_lc(elector_context ctx) : omega_lc(std::move(ctx), {}) {}

@@ -41,6 +41,24 @@ double mistake_probability(const link_estimate& link, delay_tail_model tail,
   return q0;
 }
 
+bool qos_constraints_hold_q0(const qos_spec& qos, double loss_probability,
+                             double eta_s, double q0, double margin) {
+  const double p = std::clamp(loss_probability, 0.0, 0.999999);
+  const double recurrence =
+      q0 > 0.0 ? eta_s / q0 : std::numeric_limits<double>::infinity();
+  const double mistake_budget = (1.0 - qos.query_accuracy) / margin;
+  const bool accuracy_ok = q0 / (1.0 - p) <= mistake_budget;
+  return recurrence >= to_seconds(qos.mistake_recurrence) * margin &&
+         accuracy_ok;
+}
+
+bool qos_constraints_hold(const qos_spec& qos, const link_estimate& link,
+                          delay_tail_model tail, double eta_s, double delta_s,
+                          double margin) {
+  const double q0 = mistake_probability(link, tail, eta_s, delta_s);
+  return qos_constraints_hold_q0(qos, link.loss_probability, eta_s, q0, margin);
+}
+
 fd_params cold_start_params(const qos_spec& qos) {
   fd_params params;
   params.eta = qos.detection_time / 4;
@@ -54,8 +72,6 @@ fd_params configure(const qos_spec& qos, const link_estimate& link,
   if (link.samples < opts.min_samples) return cold_start_params(qos);
 
   const double total = to_seconds(qos.detection_time);
-  const double tmr = to_seconds(qos.mistake_recurrence);
-  const double p = std::clamp(link.loss_probability, 0.0, 0.999999);
   const int steps = std::max(opts.grid_steps, 4);
 
   double best_eta = 0.0;
@@ -69,9 +85,8 @@ fd_params configure(const qos_spec& qos, const link_estimate& link,
     const double delta = total - eta;
     const double q0 = mistake_probability(link, opts.tail, eta, delta);
     const double recurrence = q0 > 0.0 ? eta / q0 : std::numeric_limits<double>::infinity();
-    const double accuracy = 1.0 - q0 / (1.0 - p);
 
-    if (recurrence >= tmr && accuracy >= qos.query_accuracy) {
+    if (qos_constraints_hold_q0(qos, link.loss_probability, eta, q0)) {
       // Round eta once and take delta as the exact integer complement so
       // eta + delta == detection_time holds on the duration grid.
       const duration eta_d = from_seconds(eta);

@@ -49,6 +49,23 @@ struct configurator_options {
                                          delay_tail_model tail, double eta_s,
                                          double delta_s);
 
+/// Do both QoS constraints (E[T_MR] >= T^L_MR and P_A >= P^L_A) hold at
+/// the point (eta, delta) under `link`? `margin` scales the requirements
+/// (> 1 stricter, < 1 more lenient); the adaptive retuner uses it as a
+/// Schmitt trigger. This is the single home of the constraint math — the
+/// grid searches in `configure` and in the adaptive retuner both call it.
+[[nodiscard]] bool qos_constraints_hold(const qos_spec& qos,
+                                        const link_estimate& link,
+                                        delay_tail_model tail, double eta_s,
+                                        double delta_s, double margin = 1.0);
+
+/// Same predicate with a precomputed mistake probability, for grid
+/// searches that already need q0 for other bookkeeping.
+[[nodiscard]] bool qos_constraints_hold_q0(const qos_spec& qos,
+                                           double loss_probability,
+                                           double eta_s, double q0,
+                                           double margin = 1.0);
+
 /// Computes the NFD-S operating point for one monitored link.
 [[nodiscard]] fd_params configure(const qos_spec& qos, const link_estimate& link,
                                   const configurator_options& opts = {});

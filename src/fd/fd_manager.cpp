@@ -20,12 +20,39 @@ void fd_manager::set_rate_request_fn(rate_request_fn fn) {
   send_rate_request_ = std::move(fn);
 }
 
+void fd_manager::set_link_observer(link_observer observer) {
+  on_link_sample_ = std::move(observer);
+}
+
+void fd_manager::set_params_override(group_id group, fd_params params) {
+  overrides_[group] = params;
+  // Apply the new delta to existing monitors immediately; rates follow on
+  // the next reconfiguration pass (hysteresis applies there as usual).
+  for (auto& [node, state] : remotes_) {
+    state->params[group] = params;
+    if (auto it = state->monitors.find(group); it != state->monitors.end()) {
+      it->second->set_delta(params.delta);
+    }
+  }
+}
+
+void fd_manager::clear_params_override(group_id group) {
+  overrides_.erase(group);
+}
+
+std::optional<fd_params> fd_manager::params_override(group_id group) const {
+  auto it = overrides_.find(group);
+  if (it == overrides_.end()) return std::nullopt;
+  return it->second;
+}
+
 void fd_manager::add_group(group_id group, const qos_spec& qos) {
   groups_[group] = qos;
 }
 
 void fd_manager::remove_group(group_id group) {
   groups_.erase(group);
+  overrides_.erase(group);
   for (auto& [node, state] : remotes_) {
     state->monitors.erase(group);
     state->params.erase(group);
@@ -40,7 +67,9 @@ heartbeat_monitor& fd_manager::ensure_monitor(group_id group, node_id remote,
     const qos_spec qos = qos_it != groups_.end() ? qos_it->second : qos_spec{};
     const fd_params params = [&] {
       auto p = state.params.find(group);
-      return p != state.params.end() ? p->second : cold_start_params(qos);
+      if (p != state.params.end()) return p->second;
+      auto o = overrides_.find(group);
+      return o != overrides_.end() ? o->second : cold_start_params(qos);
     }();
     auto monitor = std::make_unique<heartbeat_monitor>(
         clock_, timers_, params.delta, [this, group, remote](bool trusted) {
@@ -69,6 +98,7 @@ void fd_manager::on_alive(const proto::alive_msg& msg, time_point recv_time) {
   }
   state.last_heard = recv_time;
   state.lqe.on_heartbeat(msg.seq, msg.send_time, recv_time);
+  if (on_link_sample_) on_link_sample_(msg.from, state.lqe.estimate(), recv_time);
 
   for (const auto& payload : msg.groups) {
     if (groups_.find(payload.group) == groups_.end()) continue;  // not ours
@@ -127,7 +157,11 @@ void fd_manager::reconfigure_remote(node_id remote, remote_state& state) {
 
   duration min_eta{0};
   for (const auto& [group, qos] : groups_) {
-    const fd_params params = configure(qos, link, opts_.configurator);
+    const fd_params params = [&] {
+      auto o = overrides_.find(group);
+      return o != overrides_.end() ? o->second
+                                   : configure(qos, link, opts_.configurator);
+    }();
     state.params[group] = params;
     if (auto it = state.monitors.find(group); it != state.monitors.end()) {
       it->second->set_delta(params.delta);
@@ -169,6 +203,7 @@ link_estimate fd_manager::link_quality(node_id remote) const {
 }
 
 fd_params fd_manager::current_params(group_id group, node_id remote) const {
+  if (auto o = overrides_.find(group); o != overrides_.end()) return o->second;
   auto git = groups_.find(group);
   const qos_spec qos = git != groups_.end() ? git->second : qos_spec{};
   auto it = remotes_.find(remote);

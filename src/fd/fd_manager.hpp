@@ -14,6 +14,7 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <optional>
 #include <unordered_map>
 
 #include "common/executor.hpp"
@@ -47,6 +48,10 @@ class fd_manager {
   using transition_handler = std::function<void(group_id, node_id, bool)>;
   /// Called when a RATE_REQ should be sent to `node` asking for `eta`.
   using rate_request_fn = std::function<void(node_id, duration)>;
+  /// Observes every link-estimate update: (remote, fresh estimate, time).
+  /// The adaptation engine feeds its link tracker from this stream.
+  using link_observer = std::function<void(node_id, const link_estimate&,
+                                           time_point)>;
 
   fd_manager(clock_source& clock, timer_service& timers)
       : fd_manager(clock, timers, options{}) {}
@@ -58,6 +63,7 @@ class fd_manager {
 
   void set_transition_handler(transition_handler handler);
   void set_rate_request_fn(rate_request_fn fn);
+  void set_link_observer(link_observer observer);
 
   /// Registers a local group and the FD QoS its members require.
   void add_group(group_id group, const qos_spec& qos);
@@ -84,8 +90,18 @@ class fd_manager {
   /// Current link estimate for a remote (defaults if never heard).
   [[nodiscard]] link_estimate link_quality(node_id remote) const;
 
-  /// Operating point for (group, remote): configured or cold-start default.
+  /// Operating point for (group, remote): override, configured, or
+  /// cold-start default — in that order.
   [[nodiscard]] fd_params current_params(group_id group, node_id remote) const;
+
+  /// Pins the operating point of one group: the periodic reconfiguration
+  /// pass stops consulting the configurator for it and applies `params`
+  /// (monitor deltas immediately, sender rates on the next pass). This is
+  /// how an external tuning policy — the adaptation engine, or a frozen
+  /// baseline — takes over from the built-in per-tick configurator.
+  void set_params_override(group_id group, fd_params params);
+  void clear_params_override(group_id group);
+  [[nodiscard]] std::optional<fd_params> params_override(group_id group) const;
 
   /// The sending interval this manager currently asks `remote` to use
   /// (minimum over local groups). Zero if unknown remote.
@@ -118,7 +134,9 @@ class fd_manager {
   options opts_;
   transition_handler on_transition_;
   rate_request_fn send_rate_request_;
+  link_observer on_link_sample_;
   std::unordered_map<group_id, qos_spec> groups_;
+  std::unordered_map<group_id, fd_params> overrides_;
   std::unordered_map<node_id, std::unique_ptr<remote_state>> remotes_;
   scoped_timer reconfig_timer_;
   bool running_ = false;

@@ -1,6 +1,7 @@
 #include "harness/experiment.hpp"
 
 #include <stdexcept>
+#include <utility>
 
 namespace omega::harness {
 
@@ -13,6 +14,13 @@ experiment::experiment(scenario sc) : sc_(std::move(sc)), root_rng_(sc_.seed) {
   net_ = std::make_unique<net::sim_network>(sim_, sc_.nodes, sc_.links,
                                             root_rng_.split());
   if (sc_.link_crashes.enabled) net_->enable_link_crashes(sc_.link_crashes);
+
+  // Dynamic link profile: schedule every phase change up front.
+  for (const link_phase& phase : sc_.link_phases) {
+    sim_.schedule_at(time_origin + phase.at, [this, profile = phase.links] {
+      net_->set_all_link_profiles(profile);
+    });
+  }
 
   nodes_.reserve(sc_.nodes);
   rng stagger = root_rng_.split();
@@ -52,6 +60,7 @@ void experiment::start_service(workstation& ws) {
   cfg.roster.reserve(sc_.nodes);
   for (const auto& other : nodes_) cfg.roster.push_back(other.node);
   cfg.alg = sc_.alg;
+  cfg.adaptive = sc_.adaptive;
   ws.svc = std::make_unique<service::leader_election_service>(
       sim_, sim_, net_->endpoint(ws.node), cfg);
 
@@ -61,6 +70,7 @@ void experiment::start_service(workstation& ws) {
   jo.candidate = candidate;
   jo.qos = sc_.qos;
   jo.notify = service::notification_mode::interrupt;
+  jo.stability_ranking = sc_.stability_ranking;
 
   const process_id pid = ws.pid;
   ws.svc->register_process(pid);
@@ -77,6 +87,8 @@ void experiment::crash_node(node_id node) {
   workstation& ws = nodes_.at(node.value());
   if (!ws.up) return;
   ws.up = false;
+  dead_alive_sent_ += ws.svc->stats().alive_sent;
+  if (auto* eng = ws.svc->adaptation()) dead_retunes_ += eng->total_retunes();
   ws.svc.reset();  // destroys all state; no goodbye messages
   net_->set_node_alive(ws.node, false);
   metrics_.on_crash(sim_.now(), ws.pid);
@@ -105,6 +117,25 @@ void experiment::schedule_recovery(workstation& ws) {
   });
 }
 
+std::uint64_t experiment::total_alive_sent() const {
+  std::uint64_t total = dead_alive_sent_;
+  for (const auto& ws : nodes_) {
+    if (ws.svc) total += ws.svc->stats().alive_sent;
+  }
+  return total;
+}
+
+std::uint64_t experiment::total_retunes() const {
+  std::uint64_t total = dead_retunes_;
+  for (const auto& ws : nodes_) {
+    if (!ws.svc) continue;
+    if (const auto* eng = std::as_const(*ws.svc).adaptation()) {
+      total += eng->total_retunes();
+    }
+  }
+  return total;
+}
+
 service::leader_election_service* experiment::node_service(node_id node) {
   return nodes_.at(node.value()).svc.get();
 }
@@ -117,6 +148,7 @@ experiment_result experiment::run() {
 
   metrics_.begin(sim_.now());
   net_->reset_traffic();
+  const std::uint64_t alive_base = total_alive_sent();
   if (sc_.churn.enabled) {
     for (auto& ws : nodes_) schedule_crash(ws);
   }
@@ -143,6 +175,13 @@ experiment_result experiment::run() {
   }
   res.cpu_percent = cpu / static_cast<double>(sc_.nodes);
   res.kb_per_second = kbs / static_cast<double>(sc_.nodes);
+  const double node_seconds =
+      to_seconds(sc_.measured) * static_cast<double>(sc_.nodes);
+  res.alive_per_node_per_second =
+      node_seconds > 0.0
+          ? static_cast<double>(total_alive_sent() - alive_base) / node_seconds
+          : 0.0;
+  res.retunes = total_retunes();
 
   res.simulated_hours = to_seconds(sc_.measured) / 3600.0;
   res.events_executed = sim_.events_executed();

@@ -33,6 +33,12 @@ struct experiment_result {
   // Overhead (paper §6.5), averaged per workstation.
   double cpu_percent = 0.0;
   double kb_per_second = 0.0;
+  /// ALIVE datagrams emitted per workstation per second over the measured
+  /// window (the heartbeat rate; the adaptive-tuning figures compare it).
+  double alive_per_node_per_second = 0.0;
+  /// Operating-point adoptions by the adaptation engines (0 unless the
+  /// scenario runs in adaptive tuning mode).
+  std::uint64_t retunes = 0;
 
   // Run bookkeeping.
   double simulated_hours = 0.0;
@@ -65,6 +71,12 @@ class experiment {
   void crash_node(node_id node);
   void recover_node(node_id node);
 
+  /// ALIVEs sent by all instances so far, dead incarnations included
+  /// (exposed for white-box rate assertions).
+  [[nodiscard]] std::uint64_t total_alive_sent() const;
+  /// Adaptation-engine adoptions so far, dead incarnations included.
+  [[nodiscard]] std::uint64_t total_retunes() const;
+
  private:
   struct workstation {
     node_id node;
@@ -89,6 +101,10 @@ class experiment {
   metrics::group_metrics metrics_;
   metrics::cost_model cost_;
   group_id group_ = group_id{1};
+  /// Counters accumulated from instances destroyed by churn, so rate
+  /// accounting survives crash/recovery cycles.
+  std::uint64_t dead_alive_sent_ = 0;
+  std::uint64_t dead_retunes_ = 0;
 };
 
 }  // namespace omega::harness

@@ -10,7 +10,9 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
+#include "adaptive/engine.hpp"
 #include "common/time.hpp"
 #include "election/elector.hpp"
 #include "fd/qos.hpp"
@@ -28,15 +30,33 @@ struct churn_profile {
   static churn_profile paper_default() { return {}; }
 };
 
+/// One step of a dynamic link profile: at offset `at` from simulation
+/// start, every directed link switches to `links`. This is how experiments
+/// model a network that degrades (or heals) mid-run: LAN -> lossy -> WAN.
+struct link_phase {
+  duration at{};
+  net::link_profile links;
+};
+
 struct scenario {
   std::string name = "unnamed";
   std::size_t nodes = 12;
   election::algorithm alg = election::algorithm::omega_lc;
 
   net::link_profile links = net::link_profile::lan();
+  /// Scheduled link-profile changes (applied in `at` order on top of the
+  /// initial `links`). Empty = the static single-profile runs of the paper.
+  std::vector<link_phase> link_phases;
   net::link_crash_profile link_crashes = net::link_crash_profile::none();
   churn_profile churn = churn_profile::paper_default();
   fd::qos_spec qos = fd::qos_spec::paper_default();
+
+  /// Tuning policy of every service instance (continuous = seed behaviour,
+  /// frozen = static cold-start baseline, adaptive = adaptation engine)
+  /// plus the engine's knobs.
+  adaptive::engine_options adaptive{};
+  /// Let electors consult the stability scorer (adaptive mode only).
+  bool stability_ranking = false;
 
   /// Number of leadership candidates; the first `candidates` pids are
   /// candidates, the rest join as passive (non-candidate) members.

@@ -3,6 +3,7 @@
 
 #include <vector>
 
+#include "adaptive/engine.hpp"
 #include "common/ids.hpp"
 #include "election/elector.hpp"
 #include "fd/fd_manager.hpp"
@@ -28,6 +29,9 @@ struct service_config {
   fd::fd_manager::options fd{};
   /// Group-maintenance tuning (HELLO period, eviction timeout).
   membership::group_maintenance::options gm{};
+  /// Online QoS re-configuration: tuning mode plus adaptation-engine knobs
+  /// (tracker windows, retune hysteresis, stability scoring).
+  adaptive::engine_options adaptive{};
 };
 
 /// How a joined process wants to learn about leader changes (paper §4:
@@ -45,6 +49,11 @@ struct join_options {
   notification_mode notify = notification_mode::interrupt;
   /// QoS of the underlying failure detector used for this group.
   fd::qos_spec qos{};
+  /// Let the elector consult the adaptation engine's per-candidate
+  /// stability score (observed uptime, accusation history, link quality)
+  /// when ranking leaders. Only effective when the service runs in
+  /// adaptive tuning mode; off by default — the paper's ranking applies.
+  bool stability_ranking = false;
 };
 
 /// Counters exposed for tests, benchmarks and the overhead figures.

@@ -55,13 +55,42 @@ leader_election_service::leader_election_service(clock_source& clock,
             if (it == groups_.end()) return;
             it->second.elector->on_member_removed(m);
             if (m.node != config_.self) fd_.drop(g, m.node);
+            if (adaptive_) {
+              adaptive_->on_member_removed(m.pid, m.inc);
+              // Drop the node's link history only once no group has a
+              // member there: a node that merely left one group is still
+              // monitored (and may be the binding worst link) elsewhere.
+              bool still_member = false;
+              for (const auto& [g2, gs2] : groups_) {
+                for (const auto& mem : gm_.table(g2).members()) {
+                  if (mem.node == m.node) {
+                    still_member = true;
+                    break;
+                  }
+                }
+                if (still_member) break;
+              }
+              if (!still_member && m.node != config_.self) {
+                adaptive_->on_node_dropped(m.node);
+              }
+            }
             reevaluate(g);
           },
       .on_member_reincarnated = nullptr,
   });
 
+  if (config_.adaptive.mode == adaptive::tuning_mode::adaptive) {
+    adaptive_ = std::make_unique<adaptive::engine>(clock_, timers_, fd_,
+                                                   config_.adaptive);
+    fd_.set_link_observer(
+        [this](node_id node, const fd::link_estimate& est, time_point now) {
+          adaptive_->on_link_sample(node, est, now);
+        });
+  }
+
   fd_.start();
   gm_.start();
+  if (adaptive_) adaptive_->start();
 }
 
 leader_election_service::~leader_election_service() {
@@ -102,6 +131,11 @@ election::elector_context leader_election_service::make_context(group_id group,
   return ctx;
 }
 
+bool leader_election_service::wants_stability_ranking(
+    const join_options& options) const {
+  return options.stability_ranking && adaptive_ != nullptr;
+}
+
 bool leader_election_service::join_group(process_id pid, group_id group,
                                          const join_options& options,
                                          leader_callback on_change) {
@@ -111,12 +145,30 @@ bool leader_election_service::join_group(process_id pid, group_id group,
   fd_.add_group(group, options.qos);
   rate_.set_default_eta(std::min(rate_.default_eta(), options.qos.detection_time / 4));
 
+  // Hand the group's operating point to the configured tuning policy.
+  switch (config_.adaptive.mode) {
+    case adaptive::tuning_mode::continuous:
+      break;  // seed behaviour: fd_manager reconfigures per tick
+    case adaptive::tuning_mode::frozen:
+      fd_.set_params_override(group, fd::cold_start_params(options.qos));
+      break;
+    case adaptive::tuning_mode::adaptive:
+      adaptive_->add_group(group, options.qos);
+      break;
+  }
+
+  election::elector_context ctx = make_context(group, pid, options.candidate);
+  if (wants_stability_ranking(options)) {
+    ctx.stability_score = [this](process_id candidate) {
+      return adaptive_ ? adaptive_->stability(candidate) : 0.0;
+    };
+  }
+
   group_state gs;
   gs.group = group;
   gs.local_pid = pid;
   gs.options = options;
-  gs.elector = election::make_elector(config_.alg,
-                                      make_context(group, pid, options.candidate));
+  gs.elector = election::make_elector(config_.alg, std::move(ctx));
   gs.last_self_acc = gs.elector->self_accusation_time();
   gs.on_change = std::move(on_change);
   auto [it, inserted] = groups_.emplace(group, std::move(gs));
@@ -132,6 +184,7 @@ void leader_election_service::leave_group(process_id pid, group_id group) {
   if (it == groups_.end() || it->second.local_pid != pid) return;
   gm_.local_leave(group, pid);  // broadcasts LEAVE
   fd_.remove_group(group);
+  if (adaptive_) adaptive_->remove_group(group);
   groups_.erase(it);
   // Relax the default heartbeat cadence to the tightest *remaining* group
   // (join_group only ever ratchets it down).
@@ -186,6 +239,7 @@ void leader_election_service::handle(const proto::alive_msg& msg) {
   for (const auto& payload : msg.groups) {
     auto it = groups_.find(payload.group);
     if (it == groups_.end()) continue;
+    if (adaptive_) adaptive_->on_payload_observed(msg.from, msg.inc, payload, now);
     it->second.elector->on_alive_payload(msg.from, msg.inc, payload);
   }
   for (const auto& payload : msg.groups) {

@@ -25,6 +25,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "adaptive/engine.hpp"
 #include "common/executor.hpp"
 #include "common/ids.hpp"
 #include "election/elector.hpp"
@@ -91,6 +92,13 @@ class leader_election_service {
   /// The failure-detector module (exposed for tests and benchmarks).
   [[nodiscard]] fd::fd_manager& failure_detector() { return fd_; }
 
+  /// The adaptation engine, or nullptr unless the instance runs in
+  /// `adaptive::tuning_mode::adaptive` (exposed for tests and benchmarks).
+  [[nodiscard]] adaptive::engine* adaptation() { return adaptive_.get(); }
+  [[nodiscard]] const adaptive::engine* adaptation() const {
+    return adaptive_.get();
+  }
+
   /// Observer invoked on *every* leader change of any group, after the
   /// per-subscription callbacks. The experiment harness uses this to track
   /// ground-truth agreement.
@@ -125,6 +133,7 @@ class leader_election_service {
   void reevaluate_all();
   election::elector_context make_context(group_id group, process_id pid,
                                          bool candidate);
+  [[nodiscard]] bool wants_stability_ranking(const join_options& options) const;
 
   // Heartbeat engine.
   void schedule_alive();
@@ -148,6 +157,7 @@ class leader_election_service {
   fd::fd_manager fd_;
   membership::group_maintenance gm_;
   fd::rate_controller rate_;
+  std::unique_ptr<adaptive::engine> adaptive_;
 
   std::unordered_map<process_id, bool> registered_;  // pid -> exists
   std::unordered_map<group_id, group_state> groups_;

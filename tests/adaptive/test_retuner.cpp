@@ -1,0 +1,194 @@
+#include "adaptive/retuner.hpp"
+
+#include <gtest/gtest.h>
+
+namespace omega::adaptive {
+namespace {
+
+fd::link_estimate link(double loss, duration delay, std::size_t samples = 1000) {
+  fd::link_estimate e;
+  e.loss_probability = loss;
+  e.delay_mean = delay;
+  e.delay_stddev = delay;
+  e.samples = samples;
+  return e;
+}
+
+fd::qos_spec interactive_qos() {
+  fd::qos_spec qos;
+  qos.detection_time = sec(1);
+  qos.mistake_recurrence =
+      std::chrono::duration_cast<omega::duration>(std::chrono::hours(2));
+  qos.query_accuracy = 0.9999;
+  return qos;
+}
+
+time_point at(int seconds) { return time_origin + sec(seconds); }
+
+TEST(RetunerSolve, ColdStartBelowSampleFloor) {
+  const auto qos = interactive_qos();
+  const auto params = retuner::solve(qos, link(0.01, msec(10), /*samples=*/3),
+                                     retuner_options{});
+  EXPECT_EQ(params, fd::cold_start_params(qos));
+}
+
+TEST(RetunerSolve, MinDetectionBeatsColdStartOnGoodLink) {
+  const auto qos = interactive_qos();
+  const auto params = retuner::solve(qos, link(0.002, usec(25)), retuner_options{});
+  ASSERT_TRUE(params.qos_feasible);
+  // Same heartbeat rate as the cold-start point...
+  EXPECT_EQ(params.eta, qos.detection_time / 4);
+  // ...but strictly faster expected detection.
+  EXPECT_LT(retuner::expected_detection_s(params),
+            retuner::expected_detection_s(fd::cold_start_params(qos)));
+  // And the detection bound still holds.
+  EXPECT_LE(params.eta + params.delta, qos.detection_time);
+}
+
+TEST(RetunerSolve, MinDetectionRespectsQosConstraints) {
+  const auto qos = interactive_qos();
+  retuner_options opts;
+  opts.quantize_inputs = false;  // probe the solver itself
+  for (double loss : {0.002, 0.01, 0.05}) {
+    for (auto delay : {usec(25), msec(10), msec(50)}) {
+      const auto params = retuner::solve(qos, link(loss, delay), opts);
+      if (!params.qos_feasible) continue;
+      const double q0 = fd::mistake_probability(
+          link(loss, delay), fd::delay_tail_model::exponential,
+          to_seconds(params.eta), to_seconds(params.delta));
+      EXPECT_GE(to_seconds(params.eta) / q0, to_seconds(qos.mistake_recurrence))
+          << "loss=" << loss << " delay=" << to_seconds(delay);
+      EXPECT_GE(1.0 - q0 / (1.0 - loss), qos.query_accuracy);
+      EXPECT_GE(params.eta, qos.detection_time / 4);  // rate budget held
+    }
+  }
+}
+
+TEST(RetunerSolve, HardRateCapFallsBackToFullWindow) {
+  // 30% loss cannot meet the QoS within the budgeted rate; the hard cap
+  // keeps eta at the budget and surrenders accuracy explicitly.
+  const auto qos = interactive_qos();
+  const auto params = retuner::solve(qos, link(0.3, msec(100)), retuner_options{});
+  EXPECT_FALSE(params.qos_feasible);
+  EXPECT_EQ(params.eta, qos.detection_time / 4);
+  EXPECT_EQ(params.delta, qos.detection_time - qos.detection_time / 4);
+}
+
+TEST(RetunerSolve, SoftRateCapRestoresAccuracyWithFasterHeartbeats) {
+  const auto qos = interactive_qos();
+  retuner_options opts;
+  opts.rate_cap_hard = false;
+  const auto params = retuner::solve(qos, link(0.05, msec(10)), opts);
+  // The paper solver may exceed the budget (smaller eta) to hold the QoS.
+  EXPECT_LT(params.eta, qos.detection_time / 4);
+}
+
+TEST(RetunerSolve, OversizedBudgetClampedInsideDetectionWindow) {
+  const auto qos = interactive_qos();
+  retuner_options opts;
+  // Budget beyond the detection bound: must clamp, never emit a negative
+  // delta (which would arm monitors with an instant-suspicion timeout).
+  opts.eta_budget = sec(2);
+  const auto params = retuner::solve(qos, link(0.3, msec(100)), opts);
+  EXPECT_GT(params.delta, duration{0});
+  EXPECT_LE(params.eta + params.delta, qos.detection_time);
+
+  // Budget above T/2 but inside the window: stays a floor on eta.
+  opts.eta_budget = msec(800);
+  const auto p2 = retuner::solve(qos, link(0.002, usec(25)), opts);
+  EXPECT_GE(p2.eta, msec(800));
+  EXPECT_GT(p2.delta, duration{0});
+}
+
+TEST(RetunerSolve, WorseLinkNeedsLargerDelta) {
+  const auto qos = interactive_qos();
+  const auto clean = retuner::solve(qos, link(0.002, usec(25)), retuner_options{});
+  const auto mid = retuner::solve(qos, link(0.01, msec(10)), retuner_options{});
+  const auto bad = retuner::solve(qos, link(0.01, msec(50)), retuner_options{});
+  EXPECT_LT(clean.delta, mid.delta);
+  EXPECT_LT(mid.delta, bad.delta);
+}
+
+TEST(Retuner, AdoptsInitialPointImmediately) {
+  retuner rt(interactive_qos(), retuner_options{});
+  const auto adopted = rt.evaluate(link(0.002, usec(25)), at(0));
+  ASSERT_TRUE(adopted.has_value());
+  EXPECT_EQ(rt.retune_count(), 1u);
+  EXPECT_EQ(rt.current(), *adopted);
+}
+
+TEST(Retuner, DeadBandHoldsUnderEstimateJitter) {
+  retuner rt(interactive_qos(), retuner_options{});
+  ASSERT_TRUE(rt.evaluate(link(0.01, msec(10)), at(0)).has_value());
+  // Jitter well inside one quantization cell, spread over many dwell
+  // windows: never a retune.
+  for (int t = 20; t < 200; t += 20) {
+    const double loss = 0.008 + 0.002 * ((t / 20) % 2);
+    const auto delay = msec(9 + (t / 20) % 2);
+    EXPECT_FALSE(rt.evaluate(link(loss, delay), at(t)).has_value()) << t;
+  }
+  EXPECT_EQ(rt.retune_count(), 1u);
+}
+
+TEST(Retuner, RetunesOnSustainedLossShift) {
+  retuner rt(interactive_qos(), retuner_options{});
+  ASSERT_TRUE(rt.evaluate(link(0.002, usec(25)), at(0)).has_value());
+  const auto before = rt.current();
+  // Loss jumps two decades and stays there: after the dwell the point moves.
+  const auto adopted = rt.evaluate(link(0.05, msec(10)), at(30));
+  ASSERT_TRUE(adopted.has_value());
+  EXPECT_GT(adopted->delta, before.delta);
+  EXPECT_EQ(rt.retune_count(), 2u);
+}
+
+TEST(Retuner, DwellBoundsOscillation) {
+  // Acceptance criterion: on a stationary lossy link, no more than one
+  // retune per min-dwell window no matter how noisy the estimates are.
+  retuner_options opts;
+  opts.min_dwell = sec(10);
+  retuner rt(interactive_qos(), opts);
+
+  std::uint64_t evaluations = 0;
+  for (int t = 0; t <= 120; ++t) {  // one evaluation per second
+    // Adversarial estimates: alternate between two points whose solutions
+    // differ far beyond any dead band.
+    const auto est =
+        t % 2 == 0 ? link(0.002, usec(25)) : link(0.1, msec(100));
+    (void)rt.evaluate(est, at(t));
+    ++evaluations;
+  }
+  EXPECT_EQ(evaluations, 121u);
+  // 120 s / 10 s dwell = at most 12 windows, plus the initial adoption.
+  EXPECT_LE(rt.retune_count(), 13u);
+  EXPECT_GE(rt.retune_count(), 2u);  // it did keep adapting
+}
+
+TEST(Retuner, StationaryLinkSettlesToOnePoint) {
+  retuner rt(interactive_qos(), retuner_options{});
+  // Stationary lossy link with realistic estimator noise around 1%.
+  for (int t = 0; t <= 300; t += 2) {
+    const double noise = 0.002 * (((t / 2) % 5) - 2);  // +/-0.4% wobble
+    (void)rt.evaluate(link(0.011 + noise, msec(10)), at(t));
+  }
+  // Initial adoption + at most a couple of convergence steps; definitely
+  // not one per dwell window (which would be ~30).
+  EXPECT_LE(rt.retune_count(), 3u);
+}
+
+TEST(Retuner, StalePointReplacedWhenQosBreaks) {
+  retuner_options opts;
+  opts.min_dwell = sec(10);
+  retuner rt(interactive_qos(), opts);
+  ASSERT_TRUE(rt.evaluate(link(0.002, usec(25)), at(0)).has_value());
+  const auto lan_point = rt.current();
+  ASSERT_TRUE(lan_point.qos_feasible);
+  // The link degrades so much that the LAN point violates the QoS: the
+  // retuner must not keep it for calm's sake, dead band or not.
+  const auto adopted = rt.evaluate(link(0.1, msec(100)), at(20));
+  ASSERT_TRUE(adopted.has_value());
+  EXPECT_FALSE(retuner::point_feasible(interactive_qos(),
+                                       link(0.1, msec(100)), lan_point, opts));
+}
+
+}  // namespace
+}  // namespace omega::adaptive

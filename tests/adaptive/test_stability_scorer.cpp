@@ -1,0 +1,94 @@
+#include "adaptive/stability_scorer.hpp"
+
+#include <gtest/gtest.h>
+
+namespace omega::adaptive {
+namespace {
+
+time_point at(int seconds) { return time_origin + sec(seconds); }
+
+TEST(StabilityScorer, UnknownProcessScoresZero) {
+  stability_scorer scorer;
+  EXPECT_DOUBLE_EQ(scorer.score(process_id{9}, at(0)), 0.0);
+}
+
+TEST(StabilityScorer, UptimeGrowsScore) {
+  stability_scorer scorer;
+  scorer.on_member_seen(process_id{1}, node_id{1}, 1, at(0));
+  const double young = scorer.score(process_id{1}, at(5));
+  const double older = scorer.score(process_id{1}, at(120));
+  const double old_ = scorer.score(process_id{1}, at(600));
+  EXPECT_LT(young, older);
+  EXPECT_LT(older, old_);
+  EXPECT_GT(old_, 0.9);  // fully stable: near the top of the scale
+  EXPECT_LE(old_, 1.0);
+}
+
+TEST(StabilityScorer, AccusationAdvancesAreInstabilityEvents) {
+  stability_scorer scorer;
+  scorer.on_member_seen(process_id{1}, node_id{1}, 1, at(0));
+  // First accusation time seen is the baseline (join time), not an event.
+  scorer.on_accusation_observed(process_id{1}, 1, at(0), at(1));
+  EXPECT_DOUBLE_EQ(scorer.instability_events(process_id{1}, at(1)), 0.0);
+  const double before = scorer.score(process_id{1}, at(300));
+
+  // An *advance* is one event; a repeat of the same value is not.
+  scorer.on_accusation_observed(process_id{1}, 1, at(200), at(300));
+  scorer.on_accusation_observed(process_id{1}, 1, at(200), at(301));
+  EXPECT_NEAR(scorer.instability_events(process_id{1}, at(301)), 1.0, 0.01);
+  EXPECT_LT(scorer.score(process_id{1}, at(301)), before);
+}
+
+TEST(StabilityScorer, EventsDecayOverTime) {
+  stability_scorer::options opts;
+  opts.event_halflife = sec(100);
+  stability_scorer scorer(opts);
+  scorer.on_member_seen(process_id{1}, node_id{1}, 1, at(0));
+  scorer.on_accusation_observed(process_id{1}, 1, at(0), at(0));
+  scorer.on_accusation_observed(process_id{1}, 1, at(10), at(10));
+  scorer.on_accusation_observed(process_id{1}, 1, at(20), at(20));
+  EXPECT_NEAR(scorer.instability_events(process_id{1}, at(20)), 2.0, 0.2);
+  // Two half-lives later the history has faded to a quarter.
+  EXPECT_NEAR(scorer.instability_events(process_id{1}, at(220)), 0.5, 0.1);
+  EXPECT_GT(scorer.score(process_id{1}, at(220)),
+            scorer.score(process_id{1}, at(21)));
+}
+
+TEST(StabilityScorer, ReincarnationResetsHistory) {
+  stability_scorer scorer;
+  scorer.on_member_seen(process_id{1}, node_id{1}, 1, at(0));
+  scorer.on_accusation_observed(process_id{1}, 1, at(0), at(0));
+  scorer.on_accusation_observed(process_id{1}, 1, at(50), at(50));
+  const double crashed_score = scorer.score(process_id{1}, at(600));
+
+  // The process recovers with a higher incarnation: uptime restarts, the
+  // accusation history of the dead incarnation is gone.
+  scorer.on_member_seen(process_id{1}, node_id{1}, 2, at(600));
+  EXPECT_DOUBLE_EQ(scorer.instability_events(process_id{1}, at(600)), 0.0);
+  EXPECT_LT(scorer.score(process_id{1}, at(605)), crashed_score);
+
+  // Stale evidence from the old incarnation is ignored.
+  scorer.on_accusation_observed(process_id{1}, 1, at(700), at(700));
+  EXPECT_DOUBLE_EQ(scorer.instability_events(process_id{1}, at(700)), 0.0);
+}
+
+TEST(StabilityScorer, LossyLinkLowersScore) {
+  stability_scorer scorer;
+  scorer.on_member_seen(process_id{1}, node_id{1}, 1, at(0));
+  scorer.on_member_seen(process_id{2}, node_id{2}, 1, at(0));
+  scorer.set_link_loss(node_id{1}, 0.0);
+  scorer.set_link_loss(node_id{2}, 0.2);  // past saturation: term zeroed
+  EXPECT_GT(scorer.score(process_id{1}, at(300)),
+            scorer.score(process_id{2}, at(300)));
+}
+
+TEST(StabilityScorer, RemovedMemberForgotten) {
+  stability_scorer scorer;
+  scorer.on_member_seen(process_id{1}, node_id{1}, 1, at(0));
+  scorer.on_member_removed(process_id{1}, 1);
+  EXPECT_EQ(scorer.tracked_count(), 0u);
+  EXPECT_DOUBLE_EQ(scorer.score(process_id{1}, at(10)), 0.0);
+}
+
+}  // namespace
+}  // namespace omega::adaptive
