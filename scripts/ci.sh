@@ -1,6 +1,7 @@
 #!/usr/bin/env bash
-# One-command pipeline: tier-1 verify (configure + build + ctest) plus a
-# bench smoke run. Mirrors the "Tier-1 verify" line in ROADMAP.md.
+# One-command pipeline: tier-1 verify (configure + build + ctest), the same
+# test suite under ASan+UBSan, plus a bench smoke run whose JSON artifacts
+# are validated. Mirrors the "Tier-1 verify" line in ROADMAP.md.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -9,9 +10,31 @@ cmake -B build -S .
 cmake --build build -j
 (cd build && ctest --output-on-failure -j"$(nproc)")
 
-# Bench smoke: a fast sanity pass over the figure machinery, then the
-# adaptive-tuning figure (writes BENCH_adaptive.json at the repo root).
+# Sanitizer pass: the full unit/integration suite under AddressSanitizer +
+# UndefinedBehaviorSanitizer (fatal on first finding).
+cmake -B build-asan -S . -DOMEGA_SANITIZE=address,undefined
+cmake --build build-asan -j
+(cd build-asan && ctest --output-on-failure -j"$(nproc)")
+
+# Bench smoke: a fast sanity pass over the figure machinery, then the two
+# adaptive-tuning figures (BENCH_adaptive.json + BENCH_perlink.json at the
+# repo root).
 OMEGA_BENCH_HOURS="${OMEGA_BENCH_HOURS:-0.2}" ./build/smoke_check
 OMEGA_BENCH_HOURS="${OMEGA_BENCH_HOURS:-0.2}" ./build/fig9_adaptive
+OMEGA_BENCH_HOURS="${OMEGA_BENCH_HOURS:-0.2}" ./build/fig10_perlink
+
+# Every emitted bench artifact must be parseable JSON: the figures are
+# consumed by tooling, so a truncated or malformed write fails here, not
+# downstream.
+if command -v python3 > /dev/null; then
+  for f in BENCH_*.json; do
+    [ -e "$f" ] || continue
+    python3 -m json.tool "$f" > /dev/null \
+      || { echo "ci.sh: invalid JSON in $f" >&2; exit 1; }
+    echo "ci.sh: $f parses"
+  done
+else
+  echo "ci.sh: python3 unavailable, skipping BENCH_*.json validation" >&2
+fi
 
 echo "ci.sh: all green"

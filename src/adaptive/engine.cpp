@@ -1,5 +1,9 @@
 #include "adaptive/engine.hpp"
 
+#include <optional>
+#include <utility>
+#include <vector>
+
 namespace omega::adaptive {
 
 std::string_view to_string(tuning_mode mode) {
@@ -33,11 +37,13 @@ void engine::stop() {
   tick_timer_.cancel();
 }
 
-void engine::add_group(group_id group, const fd::qos_spec& qos) {
-  retuners_[group] = std::make_unique<retuner>(qos, opts_.retuner);
-  // Pin the cold-start point immediately: until the tracker has confident
-  // estimates the adaptive instance behaves exactly like the frozen one
-  // (and like the continuous one, whose configurator is still warming up).
+void engine::add_group(group_id group, const fd::qos_spec& qos,
+                       qos_class cls) {
+  retuners_[group] = std::make_unique<retuner>(qos, cls, opts_.retuner);
+  // Pin the cold-start point as the group default immediately: until the
+  // tracker has confident estimates the adaptive instance behaves exactly
+  // like the frozen one (and like the continuous one, whose configurator
+  // is still warming up).
   fd_.set_params_override(group, fd::cold_start_params(qos));
 }
 
@@ -66,9 +72,21 @@ void engine::on_member_removed(process_id pid, incarnation inc) {
   scorer_.on_member_removed(pid, inc);
 }
 
+void engine::on_group_member_dropped(group_id group, node_id node) {
+  auto it = retuners_.find(group);
+  if (it != retuners_.end()) it->second->forget_peer(node);
+}
+
 void engine::on_node_dropped(node_id node) {
   tracker_.forget(node);
   scorer_.forget_node(node);
+  // Per-remote refinements for a gone node are stale policy: clear them so
+  // a reappearing node starts from the group default, not the old link's
+  // operating point.
+  for (auto& [group, rt] : retuners_) {
+    rt->forget_peer(node);
+    fd_.clear_params_override(group, node);
+  }
 }
 
 double engine::stability(process_id pid) const {
@@ -89,10 +107,35 @@ std::uint64_t engine::total_retunes() const {
 void engine::tick() {
   const time_point now = clock_.now();
   const fd::link_estimate binding = tracker_.aggregate(now);
+  // The tracked estimate is per peer, not per (group, peer): blend each
+  // window once and reuse it across every group's retuner.
+  std::vector<std::pair<node_id, std::optional<fd::link_estimate>>> peers;
+  if (opts_.per_link) {
+    for (node_id peer : tracker_.peers()) {
+      peers.emplace_back(peer, tracker_.tracked(peer, now));
+    }
+  }
 
   for (auto& [group, rt] : retuners_) {
+    // Group default from the robust cluster aggregate: the layer that
+    // covers peers whose own window is not (yet) confident.
     if (auto params = rt->evaluate(binding, now)) {
       fd_.set_params_override(group, *params);
+    }
+    // Per-link refinements from each peer's own tracked window.
+    for (const auto& [peer, est] : peers) {
+      if (!est || est->samples < opts_.tracker.confidence_floor) {
+        // Stale or unknown link: drop the refinement so the conservative
+        // group default applies again (and damping restarts on return).
+        if (rt->has_peer(peer)) {
+          rt->forget_peer(peer);
+          fd_.clear_params_override(group, peer);
+        }
+        continue;
+      }
+      if (auto params = rt->evaluate_peer(peer, *est, now)) {
+        fd_.set_params_override(group, peer, *params);
+      }
     }
   }
 

@@ -4,16 +4,23 @@
 // the loop the paper leaves open between "the configurator solved (eta,
 // delta) once" and "the network keeps changing":
 //
-//   fd_manager link samples ──> link_tracker ──> worst-link aggregate
+//   fd_manager link samples ──> link_tracker ──> per-peer windows +
+//                                                robust cluster aggregate
 //                                                      │ (periodic tick)
-//   fd_manager params override <── retuner (hysteresis + min-dwell) <──┘
+//   fd_manager param_plan <── per-group retuner (hysteresis + dwell) <──┘
 //
-// Adopted operating points are pushed into the failure detector as a
-// per-group *override*: monitors pick up the new delta immediately and the
-// next reconfiguration pass renegotiates sender rates (RATE_REQ through the
-// existing rate_controller) toward the override's eta. The stability_scorer
-// rides the same observation stream (ALIVE payloads) and serves candidate
-// scores to electors that opted in.
+// Adopted operating points are pushed into the failure detector's layered
+// *param_plan*: the point solved from the cluster aggregate becomes the
+// group default, and every peer with a confident tracked window gets a
+// per-(group, remote) refinement solved from *its own* link estimate — so
+// one bad WAN link no longer drags clean LAN links to its delta. Monitors
+// pick up new deltas immediately and the next reconfiguration pass
+// renegotiates sender rates (RATE_REQ through the existing
+// rate_controller) toward the resolved per-remote etas. Each group's
+// retuner carries the group's QoS class (`qos_class`): interactive groups
+// minimize detection latency, background groups minimize heartbeat rate.
+// The stability_scorer rides the same observation stream (ALIVE payloads)
+// and serves candidate scores to electors that opted in.
 //
 // Tuning modes of a service instance:
 //   continuous — the seed behaviour: fd_manager re-runs the paper
@@ -50,6 +57,11 @@ struct engine_options {
   tuning_mode mode = tuning_mode::continuous;
   /// How often the engine re-reads the tracker and consults the retuners.
   duration tick_interval = sec(2);
+  /// Emit per-(group, remote) refinements from each peer's own tracked
+  /// window on top of the aggregate-solved group default. Off = the
+  /// group-global behaviour (one cluster quantile drives every link),
+  /// kept as the baseline `bench/fig10_perlink` compares against.
+  bool per_link = true;
   link_tracker::options tracker{};
   retuner_options retuner{};
   stability_scorer::options scorer{};
@@ -67,8 +79,10 @@ class engine {
   void start();
   void stop();
 
-  /// Registers a group whose operating point this engine manages.
-  void add_group(group_id group, const fd::qos_spec& qos);
+  /// Registers a group whose operating-point plan this engine manages;
+  /// `cls` is the group's QoS class (objective of its retuner).
+  void add_group(group_id group, const fd::qos_spec& qos,
+                 qos_class cls = qos_class::interactive);
   void remove_group(group_id group);
 
   /// One link-quality sample from the failure detector's estimator.
@@ -82,6 +96,10 @@ class engine {
                            time_point now);
 
   void on_member_removed(process_id pid, incarnation inc);
+  /// The FD dropped (group, node) — `fd_manager::drop` cleared the plan's
+  /// refinement, so the retuner's per-peer damping state must go too or
+  /// the two views desync and the refinement is never re-emitted.
+  void on_group_member_dropped(group_id group, node_id node);
   void on_node_dropped(node_id node);
 
   /// Stability score of a candidate at the current clock (for electors).

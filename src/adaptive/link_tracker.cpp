@@ -20,6 +20,13 @@ void link_tracker::observe(node_id peer, const fd::link_estimate& est,
 
 void link_tracker::forget(node_id peer) { peers_.erase(peer); }
 
+std::vector<node_id> link_tracker::peers() const {
+  std::vector<node_id> out;
+  out.reserve(peers_.size());
+  for (const auto& [peer, rec] : peers_) out.push_back(peer);
+  return out;
+}
+
 void link_tracker::clear() { peers_.clear(); }
 
 void link_tracker::prune(peer_record& rec, time_point now) const {

@@ -21,6 +21,7 @@
 #include <deque>
 #include <optional>
 #include <unordered_map>
+#include <vector>
 
 #include "common/ids.hpp"
 #include "common/time.hpp"
@@ -89,6 +90,10 @@ class link_tracker {
   [[nodiscard]] duration delay_trend_stddev(node_id peer, time_point now) const;
 
   [[nodiscard]] std::size_t peer_count() const { return peers_.size(); }
+
+  /// All peers with any tracked window (order unspecified). The per-link
+  /// retuning loop walks this and filters by `tracked(...)->samples`.
+  [[nodiscard]] std::vector<node_id> peers() const;
 
  private:
   struct snapshot {

@@ -132,13 +132,29 @@ bool retuner::point_feasible(const fd::qos_spec& qos,
                         to_seconds(params.delta), margin);
 }
 
-retuner::retuner(fd::qos_spec qos, retuner_options opts)
-    : qos_(qos), opts_(opts), current_(fd::cold_start_params(qos)) {}
+std::string_view to_string(qos_class cls) {
+  switch (cls) {
+    case qos_class::interactive: return "interactive";
+    case qos_class::background: return "background";
+  }
+  return "unknown";
+}
 
-bool retuner::outside_dead_band(const fd::fd_params& candidate) const {
-  if (candidate.qos_feasible != current_.qos_feasible) return true;
-  const double eta_cur = std::max(to_seconds(current_.eta), 1e-9);
-  const double delta_cur = std::max(to_seconds(current_.delta), 1e-9);
+retuner::retuner(fd::qos_spec qos, qos_class cls, retuner_options opts)
+    : qos_(qos), class_(cls), opts_(opts) {
+  // The class selects the objective; `background` is exactly the paper's
+  // cheapest-point solver (largest feasible eta == minimum heartbeat rate).
+  if (class_ == qos_class::background) {
+    opts_.objective = tuning_objective::paper_max_eta;
+  }
+  group_.current = fd::cold_start_params(qos);
+}
+
+bool retuner::outside_dead_band(const fd::fd_params& current,
+                                const fd::fd_params& candidate) const {
+  if (candidate.qos_feasible != current.qos_feasible) return true;
+  const double eta_cur = std::max(to_seconds(current.eta), 1e-9);
+  const double delta_cur = std::max(to_seconds(current.delta), 1e-9);
   const double eta_rel =
       std::abs(to_seconds(candidate.eta) - eta_cur) / eta_cur;
   const double delta_rel =
@@ -146,11 +162,11 @@ bool retuner::outside_dead_band(const fd::fd_params& candidate) const {
   return eta_rel > opts_.eta_band || delta_rel > opts_.delta_band;
 }
 
-std::optional<fd::fd_params> retuner::evaluate(const fd::link_estimate& link,
-                                               time_point now) {
+std::optional<fd::fd_params> retuner::evaluate_damped(
+    damped_state& state, const fd::link_estimate& link, time_point now) {
   // Dwell gate first: inside the dwell window the current point stands no
   // matter what the estimates claim. This is the oscillation bound.
-  if (adopted_once_ && now < last_retune_ + opts_.min_dwell) {
+  if (state.adopted_once && now < state.last_retune + opts_.min_dwell) {
     return std::nullopt;
   }
   const fd::fd_params candidate = solve(qos_, link, opts_);
@@ -158,17 +174,40 @@ std::optional<fd::fd_params> retuner::evaluate(const fd::link_estimate& link,
   // under the latest estimate is stale: the dead band must not keep it.
   // Judged with the lenient margin (Schmitt trigger, see retuner_options).
   const bool current_broken =
-      current_.qos_feasible &&
-      !point_feasible(qos_, link, current_, opts_, opts_.keep_margin);
-  if (adopted_once_ && !current_broken && !outside_dead_band(candidate)) {
+      state.current.qos_feasible &&
+      !point_feasible(qos_, link, state.current, opts_, opts_.keep_margin);
+  if (state.adopted_once && !current_broken &&
+      !outside_dead_band(state.current, candidate)) {
     return std::nullopt;
   }
-  if (candidate == current_ && adopted_once_) return std::nullopt;
-  current_ = candidate;
-  adopted_once_ = true;
-  last_retune_ = now;
+  // A candidate identical to the held point is never an adoption — on a
+  // fresh state too, or every cold-started instance would count one no-op
+  // "retune" and the bench retune metrics would mostly count churn.
+  if (candidate == state.current) return std::nullopt;
+  state.current = candidate;
+  state.adopted_once = true;
+  state.last_retune = now;
   ++retune_count_;
-  return current_;
+  return state.current;
+}
+
+std::optional<fd::fd_params> retuner::evaluate(const fd::link_estimate& link,
+                                               time_point now) {
+  return evaluate_damped(group_, link, now);
+}
+
+std::optional<fd::fd_params> retuner::evaluate_peer(
+    node_id peer, const fd::link_estimate& link, time_point now) {
+  auto [it, inserted] = peers_.try_emplace(peer);
+  if (inserted) it->second.current = fd::cold_start_params(qos_);
+  return evaluate_damped(it->second, link, now);
+}
+
+void retuner::forget_peer(node_id peer) { peers_.erase(peer); }
+
+const fd::fd_params& retuner::current(node_id peer) const {
+  auto it = peers_.find(peer);
+  return it != peers_.end() ? it->second.current : group_.current;
 }
 
 }  // namespace omega::adaptive

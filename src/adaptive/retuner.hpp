@@ -21,6 +21,19 @@
 //                    back to the paper solver: accuracy wins over cost, the
 //                    same priority the paper gives it.
 //
+// Groups choose between the objectives through their *QoS class*
+// (`qos_class`): an `interactive` group minimizes expected detection
+// latency (min_detection), a `background` group minimizes heartbeat rate
+// subject to the same QoS constraints (paper_max_eta — the paper's
+// cheapest-point solver *is* the rate minimizer).
+//
+// One retuner instance serves one group and keeps *per-link* damping
+// state: the group-level point is solved from the tracker's robust
+// cluster aggregate (the base layer of the fd param_plan), and each peer
+// with a confident tracked window gets its own independently damped
+// operating point (the per-remote refinement layer), so a clean LAN link
+// never inherits a WAN link's delta.
+//
 // Stability: re-solving every estimator tick would let estimate jitter
 // oscillate (eta, delta) and thrash the cluster with RATE_REQ renegotiation.
 // Two dampers make the retuner provably calm:
@@ -35,7 +48,10 @@
 
 #include <cstdint>
 #include <optional>
+#include <string_view>
+#include <unordered_map>
 
+#include "common/ids.hpp"
 #include "common/time.hpp"
 #include "fd/configurator.hpp"
 #include "fd/qos.hpp"
@@ -46,6 +62,19 @@ enum class tuning_objective {
   paper_max_eta,
   min_detection,
 };
+
+/// Per-group service class: what the group's retuner optimizes for once
+/// the QoS constraints hold.
+enum class qos_class {
+  /// Minimize expected detection latency delta + eta/2 (leader handover
+  /// speed matters more than traffic).
+  interactive,
+  /// Minimize heartbeat rate (largest feasible eta): monitoring cost
+  /// matters more than detection slack inside the T^U_D bound.
+  background,
+};
+
+[[nodiscard]] std::string_view to_string(qos_class cls);
 
 struct retuner_options {
   tuning_objective objective = tuning_objective::min_detection;
@@ -99,7 +128,12 @@ struct retuner_options {
 
 class retuner {
  public:
-  retuner(fd::qos_spec qos, retuner_options opts);
+  /// `cls` selects the solving objective: `background` forces
+  /// `paper_max_eta`; `interactive` keeps `opts.objective` (min_detection
+  /// by default).
+  retuner(fd::qos_spec qos, qos_class cls, retuner_options opts);
+  retuner(fd::qos_spec qos, retuner_options opts)
+      : retuner(qos, qos_class::interactive, opts) {}
 
   /// Pure solver (no hysteresis state): the operating point this objective
   /// picks for `link`. Falls back to `fd::cold_start_params` below the
@@ -118,17 +152,36 @@ class retuner {
                                            const retuner_options& opts,
                                            double margin = 1.0);
 
-  /// One damped re-tuning step at time `now`: solves for `link` and returns
-  /// the new operating point iff it clears the dwell gate and moved outside
-  /// the dead band (or feasibility flipped). Returns nullopt when the
-  /// current point stands.
+  /// One damped *group-level* re-tuning step at time `now`: solves for
+  /// `link` (the cluster aggregate) and returns the new operating point iff
+  /// it clears the dwell gate and moved outside the dead band (or
+  /// feasibility flipped). Returns nullopt when the current point stands.
   [[nodiscard]] std::optional<fd::fd_params> evaluate(
       const fd::link_estimate& link, time_point now);
 
-  [[nodiscard]] const fd::fd_params& current() const { return current_; }
+  /// Same damped step for one peer's own tracked link window. Each peer
+  /// carries independent damping state (dwell timer, dead band anchor), so
+  /// a WAN link re-tuning does not consume the LAN links' dwell windows.
+  [[nodiscard]] std::optional<fd::fd_params> evaluate_peer(
+      node_id peer, const fd::link_estimate& link, time_point now);
+
+  /// Drops the per-peer damping state (peer left, or its window went
+  /// stale and the group default applies again).
+  void forget_peer(node_id peer);
+  [[nodiscard]] bool has_peer(node_id peer) const {
+    return peers_.find(peer) != peers_.end();
+  }
+
+  /// Group-level current point (the param_plan's group-default layer).
+  [[nodiscard]] const fd::fd_params& current() const { return group_.current; }
+  /// Per-peer current point; falls back to the group-level point when the
+  /// peer has no refinement.
+  [[nodiscard]] const fd::fd_params& current(node_id peer) const;
+  /// Operating-point adoptions, group-level and per-peer combined.
   [[nodiscard]] std::uint64_t retune_count() const { return retune_count_; }
-  [[nodiscard]] time_point last_retune() const { return last_retune_; }
+  [[nodiscard]] time_point last_retune() const { return group_.last_retune; }
   [[nodiscard]] const fd::qos_spec& qos() const { return qos_; }
+  [[nodiscard]] qos_class service_class() const { return class_; }
 
   /// Expected crash-detection latency of an operating point under NFD-S
   /// (crash uniformly within a send interval): delta + eta / 2.
@@ -137,14 +190,25 @@ class retuner {
   }
 
  private:
-  [[nodiscard]] bool outside_dead_band(const fd::fd_params& candidate) const;
+  /// Damping state of one operating point (the group default, or one
+  /// per-peer refinement): hysteresis anchor + dwell timer.
+  struct damped_state {
+    fd::fd_params current;
+    bool adopted_once = false;
+    time_point last_retune{};
+  };
+
+  [[nodiscard]] std::optional<fd::fd_params> evaluate_damped(
+      damped_state& state, const fd::link_estimate& link, time_point now);
+  [[nodiscard]] bool outside_dead_band(const fd::fd_params& current,
+                                       const fd::fd_params& candidate) const;
 
   fd::qos_spec qos_;
+  qos_class class_;
   retuner_options opts_;
-  fd::fd_params current_;
-  bool adopted_once_ = false;
+  damped_state group_;
+  std::unordered_map<node_id, damped_state> peers_;
   std::uint64_t retune_count_ = 0;
-  time_point last_retune_{};
 };
 
 }  // namespace omega::adaptive

@@ -22,6 +22,18 @@ double delay_tail(const link_estimate& link, delay_tail_model tail,
       const double excess = x_seconds - mean;
       return var / (var + excess * excess);
     }
+    case delay_tail_model::pareto: {
+      // Moment fit of a Pareto(x_m, alpha): E = alpha x_m / (alpha - 1),
+      // V / E^2 = 1 / (alpha (alpha - 2)) => alpha = 1 + sqrt(1 + E^2/V)
+      // (always > 2, so both fitted moments exist).
+      const double mean = std::max(to_seconds(link.delay_mean), 1e-9);
+      const double sd = std::max(to_seconds(link.delay_stddev), 1e-9);
+      const double ratio = (mean / sd) * (mean / sd);
+      const double alpha = 1.0 + std::sqrt(1.0 + ratio);
+      const double x_m = mean * (alpha - 1.0) / alpha;
+      if (x_seconds <= x_m) return 1.0;
+      return std::pow(x_m / x_seconds, alpha);
+    }
   }
   return 1.0;
 }

@@ -25,25 +25,55 @@ void fd_manager::set_link_observer(link_observer observer) {
 }
 
 void fd_manager::set_params_override(group_id group, fd_params params) {
-  overrides_[group] = params;
+  param_plan& plan = plans_[group];
+  plan.set_group_default(params);
   // Apply the new delta to existing monitors immediately; rates follow on
   // the next reconfiguration pass (hysteresis applies there as usual).
+  // Remotes with a per-remote refinement keep their more specific layer.
+  // The params cache stays monitor-scoped: a remote not monitored in this
+  // group must not have the group's eta min-combined into its rate.
   for (auto& [node, state] : remotes_) {
+    if (plan.has_remote(node)) continue;
+    auto it = state->monitors.find(group);
+    if (it == state->monitors.end()) continue;
     state->params[group] = params;
-    if (auto it = state->monitors.find(group); it != state->monitors.end()) {
-      it->second->set_delta(params.delta);
-    }
+    it->second->set_delta(params.delta);
   }
 }
 
+void fd_manager::set_params_override(group_id group, node_id remote,
+                                     fd_params params) {
+  plans_[group].set_remote(remote, params);
+  auto it = remotes_.find(remote);
+  if (it == remotes_.end()) return;
+  auto m = it->second->monitors.find(group);
+  if (m == it->second->monitors.end()) return;
+  it->second->params[group] = params;
+  m->second->set_delta(params.delta);
+}
+
 void fd_manager::clear_params_override(group_id group) {
-  overrides_.erase(group);
+  plans_.erase(group);
+}
+
+void fd_manager::clear_params_override(group_id group, node_id remote) {
+  auto it = plans_.find(group);
+  if (it == plans_.end()) return;
+  it->second.clear_remote(remote);
+  if (it->second.empty()) plans_.erase(it);
 }
 
 std::optional<fd_params> fd_manager::params_override(group_id group) const {
-  auto it = overrides_.find(group);
-  if (it == overrides_.end()) return std::nullopt;
-  return it->second;
+  auto it = plans_.find(group);
+  if (it == plans_.end()) return std::nullopt;
+  return it->second.group_default();
+}
+
+std::optional<fd_params> fd_manager::params_override(group_id group,
+                                                     node_id remote) const {
+  auto it = plans_.find(group);
+  if (it == plans_.end()) return std::nullopt;
+  return it->second.resolve(remote);
 }
 
 void fd_manager::add_group(group_id group, const qos_spec& qos) {
@@ -52,7 +82,7 @@ void fd_manager::add_group(group_id group, const qos_spec& qos) {
 
 void fd_manager::remove_group(group_id group) {
   groups_.erase(group);
-  overrides_.erase(group);
+  plans_.erase(group);
   for (auto& [node, state] : remotes_) {
     state->monitors.erase(group);
     state->params.erase(group);
@@ -68,8 +98,10 @@ heartbeat_monitor& fd_manager::ensure_monitor(group_id group, node_id remote,
     const fd_params params = [&] {
       auto p = state.params.find(group);
       if (p != state.params.end()) return p->second;
-      auto o = overrides_.find(group);
-      return o != overrides_.end() ? o->second : cold_start_params(qos);
+      if (auto plan = plans_.find(group); plan != plans_.end()) {
+        if (auto resolved = plan->second.resolve(remote)) return *resolved;
+      }
+      return cold_start_params(qos);
     }();
     auto monitor = std::make_unique<heartbeat_monitor>(
         clock_, timers_, params.delta, [this, group, remote](bool trusted) {
@@ -108,13 +140,35 @@ void fd_manager::on_alive(const proto::alive_msg& msg, time_point recv_time) {
 }
 
 void fd_manager::drop(group_id group, node_id remote) {
+  if (auto plan = plans_.find(group); plan != plans_.end()) {
+    plan->second.clear_remote(remote);
+    if (plan->second.empty()) plans_.erase(plan);
+  }
   auto it = remotes_.find(remote);
   if (it == remotes_.end()) return;
   it->second->monitors.erase(group);
   it->second->params.erase(group);
+  // The dropped group may have been the one pinning this remote to a fast
+  // heartbeat rate; renegotiate from the remaining groups immediately
+  // instead of leaving the stale request in force until the next refresh.
+  renegotiate_rate(remote, *it->second, clock_.now());
 }
 
-void fd_manager::drop_node(node_id remote) { remotes_.erase(remote); }
+void fd_manager::forget_remote_refinements(node_id remote) {
+  for (auto it = plans_.begin(); it != plans_.end();) {
+    it->second.clear_remote(remote);
+    if (it->second.empty()) {
+      it = plans_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void fd_manager::drop_node(node_id remote) {
+  forget_remote_refinements(remote);
+  remotes_.erase(remote);
+}
 
 void fd_manager::start() {
   if (running_) return;
@@ -148,29 +202,51 @@ void fd_manager::reconfigure_all() {
       gc.push_back(node);
     }
   }
-  for (node_id node : gc) remotes_.erase(node);
+  for (node_id node : gc) {
+    // Same hygiene as drop_node: a GC'd remote's per-remote refinements
+    // must not apply to its reincarnation on a possibly different link.
+    forget_remote_refinements(node);
+    remotes_.erase(node);
+  }
 }
 
 void fd_manager::reconfigure_remote(node_id remote, remote_state& state) {
-  const time_point now = clock_.now();
   const link_estimate link = state.lqe.estimate();
 
-  duration min_eta{0};
-  for (const auto& [group, qos] : groups_) {
+  // Only groups that actually monitor this remote get an operating point
+  // (and a say in its rate): iterating all registered groups here would
+  // resurrect params for a (group, remote) that `drop` just tore down and
+  // re-pin the dropped group's fast rate on the next pass.
+  for (auto& [group, monitor] : state.monitors) {
+    auto git = groups_.find(group);
+    if (git == groups_.end()) continue;
+    // Per-(group, remote) resolution: plan refinement > plan group default
+    // > the configurator solved against *this* remote's link estimate.
     const fd_params params = [&] {
-      auto o = overrides_.find(group);
-      return o != overrides_.end() ? o->second
-                                   : configure(qos, link, opts_.configurator);
+      if (auto plan = plans_.find(group); plan != plans_.end()) {
+        if (auto resolved = plan->second.resolve(remote)) return *resolved;
+      }
+      return configure(git->second, link, opts_.configurator);
     }();
     state.params[group] = params;
-    if (auto it = state.monitors.find(group); it != state.monitors.end()) {
-      it->second->set_delta(params.delta);
-    }
+    monitor->set_delta(params.delta);
+  }
+  renegotiate_rate(remote, state, clock_.now());
+}
+
+void fd_manager::renegotiate_rate(node_id remote, remote_state& state,
+                                  time_point now) {
+  // Min-combine the per-remote etas across all groups monitoring this
+  // remote: the sender must satisfy its most demanding local group.
+  duration min_eta{0};
+  for (const auto& [group, params] : state.params) {
+    if (groups_.find(group) == groups_.end()) continue;  // group removed
+    if (state.monitors.find(group) == state.monitors.end()) continue;
     if (min_eta == duration{0} || params.eta < min_eta) min_eta = params.eta;
   }
-  if (min_eta == duration{0}) return;  // no groups registered
+  if (min_eta == duration{0}) return;  // nothing monitored here any more
 
-  // Rate renegotiation with hysteresis; skip long-silent remotes.
+  // Hysteresis; skip long-silent remotes.
   if (!send_rate_request_) return;
   if (state.last_heard == time_point{} ||
       state.last_heard + opts_.rate_silence_cutoff < now) {
@@ -203,7 +279,9 @@ link_estimate fd_manager::link_quality(node_id remote) const {
 }
 
 fd_params fd_manager::current_params(group_id group, node_id remote) const {
-  if (auto o = overrides_.find(group); o != overrides_.end()) return o->second;
+  if (auto plan = plans_.find(group); plan != plans_.end()) {
+    if (auto resolved = plan->second.resolve(remote)) return *resolved;
+  }
   auto git = groups_.find(group);
   const qos_spec qos = git != groups_.end() ? git->second : qos_spec{};
   auto it = remotes_.find(remote);

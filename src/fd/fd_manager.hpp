@@ -5,10 +5,13 @@
 // across all groups (the cost-sharing idea of the Deianov-Toueg FD service
 // architecture). Per (remote, group) it runs an NFD-S heartbeat monitor
 // whose delta comes from the group's QoS via the configurator; a periodic
-// reconfiguration pass re-runs the configurator against fresh link
-// estimates — this is what makes the detector adapt to changing network
-// conditions — and renegotiates the senders' heartbeat rates with
-// hysteresis.
+// reconfiguration pass re-runs the configurator against each remote's own
+// fresh link estimate — this is what makes the detector adapt to changing
+// network conditions — and renegotiates the senders' heartbeat rates with
+// hysteresis. The unit of configuration is (group, remote): an external
+// tuning policy pins operating points through a layered `param_plan`
+// (group default + per-remote refinement), so one bad WAN link never drags
+// every clean LAN link in the group down to the worst link's delta.
 #pragma once
 
 #include <cstdint>
@@ -22,6 +25,7 @@
 #include "fd/configurator.hpp"
 #include "fd/heartbeat_monitor.hpp"
 #include "fd/link_quality_estimator.hpp"
+#include "fd/param_plan.hpp"
 #include "fd/qos.hpp"
 #include "proto/wire.hpp"
 
@@ -76,8 +80,13 @@ class fd_manager {
   void on_alive(const proto::alive_msg& msg, time_point recv_time);
 
   /// Drops monitoring state for one (group, remote) — the member left.
+  /// The remote's min-combined heartbeat rate is recomputed immediately
+  /// (and a RATE_REQ sent if it relaxed beyond the hysteresis band), so a
+  /// departed tight group stops pinning the remote to a fast rate until
+  /// the next periodic refresh.
   void drop(group_id group, node_id remote);
-  /// Drops all state for a remote node (it is known to be gone).
+  /// Drops all state for a remote node (it is known to be gone), including
+  /// any per-remote plan refinements that name it.
   void drop_node(node_id remote);
 
   /// Starts / stops the periodic reconfiguration loop.
@@ -94,14 +103,28 @@ class fd_manager {
   /// cold-start default — in that order.
   [[nodiscard]] fd_params current_params(group_id group, node_id remote) const;
 
-  /// Pins the operating point of one group: the periodic reconfiguration
-  /// pass stops consulting the configurator for it and applies `params`
-  /// (monitor deltas immediately, sender rates on the next pass). This is
-  /// how an external tuning policy — the adaptation engine, or a frozen
-  /// baseline — takes over from the built-in per-tick configurator.
+  /// Pins the *group-default* layer of the group's operating-point plan:
+  /// the periodic reconfiguration pass stops consulting the configurator
+  /// for (group, remote) pairs the plan covers and applies the resolved
+  /// params (monitor deltas immediately, sender rates on the next pass).
+  /// This is how an external tuning policy — the adaptation engine, or a
+  /// frozen baseline — takes over from the built-in per-tick configurator.
+  /// Remotes with a per-remote refinement keep their refinement.
   void set_params_override(group_id group, fd_params params);
+  /// Pins the operating point of one (group, remote) link — the per-remote
+  /// refinement layer. Takes precedence over the group default.
+  void set_params_override(group_id group, node_id remote, fd_params params);
+  /// Clears the whole plan of a group (default and all refinements).
   void clear_params_override(group_id group);
+  /// Clears one per-remote refinement; the group default (if any) applies
+  /// again on the next reconfiguration pass.
+  void clear_params_override(group_id group, node_id remote);
+  /// The group-default layer, if pinned.
   [[nodiscard]] std::optional<fd_params> params_override(group_id group) const;
+  /// The resolved override for one (group, remote): refinement, else
+  /// group default, else nullopt.
+  [[nodiscard]] std::optional<fd_params> params_override(group_id group,
+                                                         node_id remote) const;
 
   /// The sending interval this manager currently asks `remote` to use
   /// (minimum over local groups). Zero if unknown remote.
@@ -126,6 +149,13 @@ class fd_manager {
 
   void reconfigure_all();
   void reconfigure_remote(node_id remote, remote_state& state);
+  /// Removes `remote`'s refinement from every group plan (node gone/GC'd).
+  void forget_remote_refinements(node_id remote);
+  /// Min-combines the per-group etas currently stored for `remote` and
+  /// sends a RATE_REQ when the result moved beyond the hysteresis band (or
+  /// the periodic refresh is due). Called from the reconfiguration pass and
+  /// immediately from `drop`.
+  void renegotiate_rate(node_id remote, remote_state& state, time_point now);
   heartbeat_monitor& ensure_monitor(group_id group, node_id remote,
                                     remote_state& state);
 
@@ -136,7 +166,7 @@ class fd_manager {
   rate_request_fn send_rate_request_;
   link_observer on_link_sample_;
   std::unordered_map<group_id, qos_spec> groups_;
-  std::unordered_map<group_id, fd_params> overrides_;
+  std::unordered_map<group_id, param_plan> plans_;
   std::unordered_map<node_id, std::unique_ptr<remote_state>> remotes_;
   scoped_timer reconfig_timer_;
   bool running_ = false;

@@ -65,6 +65,12 @@ enum class delay_tail_model {
   /// Distribution-free one-sided Chebyshev bound V / (V + (x - E)^2),
   /// usable when nothing is known about the delay distribution [5].
   chebyshev,
+  /// Heavy-tailed Pareto model for WAN delay, moment-fitted from
+  /// (E[D], S[D]): shape alpha = 1 + sqrt(1 + E^2/V), scale
+  /// x_m = E (alpha - 1) / alpha, Pr(D > x) = (x_m / x)^alpha for
+  /// x > x_m. Polynomial decay: far out in the tail it is much more
+  /// conservative than the exponential model.
+  pareto,
 };
 
 }  // namespace omega::fd

@@ -15,12 +15,12 @@ void rate_controller::on_request(node_id from, duration eta, time_point now) {
 void rate_controller::forget(node_id from) { requests_.erase(from); }
 
 duration rate_controller::effective_eta(time_point now) const {
-  duration eta = default_eta_;
+  duration eta{0};
   for (const auto& [node, req] : requests_) {
     if (req.expires <= now) continue;  // expired; pruned lazily by overwrite
-    eta = std::min(eta, req.eta);
+    if (eta == duration{0} || req.eta < eta) eta = req.eta;
   }
-  return eta;
+  return eta == duration{0} ? default_eta_ : eta;
 }
 
 }  // namespace omega::fd

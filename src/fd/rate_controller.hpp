@@ -1,10 +1,17 @@
 // Sender-side heartbeat rate control.
 //
-// Monitors compute the heartbeat interval eta their QoS needs (per link) and
-// send RATE_REQ messages; the sender must emit at the *fastest* rate any
-// live monitor demands (paper §3: the configurator "computes the frequency
-// eta at which q must send alive messages"). Requests expire so that a
-// crashed monitor's demand does not pin a high rate forever.
+// Monitors compute the heartbeat interval eta their QoS needs (per link,
+// min-combined across their local groups) and send RATE_REQ messages; the
+// sender must emit at the *fastest* rate any live monitor demands (paper
+// §3: the configurator "computes the frequency eta at which q must send
+// alive messages"). The default rate applies only while no unexpired
+// request is outstanding (cold start, or every monitor gone): outstanding
+// requests drive the rate in *both* directions, so a cluster whose
+// monitors all relaxed — per-remote refinements on good links, or a
+// background-class group — actually sends fewer heartbeats. Monitors stay
+// safe under a slower-than-expected stream because every ALIVE carries the
+// sender's current eta and freshness adapts to it. Requests expire so that
+// a crashed monitor's demand does not pin a rate forever.
 #pragma once
 
 #include <unordered_map>
@@ -26,7 +33,8 @@ class rate_controller {
   /// Drops any outstanding request from `from` (it left or crashed).
   void forget(node_id from);
 
-  /// Smallest (fastest) unexpired requested interval, capped by the default.
+  /// Smallest (fastest) unexpired requested interval; the default when no
+  /// unexpired request is outstanding.
   [[nodiscard]] duration effective_eta(time_point now) const;
 
   void set_default_eta(duration eta) { default_eta_ = eta; }

@@ -13,6 +13,19 @@ experiment::experiment(scenario sc) : sc_(std::move(sc)), root_rng_(sc_.seed) {
   metrics_.set_justification_window(sc_.qos.detection_time * 2);
   net_ = std::make_unique<net::sim_network>(sim_, sc_.nodes, sc_.links,
                                             root_rng_.split());
+  // Mixed topology: every directed link touching one of the last
+  // `wan_nodes` workstations runs the WAN profile.
+  if (sc_.wan_nodes > 0 && sc_.wan_nodes < sc_.nodes) {
+    const std::size_t first_wan = sc_.nodes - sc_.wan_nodes;
+    for (std::size_t i = 0; i < sc_.nodes; ++i) {
+      for (std::size_t j = 0; j < sc_.nodes; ++j) {
+        if (i == j || (i < first_wan && j < first_wan)) continue;
+        net_->set_link_profile(node_id{static_cast<std::uint32_t>(i)},
+                               node_id{static_cast<std::uint32_t>(j)},
+                               sc_.wan_links);
+      }
+    }
+  }
   if (sc_.link_crashes.enabled) net_->enable_link_crashes(sc_.link_crashes);
 
   // Dynamic link profile: schedule every phase change up front.
@@ -69,6 +82,7 @@ void experiment::start_service(workstation& ws) {
   service::join_options jo;
   jo.candidate = candidate;
   jo.qos = sc_.qos;
+  jo.fd_class = sc_.fd_class;
   jo.notify = service::notification_mode::interrupt;
   jo.stability_ranking = sc_.stability_ranking;
 
@@ -149,6 +163,7 @@ experiment_result experiment::run() {
   metrics_.begin(sim_.now());
   net_->reset_traffic();
   const std::uint64_t alive_base = total_alive_sent();
+  const std::uint64_t retunes_base = total_retunes();
   if (sc_.churn.enabled) {
     for (auto& ws : nodes_) schedule_crash(ws);
   }
@@ -181,7 +196,7 @@ experiment_result experiment::run() {
       node_seconds > 0.0
           ? static_cast<double>(total_alive_sent() - alive_base) / node_seconds
           : 0.0;
-  res.retunes = total_retunes();
+  res.retunes = total_retunes() - retunes_base;
 
   res.simulated_hours = to_seconds(sc_.measured) / 3600.0;
   res.events_executed = sim_.events_executed();

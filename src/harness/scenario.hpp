@@ -47,6 +47,11 @@ struct scenario {
   /// Scheduled link-profile changes (applied in `at` order on top of the
   /// initial `links`). Empty = the static single-profile runs of the paper.
   std::vector<link_phase> link_phases;
+  /// Mixed-topology clusters: the last `wan_nodes` workstations reach (and
+  /// are reached by) every peer through `wan_links` instead of `links` —
+  /// a LAN cluster with a few members behind a WAN. 0 = homogeneous.
+  std::size_t wan_nodes = 0;
+  net::link_profile wan_links = net::link_profile::lossy(msec(50), 0.01);
   net::link_crash_profile link_crashes = net::link_crash_profile::none();
   churn_profile churn = churn_profile::paper_default();
   fd::qos_spec qos = fd::qos_spec::paper_default();
@@ -55,6 +60,9 @@ struct scenario {
   /// frozen = static cold-start baseline, adaptive = adaptation engine)
   /// plus the engine's knobs.
   adaptive::engine_options adaptive{};
+  /// QoS class every process joins the group with (adaptive mode only):
+  /// interactive minimizes detection latency, background heartbeat rate.
+  adaptive::qos_class fd_class = adaptive::qos_class::interactive;
   /// Let electors consult the stability scorer (adaptive mode only).
   bool stability_ranking = false;
 

@@ -49,6 +49,11 @@ struct join_options {
   notification_mode notify = notification_mode::interrupt;
   /// QoS of the underlying failure detector used for this group.
   fd::qos_spec qos{};
+  /// Service class of this group's failure detection when the instance
+  /// runs in adaptive tuning mode: `interactive` re-tunes toward minimum
+  /// detection latency, `background` toward minimum heartbeat rate (both
+  /// subject to `qos`). Ignored in continuous/frozen modes.
+  adaptive::qos_class fd_class = adaptive::qos_class::interactive;
   /// Let the elector consult the adaptation engine's per-candidate
   /// stability score (observed uptime, accusation history, link quality)
   /// when ranking leaders. Only effective when the service runs in

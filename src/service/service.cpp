@@ -57,6 +57,9 @@ leader_election_service::leader_election_service(clock_source& clock,
             if (m.node != config_.self) fd_.drop(g, m.node);
             if (adaptive_) {
               adaptive_->on_member_removed(m.pid, m.inc);
+              if (m.node != config_.self) {
+                adaptive_->on_group_member_dropped(g, m.node);
+              }
               // Drop the node's link history only once no group has a
               // member there: a node that merely left one group is still
               // monitored (and may be the binding worst link) elsewhere.
@@ -153,7 +156,7 @@ bool leader_election_service::join_group(process_id pid, group_id group,
       fd_.set_params_override(group, fd::cold_start_params(options.qos));
       break;
     case adaptive::tuning_mode::adaptive:
-      adaptive_->add_group(group, options.qos);
+      adaptive_->add_group(group, options.qos, options.fd_class);
       break;
   }
 

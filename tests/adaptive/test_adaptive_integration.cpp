@@ -116,6 +116,84 @@ TEST(AdaptiveIntegration, MessageRateStaysWithinBudgetAcrossPhases) {
   EXPECT_GE(exp.total_retunes(), 12u);  // >= initial + solved per engine
 }
 
+TEST(AdaptiveIntegration, PerLinkKeepsGoodLinksFastOnMixedTopology) {
+  // 4 LAN nodes + 2 nodes behind WAN-grade links. Per-link refinement must
+  // keep the LAN monitors at their own small delta while the WAN monitors
+  // pay theirs; the group-global baseline drags everyone to the aggregate.
+  scenario sc = adaptive_sc(6);
+  sc.link_phases.clear();
+  sc.wan_nodes = 2;
+  sc.wan_links = net::link_profile::lossy(msec(50), 0.01);
+
+  experiment exp(sc);
+  exp.simulator().run_until(time_origin + sec(150));
+  auto* svc = exp.node_service(node_id{0});
+  ASSERT_NE(svc, nullptr);
+  const auto lan_params =
+      svc->failure_detector().current_params(group_id{1}, node_id{1});
+  const auto wan_params =
+      svc->failure_detector().current_params(group_id{1}, node_id{5});
+  EXPECT_LT(lan_params.delta, wan_params.delta)
+      << "the LAN link must not inherit the WAN link's freshness shift";
+  EXPECT_TRUE(lan_params.qos_feasible);
+  // Both operating points stay within the detection bound.
+  EXPECT_LE(lan_params.eta + lan_params.delta, sc.qos.detection_time);
+  EXPECT_LE(wan_params.eta + wan_params.delta, sc.qos.detection_time);
+
+  // Group-global baseline on the identical scenario: one point for all.
+  scenario global_sc = sc;
+  global_sc.adaptive.per_link = false;
+  experiment global_exp(global_sc);
+  global_exp.simulator().run_until(time_origin + sec(150));
+  auto* global_svc = global_exp.node_service(node_id{0});
+  ASSERT_NE(global_svc, nullptr);
+  const auto global_lan =
+      global_svc->failure_detector().current_params(group_id{1}, node_id{1});
+  const auto global_wan =
+      global_svc->failure_detector().current_params(group_id{1}, node_id{5});
+  EXPECT_EQ(global_lan, global_wan)
+      << "without per-link refinement every monitor shares the aggregate";
+  EXPECT_LT(lan_params.delta, global_lan.delta)
+      << "per-link must beat group-global on the good links";
+}
+
+TEST(AdaptiveIntegration, BackgroundClassTradesDetectionForTraffic) {
+  // Identical clusters, one interactive and one background: background
+  // must send measurably fewer heartbeats while staying inside the same
+  // detection bound (eta + delta <= T^U_D).
+  scenario ia_sc = adaptive_sc(4);
+  ia_sc.link_phases.clear();
+  scenario bg_sc = ia_sc;
+  bg_sc.fd_class = adaptive::qos_class::background;
+
+  experiment ia(ia_sc);
+  experiment bg(bg_sc);
+  const auto rate_after_settle = [](experiment& exp) {
+    auto& sim = exp.simulator();
+    sim.run_until(time_origin + sec(120));
+    const std::uint64_t base = exp.total_alive_sent();
+    const time_point from = sim.now();
+    sim.run_until(time_origin + sec(240));
+    return static_cast<double>(exp.total_alive_sent() - base) /
+           (to_seconds(sim.now() - from) * 4.0);
+  };
+  const double ia_rate = rate_after_settle(ia);
+  const double bg_rate = rate_after_settle(bg);
+  EXPECT_LT(bg_rate, ia_rate * 0.8)
+      << "background class should relax the heartbeat stream";
+
+  auto* svc = bg.node_service(node_id{0});
+  ASSERT_NE(svc, nullptr);
+  const auto* rt = svc->adaptation()->retuner_for(group_id{1});
+  ASSERT_NE(rt, nullptr);
+  EXPECT_EQ(rt->service_class(), adaptive::qos_class::background);
+  const auto params = rt->current();
+  EXPECT_TRUE(params.qos_feasible);
+  EXPECT_LE(params.eta + params.delta, ia_sc.qos.detection_time);
+  EXPECT_GT(params.eta, ia_sc.qos.detection_time / 4)
+      << "background should send slower than the interactive budget";
+}
+
 TEST(AdaptiveIntegration, StabilityRankingPrefersEstablishedLeader) {
   // With stability ranking on, a freshly recovered small-pid candidate must
   // not displace the established leader even transiently: its stability

@@ -175,6 +175,84 @@ TEST(Retuner, StationaryLinkSettlesToOnePoint) {
   EXPECT_LE(rt.retune_count(), 3u);
 }
 
+TEST(RetunerClass, BackgroundMinimizesHeartbeatRate) {
+  // Same QoS, same link: the background class picks the largest feasible
+  // eta (the paper's cheapest point), the interactive class holds the rate
+  // budget and spends it on detection latency.
+  const auto qos = interactive_qos();
+  retuner bg(qos, qos_class::background, retuner_options{});
+  retuner ia(qos, qos_class::interactive, retuner_options{});
+  const auto est = link(0.002, usec(25));
+  const auto bg_point = bg.evaluate(est, at(0));
+  const auto ia_point = ia.evaluate(est, at(0));
+  ASSERT_TRUE(bg_point.has_value());
+  ASSERT_TRUE(ia_point.has_value());
+  EXPECT_GT(bg_point->eta, ia_point->eta)
+      << "background must send fewer heartbeats than interactive";
+  EXPECT_TRUE(bg_point->qos_feasible);
+  EXPECT_LT(retuner::expected_detection_s(*ia_point),
+            retuner::expected_detection_s(*bg_point));
+  EXPECT_EQ(bg.service_class(), qos_class::background);
+}
+
+TEST(RetunerPerPeer, IndependentStatePerLink) {
+  retuner rt(interactive_qos(), retuner_options{});
+  const node_id lan{1};
+  const node_id wan{2};
+  const auto lan_point = rt.evaluate_peer(lan, link(0.002, usec(25)), at(0));
+  const auto wan_point = rt.evaluate_peer(wan, link(0.01, msec(50)), at(0));
+  ASSERT_TRUE(lan_point.has_value());
+  ASSERT_TRUE(wan_point.has_value());
+  // The WAN link pays its own delta; the LAN link keeps its small one.
+  EXPECT_LT(lan_point->delta, wan_point->delta);
+  EXPECT_EQ(rt.current(lan), *lan_point);
+  EXPECT_EQ(rt.current(wan), *wan_point);
+
+  // Per-peer dwell windows are independent: a WAN re-tune right now must
+  // not consume the LAN link's dwell budget (and vice versa).
+  const auto wan_shift = rt.evaluate_peer(wan, link(0.1, msec(100)), at(30));
+  EXPECT_TRUE(wan_shift.has_value());
+  EXPECT_FALSE(rt.evaluate_peer(lan, link(0.002, usec(26)), at(30)).has_value())
+      << "LAN point should stand: estimate moved within its quantization cell";
+  EXPECT_EQ(rt.current(lan), *lan_point);
+}
+
+TEST(RetunerPerPeer, ForgetPeerFallsBackToGroupPoint) {
+  retuner rt(interactive_qos(), retuner_options{});
+  ASSERT_TRUE(rt.evaluate(link(0.01, msec(10)), at(0)).has_value());
+  const node_id peer{5};
+  ASSERT_TRUE(rt.evaluate_peer(peer, link(0.002, usec(25)), at(0)).has_value());
+  EXPECT_TRUE(rt.has_peer(peer));
+  EXPECT_NE(rt.current(peer), rt.current());
+  rt.forget_peer(peer);
+  EXPECT_FALSE(rt.has_peer(peer));
+  EXPECT_EQ(rt.current(peer), rt.current());
+  // Damping restarts on return: the next evaluation adopts immediately.
+  EXPECT_TRUE(rt.evaluate_peer(peer, link(0.002, usec(25)), at(1)).has_value());
+}
+
+TEST(Retuner, ParetoTailQuantizationGridConverges) {
+  // ROADMAP's WAN validation: the retuner's coarse 1.5^n delay grid was
+  // chosen to survive heavy tails. Under the Pareto tail model a
+  // stationary WAN link with +/-10% delay wobble (inside one grid cell)
+  // must settle to one operating point — no dwell-window flapping.
+  retuner_options opts;
+  opts.configurator.tail = fd::delay_tail_model::pareto;
+  retuner rt(interactive_qos(), opts);
+  for (int t = 0; t <= 300; t += 2) {
+    const double wobble = 1.0 + 0.05 * (((t / 2) % 5) - 2);  // +/-10% spread
+    const auto delay = from_seconds(0.020 * wobble);
+    (void)rt.evaluate(link(0.008, delay), at(t));
+  }
+  // Initial adoption + at most a couple of convergence steps across ~30
+  // dwell windows; flapping would show up as one retune per window.
+  EXPECT_LE(rt.retune_count(), 3u);
+  EXPECT_TRUE(rt.current().qos_feasible);
+  // And the adopted point really holds the QoS under the heavy tail.
+  EXPECT_TRUE(retuner::point_feasible(interactive_qos(), link(0.008, msec(20)),
+                                      rt.current(), opts));
+}
+
 TEST(Retuner, StalePointReplacedWhenQosBreaks) {
   retuner_options opts;
   opts.min_dwell = sec(10);

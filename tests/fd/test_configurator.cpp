@@ -33,6 +33,65 @@ TEST(DelayTail, ChebyshevBasics) {
   EXPECT_NEAR(delay_tail(link, delay_tail_model::chebyshev, 1.1), 0.01, 2e-3);
 }
 
+TEST(DelayTail, ParetoBasics) {
+  const auto link = make_link(0.0, msec(100));
+  // Moment fit with E = S = 100 ms: alpha = 1 + sqrt(2), x_m ~ 58.6 ms.
+  // At or below the fitted scale the tail is certain.
+  EXPECT_DOUBLE_EQ(delay_tail(link, delay_tail_model::pareto, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(delay_tail(link, delay_tail_model::pareto, 0.05), 1.0);
+  // (x_m / x)^alpha at x = 1 s: (0.0586)^2.414 ~ 1.06e-3.
+  EXPECT_NEAR(delay_tail(link, delay_tail_model::pareto, 1.0), 1.06e-3, 2e-4);
+  // Monotone decreasing past the scale.
+  EXPECT_GT(delay_tail(link, delay_tail_model::pareto, 0.2),
+            delay_tail(link, delay_tail_model::pareto, 0.4));
+}
+
+TEST(DelayTail, ParetoHeavierThanExponentialFarOut) {
+  // The defining property of the heavy tail: polynomial decay dominates
+  // exponential decay far from the mean — exactly where freshness points
+  // live on a WAN link with a tight detection bound.
+  const auto link = make_link(0.0, msec(10));
+  for (double x : {0.1, 0.2, 0.5, 1.0}) {  // 10x..100x the mean delay
+    EXPECT_GT(delay_tail(link, delay_tail_model::pareto, x),
+              delay_tail(link, delay_tail_model::exponential, x))
+        << "x=" << x;
+  }
+}
+
+TEST(MistakeProbability, ParetoMoreConservativeInTheFarTail) {
+  // With no loss, q0 is a pure product of tail probabilities; at freshness
+  // points tens of mean-delays out, the polynomial tail dominates and the
+  // predicted mistake rate is (much) higher than the exponential model's.
+  const auto link = make_link(0.0, msec(10));
+  const double q_par =
+      mistake_probability(link, delay_tail_model::pareto, 0.25, 0.75);
+  const double q_exp =
+      mistake_probability(link, delay_tail_model::exponential, 0.25, 0.75);
+  EXPECT_GT(q_par, q_exp);
+}
+
+TEST(Configurator, ParetoFeasiblePointsSatisfyConstraints) {
+  // Self-consistency of the heavy-tail solver: every point it claims
+  // feasible holds both QoS constraints evaluated under the same model.
+  configurator_options opts;
+  opts.tail = delay_tail_model::pareto;
+  const qos_spec qos = qos_spec::paper_default();
+  for (double loss : {0.0, 0.01, 0.05}) {
+    for (auto delay : {msec(1), msec(10), msec(50)}) {
+      const auto link = make_link(loss, delay);
+      const auto params = configure(qos, link, opts);
+      EXPECT_EQ(params.eta + params.delta, qos.detection_time);
+      if (!params.qos_feasible) continue;
+      const double q0 =
+          mistake_probability(link, delay_tail_model::pareto,
+                              to_seconds(params.eta), to_seconds(params.delta));
+      EXPECT_GE(to_seconds(params.eta) / q0, to_seconds(qos.mistake_recurrence))
+          << "loss=" << loss << " delay=" << to_seconds(delay);
+      EXPECT_GE(1.0 - q0 / (1.0 - loss), qos.query_accuracy);
+    }
+  }
+}
+
 TEST(MistakeProbability, DecreasesWithSmallerEta) {
   const auto link = make_link(0.1, msec(10));
   const double q_large = mistake_probability(link, delay_tail_model::exponential, 0.5, 0.5);

@@ -37,10 +37,11 @@ struct fd_fixture {
     fd.start();
   }
 
-  proto::alive_msg alive(incarnation inc, std::uint64_t seq, duration eta,
-                         std::initializer_list<group_id> groups = {g1}) {
+  proto::alive_msg alive_from(node_id from, incarnation inc, std::uint64_t seq,
+                              duration eta,
+                              std::initializer_list<group_id> groups = {g1}) {
     proto::alive_msg msg;
-    msg.from = remote;
+    msg.from = from;
     msg.inc = inc;
     msg.seq = seq;
     msg.send_time = sim.now();
@@ -48,12 +49,17 @@ struct fd_fixture {
     for (group_id g : groups) {
       proto::group_payload p;
       p.group = g;
-      p.pid = process_id{remote.value()};
+      p.pid = process_id{from.value()};
       p.candidate = true;
       p.competing = true;
       msg.groups.push_back(p);
     }
     return msg;
+  }
+
+  proto::alive_msg alive(incarnation inc, std::uint64_t seq, duration eta,
+                         std::initializer_list<group_id> groups = {g1}) {
+    return alive_from(remote, inc, seq, eta, groups);
   }
 };
 
@@ -212,6 +218,118 @@ TEST(FdManager, RemoveGroupDropsItsMonitors) {
   f.fd.remove_group(g1);
   EXPECT_EQ(f.fd.monitor_count(), 0u);
   EXPECT_FALSE(f.fd.is_trusted(g1, remote));
+}
+
+TEST(FdManager, PerRemoteOverrideRefinesGroupDefault) {
+  fd_fixture f;
+  f.fd.add_group(g1, qos_spec::paper_default());
+  const node_id r2{8};
+  f.fd.on_alive(f.alive(1, 1, msec(250)), f.sim.now());
+  f.fd.on_alive(f.alive_from(r2, 1, 1, msec(250)), f.sim.now());
+
+  const fd_params group_default{msec(250), msec(750), true};
+  const fd_params refined{msec(100), msec(150), true};
+  f.fd.set_params_override(g1, group_default);
+  f.fd.set_params_override(g1, remote, refined);
+  EXPECT_EQ(f.fd.current_params(g1, remote), refined);
+  EXPECT_EQ(f.fd.current_params(g1, r2), group_default);
+
+  // Updating the group default must not stomp the per-remote refinement.
+  const fd_params new_default{msec(200), msec(800), true};
+  f.fd.set_params_override(g1, new_default);
+  EXPECT_EQ(f.fd.current_params(g1, remote), refined);
+  EXPECT_EQ(f.fd.current_params(g1, r2), new_default);
+  ASSERT_TRUE(f.fd.params_override(g1).has_value());
+  EXPECT_EQ(*f.fd.params_override(g1), new_default);
+  ASSERT_TRUE(f.fd.params_override(g1, remote).has_value());
+  EXPECT_EQ(*f.fd.params_override(g1, remote), refined);
+
+  // Clearing the refinement falls back to the group default layer.
+  f.fd.clear_params_override(g1, remote);
+  EXPECT_EQ(f.fd.current_params(g1, remote), new_default);
+}
+
+TEST(FdManager, PerRemoteOverrideDrivesPerRemoteRates) {
+  fd_fixture f;
+  f.fd.add_group(g1, qos_spec::paper_default());
+  const node_id r2{8};
+  std::uint64_t seq = 0;
+  for (int i = 0; i < 8; ++i) {
+    f.fd.on_alive(f.alive(1, ++seq, msec(250)), f.sim.now());
+    f.fd.on_alive(f.alive_from(r2, 1, ++seq, msec(250)), f.sim.now());
+    f.sim.run_until(f.sim.now() + msec(250));
+  }
+  // Only the first remote's link gets the fast refinement.
+  f.fd.set_params_override(g1, fd_params{msec(400), msec(600), true});
+  f.fd.set_params_override(g1, remote, fd_params{msec(100), msec(200), true});
+  f.sim.run_until(f.sim.now() + sec(3));  // a few reconfiguration passes
+  EXPECT_EQ(f.fd.requested_eta(remote), msec(100));
+  EXPECT_EQ(f.fd.requested_eta(r2), msec(400))
+      << "the group default must rule remotes without a refinement";
+}
+
+TEST(FdManager, RequestedRateMinCombinesAcrossGroupsPerRemote) {
+  fd_fixture f;
+  f.fd.add_group(g1, qos_spec::paper_default());
+  f.fd.add_group(g2, qos_spec::paper_default());
+  std::uint64_t seq = 0;
+  for (int i = 0; i < 8; ++i) {
+    f.fd.on_alive(f.alive(1, ++seq, msec(250), {g1, g2}), f.sim.now());
+    f.sim.run_until(f.sim.now() + msec(250));
+  }
+  // g1 pins this link fast, g2 slow: the remote must be asked for the min.
+  f.fd.set_params_override(g1, remote, fd_params{msec(120), msec(300), true});
+  f.fd.set_params_override(g2, remote, fd_params{msec(450), msec(550), true});
+  f.sim.run_until(f.sim.now() + sec(3));
+  EXPECT_EQ(f.fd.requested_eta(remote), msec(120));
+}
+
+TEST(FdManager, DropRenegotiatesRateImmediately) {
+  fd_fixture f;
+  f.fd.add_group(g1, qos_spec::paper_default());  // 1 s bound
+  qos_spec tight;
+  tight.detection_time = msec(200);
+  f.fd.add_group(g2, tight);
+  std::uint64_t seq = 0;
+  for (int i = 0; i < 60; ++i) {
+    f.fd.on_alive(f.alive(1, ++seq, msec(50), {g1, g2}), f.sim.now());
+    f.sim.run_until(f.sim.now() + msec(50));
+  }
+  const duration pinned = f.fd.requested_eta(remote);
+  ASSERT_GT(pinned, duration{0});
+  const auto sent_before = f.rate_requests.size();
+
+  // The member leaves the tight group: the relaxed min-combined rate must
+  // go out immediately, not at the next periodic refresh (20 s away).
+  f.fd.drop(g2, remote);
+  const duration relaxed = f.fd.requested_eta(remote);
+  EXPECT_GT(relaxed, pinned)
+      << "dropping the tightest group must relax the requested rate";
+  ASSERT_GT(f.rate_requests.size(), sent_before);
+  EXPECT_EQ(f.rate_requests.back().first, remote);
+  EXPECT_EQ(f.rate_requests.back().second, relaxed);
+
+  // And the relaxation must survive subsequent reconfiguration passes:
+  // g2 is still registered locally (other remotes may be members), but it
+  // no longer monitors *this* remote, so its eta must stay out of the
+  // min-combine.
+  for (int i = 0; i < 10; ++i) {
+    f.fd.on_alive(f.alive(1, ++seq, msec(50), {g1}), f.sim.now());
+    f.sim.run_until(f.sim.now() + msec(500));
+  }
+  EXPECT_EQ(f.fd.requested_eta(remote), relaxed)
+      << "the dropped group's rate must not be re-pinned by the next pass";
+}
+
+TEST(FdManager, DropNodeClearsPerRemoteRefinements) {
+  fd_fixture f;
+  f.fd.add_group(g1, qos_spec::paper_default());
+  f.fd.on_alive(f.alive(1, 1, msec(250)), f.sim.now());
+  f.fd.set_params_override(g1, remote, fd_params{msec(100), msec(200), true});
+  ASSERT_TRUE(f.fd.params_override(g1, remote).has_value());
+  f.fd.drop_node(remote);
+  EXPECT_FALSE(f.fd.params_override(g1, remote).has_value())
+      << "a gone node's refinement must not apply to its reincarnation";
 }
 
 TEST(FdManager, ParamsAdaptWhenLinkDegrades) {
