@@ -1,22 +1,23 @@
-// Hierarchical election — the paper's §7 "future work", built with the
-// group semantics the service already has.
+// Hierarchical election — the paper's §7 tiered topology, now a
+// first-class subsystem (src/hierarchy/) instead of hand-wired groups.
 //
-// Nine processes are organized in three regions. Each region runs its own
-// election group (everyone in the region is a candidate). The processes
-// that currently lead their region additionally join a global group as
-// candidates; every other process joins the global group as a passive
-// non-candidate member (a "listener": it learns the global leader but never
-// competes — the §7 suggestion for keeping elections among a small set of
-// candidates). When regional leadership moves, the old regional leader
-// leaves the global group and the new one joins it.
+// Nine processes are organized in three regions. A `hierarchy::topology`
+// describes the shape (3 regions under one global group); each node runs
+// a `hierarchy::hierarchy_coordinator` next to its service instance. The
+// coordinator joins the region group as a candidate and the global group
+// as a passive listener, and automatically promotes this node into the
+// global election when it wins its region (demoting it again when
+// regional leadership moves). Regions run the link-crash-tolerant
+// omega_lc; the global tier runs the communication-efficient omega_l, so
+// listeners never send ALIVE payloads there.
 //
 // The demo crashes the current global leader's workstation and shows both
-// levels healing: its region elects a replacement, the replacement joins
-// the global group, and the global group re-elects.
+// levels healing: its region elects a replacement, the replacement is
+// promoted into the global group, and the global group re-elects.
 #include <iostream>
 #include <vector>
 
-#include "election/elector.hpp"
+#include "hierarchy/coordinator.hpp"
 #include "net/sim_network.hpp"
 #include "service/service.hpp"
 #include "sim/simulator.hpp"
@@ -26,19 +27,11 @@ using namespace omega;
 namespace {
 
 constexpr std::size_t kRegions = 3;
-constexpr std::size_t kPerRegion = 3;
-constexpr std::size_t kNodes = kRegions * kPerRegion;
-const group_id kGlobal{100};
-
-group_id region_group(std::size_t region) {
-  return group_id{1 + static_cast<std::uint32_t>(region)};
-}
+constexpr std::size_t kNodes = 9;
 
 struct node_state {
-  node_id node;
-  std::size_t region = 0;
   std::unique_ptr<service::leader_election_service> svc;
-  bool in_global_as_candidate = false;
+  std::unique_ptr<hierarchy::hierarchy_coordinator> coord;
 };
 
 }  // namespace
@@ -48,69 +41,36 @@ int main() {
   net::sim_network net(sim, kNodes, net::link_profile::lossy(msec(5), 0.01),
                        rng{99});
 
+  const hierarchy::topology topo =
+      hierarchy::topology::two_tier(kNodes, kRegions);
+
   std::vector<node_id> roster;
   for (std::size_t i = 0; i < kNodes; ++i) roster.push_back(node_id{i});
 
   std::vector<node_state> nodes(kNodes);
-
-  // Regional leader changes re-shape the global candidate set.
-  auto on_region_leader = [&](std::size_t region, std::size_t self,
-                              std::optional<process_id> leader) {
-    node_state& me = nodes[self];
-    if (!me.svc) return;
-    const bool should_lead_globally =
-        leader.has_value() && leader->value() == self;
-    if (should_lead_globally && !me.in_global_as_candidate) {
-      // Promoted to regional leader: compete globally. Re-joining with a
-      // different candidacy is the documented way to change the flag.
-      me.svc->leave_group(process_id{self}, kGlobal);
-      service::join_options opts;
-      opts.candidate = true;
-      me.svc->join_group(process_id{self}, kGlobal, opts);
-      me.in_global_as_candidate = true;
-      std::cout << "  [t=" << to_seconds(sim.now() - time_origin) << "s] node "
-                << self << " now leads region " << region
-                << " and enters the global election\n";
-    } else if (!should_lead_globally && me.in_global_as_candidate) {
-      me.svc->leave_group(process_id{self}, kGlobal);
-      service::join_options opts;
-      opts.candidate = false;  // back to listener
-      me.svc->join_group(process_id{self}, kGlobal, opts);
-      me.in_global_as_candidate = false;
-      std::cout << "  [t=" << to_seconds(sim.now() - time_origin) << "s] node "
-                << self << " no longer leads region " << region
-                << ", withdraws from the global election\n";
-    }
-  };
-
   for (std::size_t i = 0; i < kNodes; ++i) {
     node_state& st = nodes[i];
-    st.node = node_id{i};
-    st.region = i / kPerRegion;
 
     service::service_config cfg;
-    cfg.self = st.node;
+    cfg.self = node_id{i};
     cfg.roster = roster;
-    cfg.alg = election::algorithm::omega_l;
     st.svc = std::make_unique<service::leader_election_service>(
-        sim, sim, net.endpoint(st.node), cfg);
+        sim, sim, net.endpoint(node_id{i}), cfg);
 
-    const process_id pid{i};
-    st.svc->register_process(pid);
-
-    // Level 1: regional group, everyone competes.
-    service::join_options region_opts;
-    region_opts.candidate = true;
-    const std::size_t region = st.region;
-    st.svc->join_group(pid, region_group(region), region_opts,
-                       [&, region, i](group_id, std::optional<process_id> l) {
-                         on_region_leader(region, i, l);
-                       });
-
-    // Level 2: global group, start as a passive listener.
-    service::join_options global_opts;
-    global_opts.candidate = false;
-    st.svc->join_group(pid, kGlobal, global_opts);
+    // The coordinator registers the pid, joins region + global groups and
+    // handles promotion/demotion; the callback just narrates promotions.
+    // (It can fire during construction, so it must not touch st.coord.)
+    const std::size_t region = topo.region_of(node_id{i});
+    st.coord = std::make_unique<hierarchy::hierarchy_coordinator>(
+        *st.svc, topo, process_id{i}, hierarchy::coordinator_options{},
+        [&sim, i, region](std::size_t tier, std::optional<process_id> leader) {
+          if (tier != 0 || !leader.has_value()) return;
+          if (leader->value() == i) {
+            std::cout << "  [t=" << to_seconds(sim.now() - time_origin)
+                      << "s] node " << i << " now leads region " << region
+                      << " and enters the global election\n";
+          }
+        });
   }
 
   sim.run_until(sim.now() + sec(8));
@@ -118,17 +78,18 @@ int main() {
   auto print_state = [&] {
     for (std::size_t r = 0; r < kRegions; ++r) {
       // Ask any live node of the region.
-      for (std::size_t i = r * kPerRegion; i < (r + 1) * kPerRegion; ++i) {
-        if (!nodes[i].svc) continue;
-        const auto l = nodes[i].svc->leader(region_group(r));
+      for (std::size_t i = 0; i < kNodes; ++i) {
+        const auto& st = nodes[i];
+        if (!st.coord || st.coord->region() != r) continue;
+        const auto l = st.coord->leader(0);
         std::cout << "    region " << r << " leader: "
                   << (l ? std::to_string(l->value()) : "(none)") << "\n";
         break;
       }
     }
     for (const auto& st : nodes) {
-      if (!st.svc) continue;
-      const auto g = st.svc->leader(kGlobal);
+      if (!st.coord) continue;
+      const auto g = st.coord->global_leader();
       std::cout << "    global leader: "
                 << (g ? std::to_string(g->value()) : "(none)") << "\n";
       break;
@@ -141,8 +102,8 @@ int main() {
   // Find and crash the global leader.
   std::optional<process_id> global_leader;
   for (const auto& st : nodes) {
-    if (st.svc) {
-      global_leader = st.svc->leader(kGlobal);
+    if (st.coord) {
+      global_leader = st.coord->global_leader();
       break;
     }
   }
@@ -153,6 +114,7 @@ int main() {
   const std::size_t victim = global_leader->value();
   std::cout << "-- crashing global leader (node " << victim << ")\n";
   net.set_node_alive(node_id{victim}, false);
+  nodes[victim].coord.reset();  // crash: no goodbyes
   nodes[victim].svc.reset();
 
   sim.run_until(sim.now() + sec(8));
@@ -161,8 +123,8 @@ int main() {
 
   // Verify: some global leader exists and is not the crashed node.
   for (const auto& st : nodes) {
-    if (!st.svc) continue;
-    const auto g = st.svc->leader(kGlobal);
+    if (!st.coord) continue;
+    const auto g = st.coord->global_leader();
     if (!g || g->value() == victim) {
       std::cerr << "global level failed to heal\n";
       return 1;

@@ -16,12 +16,17 @@ cmake -B build-asan -S . -DOMEGA_SANITIZE=address,undefined
 cmake --build build-asan -j
 (cd build-asan && ctest --output-on-failure -j"$(nproc)")
 
-# Bench smoke: a fast sanity pass over the figure machinery, then the two
-# adaptive-tuning figures (BENCH_adaptive.json + BENCH_perlink.json at the
-# repo root).
+# Bench smoke: a fast sanity pass over the figure machinery, then the
+# extension figures (BENCH_adaptive.json + BENCH_perlink.json +
+# BENCH_hierarchy.json at the repo root).
 OMEGA_BENCH_HOURS="${OMEGA_BENCH_HOURS:-0.2}" ./build/smoke_check
 OMEGA_BENCH_HOURS="${OMEGA_BENCH_HOURS:-0.2}" ./build/fig9_adaptive
 OMEGA_BENCH_HOURS="${OMEGA_BENCH_HOURS:-0.2}" ./build/fig10_perlink
+OMEGA_BENCH_HOURS="${OMEGA_BENCH_HOURS:-0.2}" ./build/fig11_hierarchy
+
+# The hierarchical-election example is a two-level failover demo with a
+# pass/fail exit code: run it as part of the smoke set.
+./build/example_hierarchical_election > /dev/null
 
 # Every emitted bench artifact must be parseable JSON: the figures are
 # consumed by tooling, so a truncated or malformed write fails here, not

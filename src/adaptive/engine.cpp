@@ -68,6 +68,16 @@ void engine::on_payload_observed(node_id from, incarnation inc,
   }
 }
 
+void engine::observe_local_member(process_id pid, node_id self,
+                                  incarnation inc, time_point now) {
+  scorer_.on_member_seen(pid, self, inc, now);
+}
+
+void engine::observe_local_accusation(process_id pid, incarnation inc,
+                                      time_point acc_time, time_point now) {
+  scorer_.on_accusation_observed(pid, inc, acc_time, now);
+}
+
 void engine::on_member_removed(process_id pid, incarnation inc) {
   scorer_.on_member_removed(pid, inc);
 }

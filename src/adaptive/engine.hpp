@@ -95,6 +95,17 @@ class engine {
                            const proto::group_payload& payload,
                            time_point now);
 
+  /// Local-process evidence the ALIVE stream cannot provide: heartbeats are
+  /// not self-delivered, so without these the scorer never observes the
+  /// local pid, holds stability(self) at 0.0, and omega_lc's stage-1
+  /// pre-filter can drop the node's own candidacy once peers' scores exceed
+  /// the tolerance. The hosting service feeds the join and every
+  /// self-accusation advance, mirroring what peers observe in our payloads.
+  void observe_local_member(process_id pid, node_id self, incarnation inc,
+                            time_point now);
+  void observe_local_accusation(process_id pid, incarnation inc,
+                                time_point acc_time, time_point now);
+
   void on_member_removed(process_id pid, incarnation inc);
   /// The FD dropped (group, node) — `fd_manager::drop` cleared the plan's
   /// refinement, so the retuner's per-peer damping state must go too or

@@ -70,6 +70,19 @@ duration rng::exponential(duration mean) {
   return from_seconds(exponential(to_seconds(mean)));
 }
 
+double rng::pareto(double mean, double alpha) {
+  if (mean <= 0.0) return 0.0;
+  const double a = alpha > 1.05 ? alpha : 1.05;
+  const double x_m = mean * (a - 1.0) / a;
+  // Inverse CDF: x_m (1 - u)^(-1/alpha); 1 - u in (0, 1] so pow() never
+  // sees zero.
+  return x_m * std::pow(1.0 - uniform01(), -1.0 / a);
+}
+
+duration rng::pareto(duration mean, double alpha) {
+  return from_seconds(pareto(to_seconds(mean), alpha));
+}
+
 rng rng::split() {
   rng child(0);
   for (auto& word : child.state_) word = next_u64();

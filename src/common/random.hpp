@@ -43,6 +43,16 @@ class rng {
   /// Exponentially distributed duration with the given mean duration.
   duration exponential(duration mean);
 
+  /// Pareto-distributed value with the given mean and tail exponent
+  /// `alpha` (classic Pareto(x_m, alpha) with x_m = mean (alpha - 1) /
+  /// alpha, matching the moment parameterization of
+  /// `fd::delay_tail_model::pareto`). Smaller alpha = heavier tail; alpha
+  /// is clamped above 1 so the mean exists. Mean <= 0 yields 0.
+  double pareto(double mean, double alpha);
+
+  /// Pareto-distributed duration with the given mean duration.
+  duration pareto(duration mean, double alpha);
+
   /// Creates an independent child generator. Used to give every stochastic
   /// component (each link, each node's churn process, ...) its own stream so
   /// that adding a component does not perturb the draws of the others.

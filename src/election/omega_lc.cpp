@@ -139,15 +139,22 @@ std::optional<omega_lc::rank> omega_lc::local_stage(
     // SEER-style pre-filter: keep only candidates within the tolerance of
     // the most stable one, then fall through to the paper's order. The
     // filter never empties the field (the best-scoring candidate always
-    // survives), so a leader is still always chosen.
+    // survives), so a leader is still always chosen. Scores are taken once
+    // per candidate into a vector: the callback may walk the adaptation
+    // engine's records, so it must not run again per comparison.
+    std::vector<double> scores;
+    scores.reserve(eligible.size());
     double best_score = 0.0;
     for (const rank& r : eligible) {
-      best_score = std::max(best_score, ctx_.stability_score(r.pid));
+      scores.push_back(ctx_.stability_score(r.pid));
+      best_score = std::max(best_score, scores.back());
     }
     const double cutoff = best_score - opts_.stability_tolerance;
-    std::erase_if(eligible, [&](const rank& r) {
-      return ctx_.stability_score(r.pid) < cutoff;
-    });
+    std::size_t keep = 0;
+    for (std::size_t i = 0; i < eligible.size(); ++i) {
+      if (scores[i] >= cutoff) eligible[keep++] = eligible[i];
+    }
+    eligible.resize(keep);
   }
 
   std::optional<rank> best;
@@ -163,11 +170,15 @@ std::optional<process_id> omega_lc::evaluate() {
   recheck_pending_accusations();
 
   const auto members = ctx_.members();
+  // Candidate roster built once: stage 2 mentions up to one pid per member,
+  // and a linear is-candidate scan per mention would make every evaluation
+  // O(n^2) — measurable at the hierarchy bench's 120-node rosters.
+  std::unordered_set<process_id> candidate_members;
+  for (const auto& m : members) {
+    if (m.candidate) candidate_members.insert(m.pid);
+  }
   const auto is_candidate_member = [&](process_id pid) {
-    return std::any_of(members.begin(), members.end(),
-                       [&](const membership::member_info& m) {
-                         return m.pid == pid && m.candidate;
-                       });
+    return candidate_members.find(pid) != candidate_members.end();
   };
 
   // Stage 2: gather (local leader, accusation time) reports from every
@@ -181,7 +192,9 @@ std::optional<process_id> omega_lc::evaluate() {
     if (!inserted) it->second = std::max(it->second, acc);
   };
 
-  if (auto own = local_stage(members)) mention(own->pid, own->acc);
+  stage1_cache_ = local_stage(members);
+  stage1_cached_ = true;
+  if (stage1_cache_) mention(stage1_cache_->pid, stage1_cache_->acc);
   if (opts_.forwarding) {
     for (const auto& m : members) {
       if (m.pid == ctx_.self_pid || !fresh(m)) continue;
@@ -215,8 +228,12 @@ void omega_lc::fill_payload(proto::group_payload& payload) {
   payload.competing = true;  // every alive process is active in Omega_lc
   payload.accusation_time = self_acc_;
   // Stage-1 result travels in every heartbeat: this is the forwarding that
-  // lets peers elect a leader they cannot hear directly.
-  if (auto own = local_stage(ctx_.members())) {
+  // lets peers elect a leader they cannot hear directly. The cached result
+  // of the last evaluate() is current — every stage-1 input (payloads, FD
+  // transitions, accusations, membership) re-evaluates before sending.
+  const std::optional<rank> own =
+      stage1_cached_ ? stage1_cache_ : local_stage(ctx_.members());
+  if (own) {
     payload.local_leader = own->pid;
     payload.local_leader_acc = own->acc;
   } else {

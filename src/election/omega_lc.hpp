@@ -96,6 +96,7 @@ class omega_lc final : public elector {
   };
 
   /// Stage 1 over current membership; also returns the winner's acc time.
+  /// Invokes the stability callback at most once per candidate.
   [[nodiscard]] std::optional<rank> local_stage(
       const std::vector<membership::member_info>& members) const;
 
@@ -112,6 +113,12 @@ class omega_lc final : public elector {
 
   options opts_;
   time_point self_acc_{};
+  /// Stage-1 result of the last evaluate(). fill_payload reuses it — every
+  /// event that can change stage 1 re-runs evaluate() before the next send,
+  /// so the (potentially expensive) stability scores are taken once per
+  /// event batch, not once more per outgoing payload.
+  std::optional<rank> stage1_cache_;
+  bool stage1_cached_ = false;
   std::unordered_map<process_id, peer_state> peers_;
   /// Directly-suspected candidates whose accusation is suppressed by
   /// forwarding evidence.

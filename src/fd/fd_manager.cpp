@@ -303,4 +303,10 @@ std::size_t fd_manager::monitor_count() const {
   return n;
 }
 
+std::size_t fd_manager::plan_refinement_count() const {
+  std::size_t n = 0;
+  for (const auto& [group, plan] : plans_) n += plan.remote_count();
+  return n;
+}
+
 }  // namespace omega::fd

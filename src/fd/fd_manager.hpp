@@ -133,6 +133,10 @@ class fd_manager {
   /// Number of live (trusted or recently heard) monitors, for introspection.
   [[nodiscard]] std::size_t monitor_count() const;
 
+  /// Total per-remote refinement entries across all group plans — the
+  /// per-link override memory whose scaling the large-roster bench tracks.
+  [[nodiscard]] std::size_t plan_refinement_count() const;
+
  private:
   void tick();
 

@@ -26,6 +26,31 @@ experiment::experiment(scenario sc) : sc_(std::move(sc)), root_rng_(sc_.seed) {
       }
     }
   }
+  // Hierarchy: derive the region layout and apply region-scoped link
+  // profiles (intra-region pairs keep `links`, inter-region pairs switch
+  // to the WAN-grade profile when one is given).
+  if (sc_.hierarchy.enabled) {
+    std::size_t regions = sc_.hierarchy.regions;
+    if (regions == 0 && sc_.hierarchy.region_size > 0) {
+      regions = (sc_.nodes + sc_.hierarchy.region_size - 1) /
+                sc_.hierarchy.region_size;
+    }
+    if (regions == 0 || regions > sc_.nodes) {
+      throw std::invalid_argument("experiment: bad hierarchy region count");
+    }
+    topo_.emplace(hierarchy::topology::two_tier(sc_.nodes, regions));
+    if (sc_.hierarchy.inter_region_links) {
+      for (std::size_t i = 0; i < sc_.nodes; ++i) {
+        for (std::size_t j = 0; j < sc_.nodes; ++j) {
+          const node_id a{static_cast<std::uint32_t>(i)};
+          const node_id b{static_cast<std::uint32_t>(j)};
+          if (i == j || topo_->same_region(a, b)) continue;
+          net_->set_link_profile(a, b, *sc_.hierarchy.inter_region_links);
+        }
+      }
+    }
+  }
+
   if (sc_.link_crashes.enabled) net_->enable_link_crashes(sc_.link_crashes);
 
   // Dynamic link profile: schedule every phase change up front.
@@ -41,6 +66,13 @@ experiment::experiment(scenario sc) : sc_(std::move(sc)), root_rng_(sc_.seed) {
     workstation ws;
     ws.node = node_id{static_cast<std::uint32_t>(i)};
     ws.pid = process_id{static_cast<std::uint32_t>(i)};
+    ws.churn = sc_.churn;
+    if (topo_) {
+      const std::size_t region = topo_->region_of(ws.node);
+      if (region < sc_.hierarchy.region_churn.size()) {
+        ws.churn = sc_.hierarchy.region_churn[region];
+      }
+    }
     ws.churn_rng = root_rng_.split();
     nodes_.push_back(std::move(ws));
   }
@@ -77,6 +109,30 @@ void experiment::start_service(workstation& ws) {
   ws.svc = std::make_unique<service::leader_election_service>(
       sim_, sim_, net_->endpoint(ws.node), cfg);
 
+  const process_id pid = ws.pid;
+  ws.svc->register_process(pid);
+  metrics_.on_join(sim_.now(), pid);
+
+  if (topo_) {
+    // Hierarchical scenario: the coordinator joins the whole group chain;
+    // the experiment's metrics track the top-tier ("global") leader view.
+    hierarchy::coordinator_options copts;
+    copts.region.qos = sc_.qos;
+    copts.region.fd_class = sc_.fd_class;
+    copts.region.alg = sc_.alg;
+    copts.region.stability_ranking = sc_.stability_ranking;
+    copts.upper.qos = sc_.hierarchy.global_qos;
+    copts.upper.fd_class = sc_.hierarchy.global_class;
+    const std::size_t top = topo_->top_tier();
+    ws.coord = std::make_unique<hierarchy::hierarchy_coordinator>(
+        *ws.svc, *topo_, pid, copts,
+        [this, pid, top](std::size_t tier, std::optional<process_id> leader) {
+          if (tier == top) metrics_.on_leader_view(sim_.now(), pid, leader);
+        });
+    metrics_.on_leader_view(sim_.now(), pid, ws.coord->global_leader());
+    return;
+  }
+
   const bool candidate =
       sc_.candidates == 0 || ws.pid.value() < sc_.candidates;
   service::join_options jo;
@@ -86,9 +142,6 @@ void experiment::start_service(workstation& ws) {
   jo.notify = service::notification_mode::interrupt;
   jo.stability_ranking = sc_.stability_ranking;
 
-  const process_id pid = ws.pid;
-  ws.svc->register_process(pid);
-  metrics_.on_join(sim_.now(), pid);
   ws.svc->join_group(pid, group_, jo,
                      [this, pid](group_id, std::optional<process_id> leader) {
                        metrics_.on_leader_view(sim_.now(), pid, leader);
@@ -103,7 +156,8 @@ void experiment::crash_node(node_id node) {
   ws.up = false;
   dead_alive_sent_ += ws.svc->stats().alive_sent;
   if (auto* eng = ws.svc->adaptation()) dead_retunes_ += eng->total_retunes();
-  ws.svc.reset();  // destroys all state; no goodbye messages
+  ws.coord.reset();  // no shutdown(): a crash sends no goodbyes
+  ws.svc.reset();    // destroys all state; no goodbye messages
   net_->set_node_alive(ws.node, false);
   metrics_.on_crash(sim_.now(), ws.pid);
 }
@@ -116,7 +170,7 @@ void experiment::recover_node(node_id node) {
 }
 
 void experiment::schedule_crash(workstation& ws) {
-  const duration wait = ws.churn_rng.exponential(sc_.churn.mean_uptime);
+  const duration wait = ws.churn_rng.exponential(ws.churn.mean_uptime);
   ws.churn_timer = sim_.schedule_after(wait, [this, &ws] {
     crash_node(ws.node);
     schedule_recovery(ws);
@@ -124,7 +178,7 @@ void experiment::schedule_crash(workstation& ws) {
 }
 
 void experiment::schedule_recovery(workstation& ws) {
-  const duration wait = ws.churn_rng.exponential(sc_.churn.mean_recovery);
+  const duration wait = ws.churn_rng.exponential(ws.churn.mean_recovery);
   ws.churn_timer = sim_.schedule_after(wait, [this, &ws] {
     recover_node(ws.node);
     schedule_crash(ws);
@@ -154,6 +208,10 @@ service::leader_election_service* experiment::node_service(node_id node) {
   return nodes_.at(node.value()).svc.get();
 }
 
+hierarchy::hierarchy_coordinator* experiment::node_coordinator(node_id node) {
+  return nodes_.at(node.value()).coord.get();
+}
+
 bool experiment::node_up(node_id node) const { return nodes_.at(node.value()).up; }
 
 experiment_result experiment::run() {
@@ -164,8 +222,8 @@ experiment_result experiment::run() {
   net_->reset_traffic();
   const std::uint64_t alive_base = total_alive_sent();
   const std::uint64_t retunes_base = total_retunes();
-  if (sc_.churn.enabled) {
-    for (auto& ws : nodes_) schedule_crash(ws);
+  for (auto& ws : nodes_) {
+    if (ws.churn.enabled) schedule_crash(ws);
   }
 
   sim_.run_until(time_origin + sc_.warmup + sc_.measured);

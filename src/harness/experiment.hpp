@@ -10,6 +10,7 @@
 
 #include "common/random.hpp"
 #include "harness/scenario.hpp"
+#include "hierarchy/coordinator.hpp"
 #include "metrics/cost_model.hpp"
 #include "metrics/group_metrics.hpp"
 #include "net/sim_network.hpp"
@@ -48,6 +49,9 @@ struct experiment_result {
 /// The simulated 12-workstation testbed: one `leader_election_service` per
 /// node, one application process per service, a single group everyone
 /// joins, plus the churn injector that kills and restarts instances.
+/// With `scenario::hierarchy` enabled each node instead runs a
+/// `hierarchy::hierarchy_coordinator`, and the metrics' ground truth is the
+/// *global* (top-tier) leader that every node's coordinator reports.
 class experiment {
  public:
   explicit experiment(scenario sc);
@@ -64,6 +68,13 @@ class experiment {
   [[nodiscard]] net::sim_network& network() { return *net_; }
   [[nodiscard]] metrics::group_metrics& group() { return metrics_; }
   [[nodiscard]] service::leader_election_service* node_service(node_id node);
+  /// The node's hierarchy coordinator, or nullptr (flat scenario / node
+  /// down).
+  [[nodiscard]] hierarchy::hierarchy_coordinator* node_coordinator(node_id node);
+  /// The hierarchy shape, or nullptr for flat scenarios.
+  [[nodiscard]] const hierarchy::topology* topo() const {
+    return topo_ ? &*topo_ : nullptr;
+  }
   /// True ground truth: is the workstation currently up?
   [[nodiscard]] bool node_up(node_id node) const;
   /// Crash / recover a node on demand (used by tests; the churn injector
@@ -84,6 +95,10 @@ class experiment {
     incarnation next_inc = 1;
     bool up = false;
     std::unique_ptr<service::leader_election_service> svc;
+    /// Joined after svc, destroyed before it (holds a reference into it).
+    std::unique_ptr<hierarchy::hierarchy_coordinator> coord;
+    /// Effective churn dynamics (region-scoped under a hierarchy profile).
+    churn_profile churn;
     rng churn_rng{0};
     timer_id churn_timer = no_timer;
   };
@@ -97,6 +112,7 @@ class experiment {
   rng root_rng_;
   sim::simulator sim_;
   std::unique_ptr<net::sim_network> net_;
+  std::optional<hierarchy::topology> topo_;
   std::vector<workstation> nodes_;
   metrics::group_metrics metrics_;
   metrics::cost_model cost_;

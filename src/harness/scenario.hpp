@@ -9,6 +9,7 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -36,6 +37,44 @@ struct churn_profile {
 struct link_phase {
   duration at{};
   net::link_profile links;
+};
+
+/// Two-tier hierarchical election (src/hierarchy/): the roster is split
+/// into contiguous regions, every node runs its region's election, and
+/// regional leaders compete in one global group (all other nodes listen
+/// there). `scenario::qos`, `fd_class` and `alg` configure the region
+/// tier; the global tier is configured here. The experiment's ground
+/// truth and leader metrics then track the *global* leader.
+struct hierarchy_profile {
+  bool enabled = false;
+  /// Number of regions; 0 derives it from `region_size`.
+  std::size_t regions = 0;
+  /// Nodes per region when `regions` is 0 (ceil division fills the rest).
+  std::size_t region_size = 0;
+  /// Links between nodes of *different* regions; nullopt keeps
+  /// `scenario::links` for all pairs (region-scoped link profiles).
+  std::optional<net::link_profile> inter_region_links;
+  /// Per-region churn overrides (index = region); regions beyond the
+  /// vector's size use `scenario::churn` (region-scoped churn profiles).
+  std::vector<churn_profile> region_churn;
+  /// FD QoS and class of the global tier. Background class lets the
+  /// listener-heavy global group relax heartbeat rates when adaptive.
+  fd::qos_spec global_qos = fd::qos_spec::paper_default();
+  adaptive::qos_class global_class = adaptive::qos_class::background;
+
+  static hierarchy_profile none() { return {}; }
+  static hierarchy_profile with_regions(std::size_t regions) {
+    hierarchy_profile h;
+    h.enabled = true;
+    h.regions = regions;
+    return h;
+  }
+  static hierarchy_profile with_region_size(std::size_t size) {
+    hierarchy_profile h;
+    h.enabled = true;
+    h.region_size = size;
+    return h;
+  }
 };
 
 struct scenario {
@@ -68,8 +107,12 @@ struct scenario {
 
   /// Number of leadership candidates; the first `candidates` pids are
   /// candidates, the rest join as passive (non-candidate) members.
-  /// 0 means "all".
+  /// 0 means "all". Ignored when `hierarchy` is enabled (candidacy is the
+  /// coordinator's business there).
   std::size_t candidates = 0;
+
+  /// Hierarchical (two-tier) election instead of the single flat group.
+  hierarchy_profile hierarchy = hierarchy_profile::none();
 
   /// Simulated measurement window (after warm-up).
   duration measured = std::chrono::duration_cast<duration>(std::chrono::hours(2));

@@ -1,0 +1,81 @@
+#include "hierarchy/topology.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+namespace omega::hierarchy {
+
+topology::topology(std::size_t nodes, std::vector<std::size_t> groups_per_tier,
+                   group_id base)
+    : nodes_(nodes), counts_(std::move(groups_per_tier)), base_(base) {
+  if (nodes_ == 0) throw std::invalid_argument("topology: zero nodes");
+  if (counts_.empty()) throw std::invalid_argument("topology: no tiers");
+  if (counts_.back() != 1) {
+    throw std::invalid_argument("topology: top tier must be a single group");
+  }
+  if (counts_.front() > nodes_) {
+    throw std::invalid_argument("topology: more regions than nodes");
+  }
+  for (std::size_t t = 0; t + 1 < counts_.size(); ++t) {
+    if (counts_[t] == 0 || counts_[t + 1] > counts_[t]) {
+      throw std::invalid_argument("topology: tier counts must be non-increasing");
+    }
+  }
+  offsets_.reserve(counts_.size());
+  std::size_t offset = 0;
+  for (std::size_t count : counts_) {
+    offsets_.push_back(offset);
+    offset += count;
+  }
+}
+
+topology topology::two_tier(std::size_t nodes, std::size_t regions,
+                            group_id base) {
+  return topology(nodes, {regions, 1}, base);
+}
+
+std::size_t topology::groups_in_tier(std::size_t tier) const {
+  return counts_.at(tier);
+}
+
+std::size_t topology::region_of(node_id node) const {
+  const std::size_t i = node.value();
+  if (i >= nodes_) throw std::out_of_range("topology: node outside roster");
+  return i * counts_.front() / nodes_;
+}
+
+std::size_t topology::group_index(node_id node, std::size_t tier) const {
+  // Coarsen proportionally: tier t's groups partition tier 0's regions in
+  // contiguous, balanced runs.
+  return region_of(node) * counts_.at(tier) / counts_.front();
+}
+
+group_id topology::tier_group(std::size_t tier, std::size_t index) const {
+  if (index >= counts_.at(tier)) {
+    throw std::out_of_range("topology: group index outside tier");
+  }
+  return group_id{base_.value() +
+                  static_cast<std::uint32_t>(offsets_[tier] + index)};
+}
+
+group_id topology::group_at(node_id node, std::size_t tier) const {
+  return tier_group(tier, group_index(node, tier));
+}
+
+std::size_t topology::region_size(std::size_t region) const {
+  const std::size_t regions = counts_.front();
+  if (region >= regions) throw std::out_of_range("topology: region index");
+  // Must stay the exact inverse of region_of: node i is in region
+  // floor(i * regions / nodes), so region r covers
+  // [ceil(r * nodes / regions), ceil((r + 1) * nodes / regions)).
+  const auto begin_of = [&](std::size_t r) {
+    return (r * nodes_ + regions - 1) / regions;
+  };
+  return begin_of(region + 1) - begin_of(region);
+}
+
+bool topology::same_region(node_id a, node_id b) const {
+  return region_of(a) == region_of(b);
+}
+
+}  // namespace omega::hierarchy

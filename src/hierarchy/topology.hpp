@@ -1,0 +1,69 @@
+// Hierarchical election topology descriptor (paper §7; DESIGN.md §7).
+//
+// Flat all-to-all election does not reach large dynamic rosters: every
+// process monitors (and with Omega_lc is monitored by) every other, so
+// messages, link estimators and per-remote operating points all grow with
+// the roster. The paper's §7 way out is hierarchy: keep each election
+// among a small candidate set and let the *winners* compete one tier up.
+//
+// A `topology` describes that shape declaratively: `nodes` workstations
+// are split into contiguous tier-0 groups ("regions"); tier 1 coarsens
+// the regions, and so on until the top tier is a single global group.
+// The descriptor allocates one `group_id` per (tier, group index) from a
+// private base so hierarchy groups never collide with application groups,
+// and maps every node to its group chain. It holds no protocol state —
+// `hierarchy_coordinator` animates it on top of the election service.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/ids.hpp"
+
+namespace omega::hierarchy {
+
+class topology {
+ public:
+  /// Default base of the hierarchy's group-id range; chosen high so that
+  /// hand-allocated application group ids stay clear of it.
+  static constexpr std::uint32_t default_group_base = 0x40000000u;
+
+  /// `groups_per_tier[t]` is the number of groups in tier t; tier counts
+  /// must be non-increasing and the top tier must hold exactly one group.
+  /// Throws std::invalid_argument on a malformed shape.
+  topology(std::size_t nodes, std::vector<std::size_t> groups_per_tier,
+           group_id base = group_id{default_group_base});
+
+  /// The common case: `regions` leaf groups under one global group.
+  static topology two_tier(std::size_t nodes, std::size_t regions,
+                           group_id base = group_id{default_group_base});
+
+  [[nodiscard]] std::size_t nodes() const { return nodes_; }
+  [[nodiscard]] std::size_t tiers() const { return counts_.size(); }
+  [[nodiscard]] std::size_t top_tier() const { return counts_.size() - 1; }
+  [[nodiscard]] std::size_t groups_in_tier(std::size_t tier) const;
+
+  /// Tier-0 group index of a node: floor(node * regions / nodes) — regions
+  /// are contiguous, balanced blocks (sizes differ by at most one).
+  [[nodiscard]] std::size_t region_of(node_id node) const;
+  /// Group index of a node within `tier` (regions coarsen proportionally).
+  [[nodiscard]] std::size_t group_index(node_id node, std::size_t tier) const;
+
+  /// The group id of (tier, group index) / of the node's group at `tier`.
+  [[nodiscard]] group_id tier_group(std::size_t tier, std::size_t index) const;
+  [[nodiscard]] group_id group_at(node_id node, std::size_t tier) const;
+  /// The single top-tier ("global") group.
+  [[nodiscard]] group_id top_group() const { return tier_group(top_tier(), 0); }
+
+  /// Number of nodes in region `region`.
+  [[nodiscard]] std::size_t region_size(std::size_t region) const;
+  [[nodiscard]] bool same_region(node_id a, node_id b) const;
+
+ private:
+  std::size_t nodes_;
+  std::vector<std::size_t> counts_;   // groups per tier
+  std::vector<std::size_t> offsets_;  // group-id offset of each tier
+  group_id base_;
+};
+
+}  // namespace omega::hierarchy

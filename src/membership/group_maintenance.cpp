@@ -107,12 +107,21 @@ void group_maintenance::stop() {
 void group_maintenance::sweep() {
   broadcast_hello(/*reply_requested=*/false);
   const time_point cutoff = clock_.now() - opts_.eviction_after;
-  for (auto& [group, state] : groups_) {
-    const group_id g = group;
-    auto evicted = state.table.evict_stale(cutoff, [&](const member_info& m) {
-      if (m.node == self_) return true;  // never evict local members
-      return vouch_ ? vouch_(g, m) : false;
-    });
+  // Iterate over a snapshot of the group ids: an eviction event may re-enter
+  // local_join / local_leave (the hierarchy coordinator promotes and demotes
+  // from leader callbacks), and a map insert could rehash under a live
+  // iterator.
+  std::vector<group_id> ids;
+  ids.reserve(groups_.size());
+  for (const auto& [group, state] : groups_) ids.push_back(group);
+  for (const group_id g : ids) {
+    auto it = groups_.find(g);
+    if (it == groups_.end()) continue;  // left during an earlier event
+    auto evicted =
+        it->second.table.evict_stale(cutoff, [&](const member_info& m) {
+          if (m.node == self_) return true;  // never evict local members
+          return vouch_ ? vouch_(g, m) : false;
+        });
     for (const member_info& m : evicted) {
       if (events_.on_member_removed) events_.on_member_removed(g, m);
     }

@@ -6,6 +6,12 @@ std::optional<duration> link_model::transit() {
   if (!up_) return std::nullopt;  // crashed link: receiver fully disconnected
   if (rng_.bernoulli(profile_.loss_probability)) return std::nullopt;
   if (profile_.mean_delay <= duration{0}) return duration{0};
+  switch (profile_.delay_dist) {
+    case delay_distribution::exponential:
+      return rng_.exponential(profile_.mean_delay);
+    case delay_distribution::pareto:
+      return rng_.pareto(profile_.mean_delay, profile_.pareto_alpha);
+  }
   return rng_.exponential(profile_.mean_delay);
 }
 

@@ -17,16 +17,39 @@
 
 namespace omega::net {
 
+/// Shape of the per-message delay distribution.
+enum class delay_distribution {
+  /// Exponentially distributed delays — the paper's §6.1 model.
+  exponential,
+  /// Heavy-tailed Pareto delays (WAN-grade tails): most messages arrive
+  /// quickly, a polynomially decaying fraction arrives very late. This is
+  /// the traffic the configurator's `fd::delay_tail_model::pareto` models.
+  pareto,
+};
+
 /// Steady-state behaviour of a link: (D, p_L) in the paper's notation.
 struct link_profile {
   /// Probability that a message is dropped (p_L).
   double loss_probability = 0.0;
-  /// Mean of the exponentially distributed message delay (D).
+  /// Mean of the message delay (D).
   duration mean_delay = usec(25);
+  delay_distribution delay_dist = delay_distribution::exponential;
+  /// Pareto tail exponent (used when `delay_dist` is pareto). Smaller =
+  /// heavier tail; values are clamped above 1 so the mean stays `mean_delay`.
+  double pareto_alpha = 2.5;
 
   /// The paper's five headline lossy-link settings.
   static link_profile lan() { return {0.0, usec(25)}; }
   static link_profile lossy(duration d, double pl) { return {pl, d}; }
+  /// A WAN link with Pareto-tailed delays of the given mean and exponent.
+  static link_profile heavy_tailed(duration d, double pl, double alpha = 2.5) {
+    link_profile p;
+    p.loss_probability = pl;
+    p.mean_delay = d;
+    p.delay_dist = delay_distribution::pareto;
+    p.pareto_alpha = alpha;
+    return p;
+  }
 };
 
 /// Crash/recovery dynamics of a link; disabled by default.

@@ -1,6 +1,7 @@
 // Configuration types of the leader-election service.
 #pragma once
 
+#include <optional>
 #include <vector>
 
 #include "adaptive/engine.hpp"
@@ -47,6 +48,12 @@ struct join_options {
   /// Whether this process is willing to lead the group.
   bool candidate = true;
   notification_mode notify = notification_mode::interrupt;
+  /// Election algorithm for this group, overriding the instance-wide
+  /// `service_config::alg`. The hierarchy coordinator uses this to run the
+  /// link-crash-tolerant omega_lc inside regions while the listener-heavy
+  /// global tier runs the communication-efficient omega_l (listeners never
+  /// send ALIVE payloads there).
+  std::optional<election::algorithm> alg;
   /// QoS of the underlying failure detector used for this group.
   fd::qos_spec qos{};
   /// Service class of this group's failure detection when the instance

@@ -171,14 +171,32 @@ bool leader_election_service::join_group(process_id pid, group_id group,
   gs.group = group;
   gs.local_pid = pid;
   gs.options = options;
-  gs.elector = election::make_elector(config_.alg, std::move(ctx));
+  gs.elector =
+      election::make_elector(options.alg.value_or(config_.alg), std::move(ctx));
   gs.last_self_acc = gs.elector->self_accusation_time();
   gs.on_change = std::move(on_change);
+  if (adaptive_) {
+    // Self-observation: ALIVEs are not self-delivered, so the stability
+    // scorer learns about the local process here (join = first seen) and on
+    // accusation advances (see reevaluate), exactly as peers do from our
+    // payloads. The first accusation time fed is the baseline, not an event.
+    adaptive_->observe_local_member(pid, config_.self, config_.inc,
+                                    clock_.now());
+    if (options.candidate) {
+      adaptive_->observe_local_accusation(pid, config_.inc, gs.last_self_acc,
+                                          clock_.now());
+    }
+  }
   auto [it, inserted] = groups_.emplace(group, std::move(gs));
 
   gm_.local_join(group, pid, options.candidate);  // broadcasts HELLO
   reevaluate(group);
-  if (it->second.was_sending) schedule_alive();
+  // Re-find: the reevaluation's leader callback may re-enter join_group /
+  // leave_group (the hierarchy coordinator promotes from it), and a map
+  // insert can rehash `it` away. Element *references* survive rehashing —
+  // reevaluate's internal reference is safe — but iterators do not.
+  auto post = groups_.find(group);
+  if (post != groups_.end() && post->second.was_sending) schedule_alive();
   return true;
 }
 
@@ -285,6 +303,15 @@ void leader_election_service::reevaluate(group_id group) {
 
   const std::optional<process_id> leader = gs.elector->evaluate();
   const bool sending = gs.elector->should_send_alive();
+
+  if (adaptive_ && gs.options.candidate &&
+      gs.elector->self_accusation_time() != gs.last_self_acc) {
+    // Mirror the self-accusation advance into the stability scorer: peers
+    // count it from our next payload, the local scorer counts it here.
+    adaptive_->observe_local_accusation(gs.local_pid, config_.inc,
+                                        gs.elector->self_accusation_time(),
+                                        clock_.now());
+  }
 
   if (sending != gs.was_sending) {
     gs.was_sending = sending;

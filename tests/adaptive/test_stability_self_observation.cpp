@@ -1,0 +1,58 @@
+// Regression test for the stability-scorer self-observation gap: ALIVEs
+// are not self-delivered, so without explicit local feeding the scorer
+// never observes the local pid, stability(self) stays 0.0, and omega_lc's
+// stage-1 pre-filter can drop a node's own candidacy once peers' scores
+// exceed the tolerance.
+#include <gtest/gtest.h>
+
+#include "harness/experiment.hpp"
+
+namespace omega::harness {
+namespace {
+
+scenario ranking_sc() {
+  scenario sc;
+  sc.name = "stability-self";
+  sc.nodes = 4;
+  sc.alg = election::algorithm::omega_lc;
+  sc.links = net::link_profile::lan();
+  sc.churn = churn_profile::none();
+  sc.adaptive.mode = adaptive::tuning_mode::adaptive;
+  sc.stability_ranking = true;
+  sc.seed = 23;
+  return sc;
+}
+
+TEST(StabilitySelfObservation, LocalPidScoresLikeAPeer) {
+  experiment exp(ranking_sc());
+  auto& sim = exp.simulator();
+  sim.run_until(time_origin + sec(180));
+
+  for (std::uint32_t i = 0; i < 4; ++i) {
+    auto* svc = exp.node_service(node_id{i});
+    ASSERT_NE(svc, nullptr);
+    auto* engine = svc->adaptation();
+    ASSERT_NE(engine, nullptr);
+    const double self_score = engine->stability(process_id{i});
+    // After 3 minutes of quiet uptime the self score must be established
+    // (uptime term alone reaches ~0.39 of the 0.5 weight), not the 0.0 of
+    // an unobserved process...
+    EXPECT_GT(self_score, 0.4) << "node " << i;
+    // ...and must sit in the same band as the peers' view of anyone else:
+    // the stage-1 pre-filter (tolerance 0.25) must never drop the local
+    // candidacy of a healthy node.
+    for (std::uint32_t peer = 0; peer < 4; ++peer) {
+      if (peer == i) continue;
+      const double peer_score = engine->stability(process_id{peer});
+      EXPECT_GT(self_score, peer_score - 0.25)
+          << "node " << i << " would pre-filter its own candidacy vs peer "
+          << peer;
+    }
+  }
+
+  // The cluster still agrees on a leader with ranking enabled.
+  EXPECT_TRUE(exp.group().agreed_leader().has_value());
+}
+
+}  // namespace
+}  // namespace omega::harness

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 namespace omega::net {
 namespace {
 
@@ -74,6 +76,47 @@ TEST(LinkProfile, PaperFactories) {
   EXPECT_DOUBLE_EQ(lossy.loss_probability, 0.1);
   EXPECT_FALSE(link_crash_profile::none().enabled);
   EXPECT_TRUE(link_crash_profile::crashes(sec(60), sec(3)).enabled);
+}
+
+TEST(LinkProfile, HeavyTailedFactory) {
+  const auto wan = link_profile::heavy_tailed(msec(50), 0.01, 1.8);
+  EXPECT_EQ(wan.mean_delay, msec(50));
+  EXPECT_DOUBLE_EQ(wan.loss_probability, 0.01);
+  EXPECT_EQ(wan.delay_dist, delay_distribution::pareto);
+  EXPECT_DOUBLE_EQ(wan.pareto_alpha, 1.8);
+  EXPECT_EQ(link_profile::lan().delay_dist, delay_distribution::exponential);
+}
+
+TEST(LinkModel, ParetoDelayMeanMatchesProfile) {
+  link_model link(link_profile::heavy_tailed(msec(100), 0.0, 2.5), rng(7));
+  double sum = 0.0;
+  double min_delay = 1e9;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) {
+    const double d = to_seconds(*link.transit());
+    sum += d;
+    min_delay = std::min(min_delay, d);
+  }
+  EXPECT_NEAR(sum / n, 0.1, 0.01);
+  // Pareto support starts at x_m = mean (alpha - 1) / alpha = 60 ms.
+  EXPECT_GE(min_delay, 0.06 - 1e-9);
+}
+
+TEST(LinkModel, ParetoTailIsHeavierThanExponential) {
+  // Same mean, same draw count: far out in the tail (10x the mean) the
+  // Pareto link must produce many more stragglers than the exponential
+  // one — that is the WAN behaviour the hierarchy/fig9 benches need.
+  link_model pareto(link_profile::heavy_tailed(msec(10), 0.0, 2.5), rng(8));
+  link_model expo(link_profile::lossy(msec(10), 0.0), rng(9));
+  const double threshold = 0.1;  // 10 x mean
+  int pareto_late = 0;
+  int expo_late = 0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) {
+    if (to_seconds(*pareto.transit()) > threshold) ++pareto_late;
+    if (to_seconds(*expo.transit()) > threshold) ++expo_late;
+  }
+  EXPECT_GT(pareto_late, 5 * (expo_late + 1));
 }
 
 }  // namespace
