@@ -18,11 +18,14 @@ cmake --build build-asan -j
 
 # Bench smoke: a fast sanity pass over the figure machinery, then the
 # extension figures (BENCH_adaptive.json + BENCH_perlink.json +
-# BENCH_hierarchy.json at the repo root).
+# BENCH_hierarchy.json + BENCH_roster.json at the repo root). fig12 is also
+# the smoke-mode run of the 3-tier harness scenario (regions -> zones ->
+# global at up to 500 nodes).
 OMEGA_BENCH_HOURS="${OMEGA_BENCH_HOURS:-0.2}" ./build/smoke_check
 OMEGA_BENCH_HOURS="${OMEGA_BENCH_HOURS:-0.2}" ./build/fig9_adaptive
 OMEGA_BENCH_HOURS="${OMEGA_BENCH_HOURS:-0.2}" ./build/fig10_perlink
 OMEGA_BENCH_HOURS="${OMEGA_BENCH_HOURS:-0.2}" ./build/fig11_hierarchy
+OMEGA_BENCH_HOURS="${OMEGA_BENCH_HOURS:-0.2}" ./build/fig12_roster_scope
 
 # The hierarchical-election example is a two-level failover demo with a
 # pass/fail exit code: run it as part of the smoke set.
@@ -38,6 +41,28 @@ if command -v python3 > /dev/null; then
       || { echo "ci.sh: invalid JSON in $f" >&2; exit 1; }
     echo "ci.sh: $f parses"
   done
+  # Roster scoping must beat cluster-wide HELLO on total wire traffic at
+  # every 300+ roster of the 3-tier sweep.
+  python3 - <<'PY'
+import json, sys
+with open("BENCH_roster.json") as fh:
+    data = json.load(fh)
+failed = False
+for row in data["rosters"]:
+    if row["nodes"] < 300:
+        continue
+    scoped = row["scoped3"]["messages_per_s"]
+    cluster = row["cluster3"]["messages_per_s"]
+    if scoped >= cluster:
+        print(f"ci.sh: scoped msgs/s {scoped} >= cluster-wide {cluster} "
+              f"at {row['nodes']} nodes", file=sys.stderr)
+        failed = True
+    else:
+        print(f"ci.sh: roster scoping at {row['nodes']} nodes: "
+              f"{scoped:.0f} vs {cluster:.0f} msgs/s "
+              f"({cluster / max(scoped, 1e-9):.1f}x)")
+sys.exit(1 if failed else 0)
+PY
 else
   echo "ci.sh: python3 unavailable, skipping BENCH_*.json validation" >&2
 fi

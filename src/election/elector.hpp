@@ -105,6 +105,16 @@ class elector {
   /// Accusation time of the local process (exposed for tests/metrics).
   [[nodiscard]] virtual time_point self_accusation_time() const { return {}; }
 
+  /// Changes the local process's candidacy in place, preserving all learned
+  /// election state (contender tables, current leader view). Becoming a
+  /// candidate must rank the process behind any established leader — the
+  /// same guarantee a fresh re-join gives (omega_lc/omega_l reset the self
+  /// accusation time to "now"; omega_l also opens a fresh competition
+  /// phase) — without destroying the group view the way leave + re-join
+  /// does. No-op when the flag already matches.
+  virtual void set_candidate(bool candidate) { ctx_.candidate = candidate; }
+  [[nodiscard]] bool is_candidate() const { return ctx_.candidate; }
+
  protected:
   elector_context ctx_;
 };

@@ -107,6 +107,21 @@ std::optional<process_id> omega_l::evaluate() {
   return best->pid;
 }
 
+void omega_l::set_candidate(bool candidate) {
+  if (ctx_.candidate == candidate) return;
+  ctx_.candidate = candidate;
+  if (candidate) {
+    // Same entry semantics as a fresh candidate join: compete until we hear
+    // someone better, ranked behind every established contender, in a new
+    // phase so accusations earned by the listener silence are stale.
+    self_acc_ = ctx_.clock ? ctx_.clock->now() : time_point{};
+    competing_ = true;
+    ++phase_;
+  } else {
+    competing_ = false;  // the service's reevaluate sends the withdrawal
+  }
+}
+
 void omega_l::fill_payload(proto::group_payload& payload) {
   payload.group = ctx_.group;
   payload.pid = ctx_.self_pid;

@@ -57,6 +57,7 @@ class omega_l final : public elector {
     return opts_.phase_guard ? "omega_l" : "omega_l_nophase";
   }
   [[nodiscard]] time_point self_accusation_time() const override { return self_acc_; }
+  void set_candidate(bool candidate) override;
 
   [[nodiscard]] bool competing() const { return competing_; }
   [[nodiscard]] std::uint32_t phase() const { return phase_; }

@@ -221,6 +221,16 @@ std::optional<process_id> omega_lc::evaluate() {
   return best->pid;
 }
 
+void omega_lc::set_candidate(bool candidate) {
+  if (ctx_.candidate == candidate) return;
+  ctx_.candidate = candidate;
+  if (candidate) {
+    // Enter the order ranked behind every established candidate, exactly
+    // like a fresh join would (the accusation time doubles as join time).
+    self_acc_ = ctx_.clock ? ctx_.clock->now() : time_point{};
+  }
+}
+
 void omega_lc::fill_payload(proto::group_payload& payload) {
   payload.group = ctx_.group;
   payload.pid = ctx_.self_pid;

@@ -74,6 +74,7 @@ class omega_lc final : public elector {
     return opts_.forwarding ? "omega_lc" : "omega_lc_noforward";
   }
   [[nodiscard]] time_point self_accusation_time() const override { return self_acc_; }
+  void set_candidate(bool candidate) override;
 
  private:
   struct peer_state {

@@ -30,15 +30,30 @@ experiment::experiment(scenario sc) : sc_(std::move(sc)), root_rng_(sc_.seed) {
   // profiles (intra-region pairs keep `links`, inter-region pairs switch
   // to the WAN-grade profile when one is given).
   if (sc_.hierarchy.enabled) {
-    std::size_t regions = sc_.hierarchy.regions;
-    if (regions == 0 && sc_.hierarchy.region_size > 0) {
-      regions = (sc_.nodes + sc_.hierarchy.region_size - 1) /
-                sc_.hierarchy.region_size;
+    if (!sc_.hierarchy.tiers.empty()) {
+      // Explicit multi-tier shape (3-tier and deeper compositions).
+      topo_.emplace(hierarchy::topology(sc_.nodes, sc_.hierarchy.tiers));
+    } else {
+      std::size_t regions = sc_.hierarchy.regions;
+      if (regions == 0 && sc_.hierarchy.region_size > 0) {
+        regions = (sc_.nodes + sc_.hierarchy.region_size - 1) /
+                  sc_.hierarchy.region_size;
+      }
+      if (regions == 0 || regions > sc_.nodes) {
+        throw std::invalid_argument("experiment: bad hierarchy region count");
+      }
+      topo_.emplace(hierarchy::topology::two_tier(sc_.nodes, regions));
     }
-    if (regions == 0 || regions > sc_.nodes) {
-      throw std::invalid_argument("experiment: bad hierarchy region count");
-    }
-    topo_.emplace(hierarchy::topology::two_tier(sc_.nodes, regions));
+    hier_metrics_ = std::make_unique<metrics::hierarchy_metrics>(
+        topo_->groups_in_tier(0), [this](process_id pid) {
+          // The harness runs pid i on node i.
+          return topo_->region_of(node_id{pid.value()});
+        });
+    hier_metrics_->set_justification_window(sc_.qos.detection_time * 2);
+    metrics_.set_agreement_observer(
+        [this](time_point now, std::optional<process_id> agreed) {
+          hier_metrics_->on_global_agreement(now, agreed);
+        });
     if (sc_.hierarchy.inter_region_links) {
       for (std::size_t i = 0; i < sc_.nodes; ++i) {
         for (std::size_t j = 0; j < sc_.nodes; ++j) {
@@ -112,10 +127,12 @@ void experiment::start_service(workstation& ws) {
   const process_id pid = ws.pid;
   ws.svc->register_process(pid);
   metrics_.on_join(sim_.now(), pid);
+  if (hier_metrics_) hier_metrics_->on_join(sim_.now(), pid);
 
   if (topo_) {
     // Hierarchical scenario: the coordinator joins the whole group chain;
-    // the experiment's metrics track the top-tier ("global") leader view.
+    // the experiment's metrics track the top-tier ("global") leader view
+    // and the per-region trackers follow the tier-0 views.
     hierarchy::coordinator_options copts;
     copts.region.qos = sc_.qos;
     copts.region.fd_class = sc_.fd_class;
@@ -123,13 +140,16 @@ void experiment::start_service(workstation& ws) {
     copts.region.stability_ranking = sc_.stability_ranking;
     copts.upper.qos = sc_.hierarchy.global_qos;
     copts.upper.fd_class = sc_.hierarchy.global_class;
+    copts.scoped_hello = sc_.hierarchy.scoped_hello;
     const std::size_t top = topo_->top_tier();
     ws.coord = std::make_unique<hierarchy::hierarchy_coordinator>(
         *ws.svc, *topo_, pid, copts,
         [this, pid, top](std::size_t tier, std::optional<process_id> leader) {
           if (tier == top) metrics_.on_leader_view(sim_.now(), pid, leader);
+          if (tier == 0) hier_metrics_->on_region_view(sim_.now(), pid, leader);
         });
     metrics_.on_leader_view(sim_.now(), pid, ws.coord->global_leader());
+    hier_metrics_->on_region_view(sim_.now(), pid, ws.coord->leader(0));
     return;
   }
 
@@ -160,12 +180,14 @@ void experiment::crash_node(node_id node) {
   ws.svc.reset();    // destroys all state; no goodbye messages
   net_->set_node_alive(ws.node, false);
   metrics_.on_crash(sim_.now(), ws.pid);
+  if (hier_metrics_) hier_metrics_->on_crash(sim_.now(), ws.pid);
 }
 
 void experiment::recover_node(node_id node) {
   workstation& ws = nodes_.at(node.value());
   if (ws.up) return;
   metrics_.on_recover(sim_.now(), ws.pid);
+  if (hier_metrics_) hier_metrics_->on_recover(sim_.now(), ws.pid);
   start_service(ws);
 }
 
@@ -219,6 +241,7 @@ experiment_result experiment::run() {
   sim_.run_until(time_origin + sc_.warmup);
 
   metrics_.begin(sim_.now());
+  if (hier_metrics_) hier_metrics_->begin(sim_.now());
   net_->reset_traffic();
   const std::uint64_t alive_base = total_alive_sent();
   const std::uint64_t retunes_base = total_retunes();
@@ -228,6 +251,7 @@ experiment_result experiment::run() {
 
   sim_.run_until(time_origin + sc_.warmup + sc_.measured);
   metrics_.finish(sim_.now());
+  if (hier_metrics_) hier_metrics_->finish(sim_.now());
 
   experiment_result res;
   res.p_leader = metrics_.leader_availability();
@@ -238,6 +262,21 @@ experiment_result experiment::run() {
   res.unjustified = metrics_.unjustified_demotions();
   res.justified = metrics_.justified_changes();
   res.leader_crashes = metrics_.leader_crashes();
+
+  if (hier_metrics_) {
+    res.regions.reserve(hier_metrics_->regions());
+    for (std::size_t r = 0; r < hier_metrics_->regions(); ++r) {
+      const metrics::group_metrics& rm = hier_metrics_->region(r);
+      experiment_result::region_result rr;
+      rr.availability = rm.leader_availability();
+      rr.tr_mean_s = rm.recovery_times().mean();
+      rr.tr_samples = rm.recovery_times().count();
+      rr.leader_crashes = rm.leader_crashes();
+      res.regions.push_back(rr);
+    }
+    res.outages_blamed_regional = hier_metrics_->outages_blamed_regional();
+    res.outages_blamed_global = hier_metrics_->outages_blamed_global();
+  }
 
   double cpu = 0.0;
   double kbs = 0.0;

@@ -13,6 +13,7 @@
 #include "hierarchy/coordinator.hpp"
 #include "metrics/cost_model.hpp"
 #include "metrics/group_metrics.hpp"
+#include "metrics/hierarchy_metrics.hpp"
 #include "net/sim_network.hpp"
 #include "service/service.hpp"
 #include "sim/simulator.hpp"
@@ -41,6 +42,22 @@ struct experiment_result {
   /// scenario runs in adaptive tuning mode).
   std::uint64_t retunes = 0;
 
+  // Hierarchy-aware metrics (empty / zero unless `scenario::hierarchy`).
+  struct region_result {
+    double availability = 0.0;  // region-tier P_leader
+    double tr_mean_s = 0.0;     // region-tier leader recovery time
+    std::size_t tr_samples = 0;
+    std::uint64_t leader_crashes = 0;
+  };
+  /// Per-region (tier-0) QoS, index = region.
+  std::vector<region_result> regions;
+  /// Cross-tier blame split of global-leader outages (see
+  /// metrics::hierarchy_metrics): resolved by the crashed leader's own
+  /// region's failover vs by a global re-election among established
+  /// candidates.
+  std::uint64_t outages_blamed_regional = 0;
+  std::uint64_t outages_blamed_global = 0;
+
   // Run bookkeeping.
   double simulated_hours = 0.0;
   std::uint64_t events_executed = 0;
@@ -67,6 +84,10 @@ class experiment {
   [[nodiscard]] sim::simulator& simulator() { return sim_; }
   [[nodiscard]] net::sim_network& network() { return *net_; }
   [[nodiscard]] metrics::group_metrics& group() { return metrics_; }
+  /// Hierarchy-aware trackers, or nullptr for flat scenarios.
+  [[nodiscard]] metrics::hierarchy_metrics* hier_metrics() {
+    return hier_metrics_.get();
+  }
   [[nodiscard]] service::leader_election_service* node_service(node_id node);
   /// The node's hierarchy coordinator, or nullptr (flat scenario / node
   /// down).
@@ -115,6 +136,8 @@ class experiment {
   std::optional<hierarchy::topology> topo_;
   std::vector<workstation> nodes_;
   metrics::group_metrics metrics_;
+  /// Per-region trackers + cross-tier blame split (hierarchy scenarios).
+  std::unique_ptr<metrics::hierarchy_metrics> hier_metrics_;
   metrics::cost_model cost_;
   group_id group_ = group_id{1};
   /// Counters accumulated from instances destroyed by churn, so rate

@@ -39,18 +39,30 @@ struct link_phase {
   net::link_profile links;
 };
 
-/// Two-tier hierarchical election (src/hierarchy/): the roster is split
-/// into contiguous regions, every node runs its region's election, and
-/// regional leaders compete in one global group (all other nodes listen
-/// there). `scenario::qos`, `fd_class` and `alg` configure the region
-/// tier; the global tier is configured here. The experiment's ground
-/// truth and leader metrics then track the *global* leader.
+/// Hierarchical election (src/hierarchy/): the roster is split into
+/// contiguous regions, every node runs its region's election, and regional
+/// leaders are promoted tier by tier until one global group (all other
+/// nodes listen there). `scenario::qos`, `fd_class` and `alg` configure
+/// the region tier; the upper tiers are configured here. The experiment's
+/// ground truth and leader metrics then track the *global* leader, and
+/// per-region trackers + the cross-tier blame split land in
+/// `experiment_result::regions` / `outages_blamed_*`.
 struct hierarchy_profile {
   bool enabled = false;
   /// Number of regions; 0 derives it from `region_size`.
   std::size_t regions = 0;
   /// Nodes per region when `regions` is 0 (ceil division fills the rest).
   std::size_t region_size = 0;
+  /// Explicit multi-tier shape: groups per tier, ending in the single
+  /// global group (e.g. {12, 3, 1} = regions -> zones -> global). When
+  /// non-empty it overrides `regions` / `region_size`; when empty the
+  /// shape is the two-tier {regions, 1}.
+  std::vector<std::size_t> tiers;
+  /// Roster-scoped HELLO/LEAVE dissemination (the coordinator requests
+  /// `membership::hello_fanout::roster` on every service). false keeps the
+  /// cluster-wide anti-entropy — the pre-scoping baseline that
+  /// bench/fig12_roster_scope compares against.
+  bool scoped_hello = true;
   /// Links between nodes of *different* regions; nullopt keeps
   /// `scenario::links` for all pairs (region-scoped link profiles).
   std::optional<net::link_profile> inter_region_links;
@@ -73,6 +85,14 @@ struct hierarchy_profile {
     hierarchy_profile h;
     h.enabled = true;
     h.region_size = size;
+    return h;
+  }
+  /// Three-tier shape: `regions` leaf groups coarsened into `zones` groups
+  /// under one global group (the §7 tiered composition at depth 3).
+  static hierarchy_profile three_tier(std::size_t regions, std::size_t zones) {
+    hierarchy_profile h;
+    h.enabled = true;
+    h.tiers = {regions, zones, 1};
     return h;
   }
 };

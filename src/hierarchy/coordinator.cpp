@@ -16,6 +16,13 @@ hierarchy_coordinator::hierarchy_coordinator(
       candidate_(topo_.tiers(), false) {
   candidate_[0] = true;
   svc_.register_process(pid_);  // idempotent: false just means already there
+  // Scope membership dissemination to the group rosters before the first
+  // join fires any HELLO: the per-tier groups are small (regions) or thin
+  // (upper tiers: a few candidates, silent listeners), so cluster-wide
+  // anti-entropy would be almost entirely wasted fan-out.
+  if (opts_.scoped_hello) {
+    svc_.set_hello_fanout(membership::hello_fanout::roster);
+  }
   // Join upper tiers first (as listeners), the region group last: the very
   // first region evaluation can already elect this node (a one-node region,
   // or the first joiner), and the promotion path requires the tier-1 group
@@ -83,19 +90,26 @@ void hierarchy_coordinator::on_tier_leader(std::size_t tier,
 
 void hierarchy_coordinator::set_candidacy(std::size_t tier, bool want) {
   if (candidate_[tier] == want) return;
-  candidate_[tier] = want;  // set first: the re-join can fire callbacks
+  candidate_[tier] = want;  // set first: the flip can fire callbacks
   if (want) {
     ++promotions_;
   } else {
     ++demotions_;
   }
-  // Re-joining with a different candidacy is the service's documented way
-  // to change the flag. The fresh join also resets our accusation time to
-  // "now", which is exactly what keeps a promoted (or re-promoted)
-  // candidate ranked behind any established upper-tier leader.
+  // In-place flip: the elector keeps its learned state and current leader
+  // view, and a promotion still resets our accusation time to "now" — the
+  // property that keeps a promoted (or re-promoted) candidate ranked
+  // behind any established upper-tier leader. The historical leave +
+  // re-join did the same ranking reset but wiped this node's tier view
+  // (transiently breaking cluster-wide agreement on the upper leader) and
+  // could reorder its LEAVE behind its JOIN on the wire, knocking the
+  // node out of peers' rosters until the next anti-entropy round.
   const group_id group = topo_.group_at(svc_.self(), tier);
-  svc_.leave_group(pid_, group);
-  join_tier(tier, want);
+  if (!svc_.set_candidacy(pid_, group, want)) {
+    // The group is unexpectedly not joined (shutdown race): fall back to a
+    // fresh join with the wanted flag.
+    join_tier(tier, want);
+  }
 }
 
 }  // namespace omega::hierarchy

@@ -9,11 +9,10 @@
 // leadership:
 //
 //   * promotion: when this node becomes the leader of its tier-t group, it
-//     re-joins its tier-(t+1) group as a candidate (re-joining with a
-//     different candidacy is the service's documented way to change the
-//     flag);
-//   * demotion: when another process takes over tier t, this node re-joins
-//     tier t+1 as a listener, withdrawing from that election.
+//     flips its tier-(t+1) candidacy on in place
+//     (`leader_election_service::set_candidacy`);
+//   * demotion: when another process takes over tier t, this node flips
+//     its tier-(t+1) candidacy off, withdrawing from that election.
 //
 // Races resolve through mechanisms the lower layers already have. A
 // freshly promoted candidate enters the upper tier with accusation time =
@@ -63,6 +62,14 @@ struct coordinator_options {
   tier_options region{};
   /// Tiers >= 1 joins: listeners, candidates only by promotion.
   tier_options upper{};
+  /// Request roster-scoped membership dissemination
+  /// (`membership::hello_fanout::roster`) on the service at construction.
+  /// Hierarchical deployments are exactly the shape where the cluster-wide
+  /// HELLO anti-entropy dominates per-node cost (each node shares groups
+  /// with a few peers yet gossips to all n), so the coordinator asks for
+  /// scoping by default; set false to keep the service's configured fanout
+  /// (the pre-scoping baseline fig12 compares against).
+  bool scoped_hello = true;
 
   coordinator_options() {
     region.alg = election::algorithm::omega_lc;

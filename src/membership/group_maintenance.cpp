@@ -1,5 +1,7 @@
 #include "membership/group_maintenance.hpp"
 
+#include <algorithm>
+#include <unordered_set>
 #include <utility>
 
 namespace omega::membership {
@@ -19,17 +21,101 @@ void group_maintenance::local_join(group_id group, process_id pid, bool candidat
   auto& state = groups_[group];
   state.local = member_info{pid, self_, inc_, candidate, now};
   apply_upsert(group, pid, self_, inc_, candidate, now);
-  broadcast_hello(/*reply_requested=*/true);
+  if (!scoped_mode()) {
+    broadcast_hello(/*reply_requested=*/true);
+    return;
+  }
+  scoped_announce(group);
+}
+
+void group_maintenance::scoped_announce(group_id group) {
+  // Scoped bootstrap: the announcement still goes cluster-wide (discovery
+  // must reach peers we do not know yet), but soliciting a snapshot from
+  // every roster node would cost O(n) ACKs of O(n) entries on every join —
+  // and candidacy changes re-announce, so hierarchies pay it on each
+  // promotion. A bounded solicitation set plus the periodic probes
+  // converges the same view for O(1) ACKs.
+  if (broadcast_) {
+    proto::hello_msg hello = build_hello(/*reply_requested=*/false);
+    if (!hello.entries.empty()) broadcast_(hello);
+  }
+  const std::vector<node_id> targets = snapshot_targets(group);
+  if (!targets.empty()) {
+    proto::hello_msg ask = build_hello(/*reply_requested=*/true);
+    if (!ask.entries.empty()) multicast_(targets, ask);
+  }
+}
+
+std::vector<node_id> group_maintenance::snapshot_targets(group_id preferred) {
+  // Prefer peers of the group being (re)announced — only they can answer
+  // with entries about it — then any tracked peer (warm snapshots for the
+  // other groups), then roster rotation for the very first join.
+  std::vector<node_id> targets;
+  std::unordered_set<node_id> seen;
+  const auto take_from = [&](const member_table& table) {
+    for (const member_info& m : table.members()) {
+      if (m.node == self_ || !seen.insert(m.node).second) continue;
+      targets.push_back(m.node);
+      if (targets.size() >= kSnapshotFanout) return true;
+    }
+    return false;
+  };
+  if (auto it = groups_.find(preferred); it != groups_.end()) {
+    if (take_from(it->second.table)) return targets;
+  }
+  for (const auto& [group, state] : groups_) {
+    if (group == preferred) continue;
+    if (take_from(state.table)) return targets;
+  }
+  for (std::size_t step = 0;
+       step < cluster_roster_.size() && targets.size() < kSnapshotFanout;
+       ++step) {
+    const node_id candidate =
+        cluster_roster_[probe_cursor_++ % cluster_roster_.size()];
+    if (candidate == self_ || seen.count(candidate) > 0) continue;
+    seen.insert(candidate);
+    targets.push_back(candidate);
+  }
+  if (!cluster_roster_.empty()) probe_cursor_ %= cluster_roster_.size();
+  return targets;
+}
+
+void group_maintenance::update_local_candidacy(group_id group, bool candidate) {
+  auto it = groups_.find(group);
+  if (it == groups_.end() || !it->second.local) return;
+  if (it->second.local->candidate == candidate) return;
+  const time_point now = clock_.now();
+  it->second.local->candidate = candidate;
+  apply_upsert(group, it->second.local->pid, self_, inc_, candidate, now);
+  if (scoped_mode() && candidate) {
+    // Promotion: every group member must (re)learn us as a candidate — the
+    // listeners' scoped refreshes gate on the flag — and we must re-learn
+    // the full roster in case listener entries aged out of our table while
+    // we listened. Same bootstrap as a scoped join.
+    scoped_announce(group);
+    return;
+  }
+  // Demotion (or `all` fanout): the regular emission path carries the new
+  // flag — scoped to whoever needs it, or cluster-wide respectively.
+  broadcast_hello(/*reply_requested=*/false);
 }
 
 void group_maintenance::local_leave(group_id group, process_id pid) {
   auto it = groups_.find(group);
   if (it == groups_.end()) return;
+  // Capture the destination set before the removal empties it: in roster
+  // mode the LEAVE goes exactly to the nodes that track this group, so a
+  // node leaving one group stops gossiping to disjoint-group peers.
+  std::vector<node_id> scoped_dsts;
+  if (scoped_mode()) scoped_dsts = group_roster(group);
   if (auto removed = it->second.table.remove(pid, inc_)) {
     if (events_.on_member_removed) events_.on_member_removed(group, *removed);
   }
-  if (broadcast_) {
-    broadcast_(proto::leave_msg{self_, inc_, group, pid});
+  const proto::leave_msg leave{self_, inc_, group, pid};
+  if (scoped_mode()) {
+    if (!scoped_dsts.empty()) multicast_(scoped_dsts, leave);
+  } else if (broadcast_) {
+    broadcast_(leave);
   }
   if (it->second.local && it->second.local->pid == pid) {
     // The local process was the node's member in this group: the node no
@@ -69,7 +155,14 @@ void group_maintenance::on_hello(const proto::hello_msg& msg, time_point now) {
     apply_upsert(entry.group, entry.pid, msg.from, msg.inc, entry.candidate, now);
   }
   if (msg.reply_requested && unicast_) {
-    unicast_(msg.from, build_snapshot());
+    if (scoped_mode()) {
+      proto::hello_ack_msg snapshot = build_snapshot(&msg);
+      if (!snapshot.entries.empty()) unicast_(msg.from, snapshot);
+    } else {
+      // Seed behaviour (byte-identical under `all` fanout): the full
+      // known world, sent unconditionally.
+      unicast_(msg.from, build_snapshot(nullptr));
+    }
   }
 }
 
@@ -132,10 +225,102 @@ void group_maintenance::sweep() {
 }
 
 void group_maintenance::broadcast_hello(bool reply_requested) {
+  // The initial join HELLO (reply_requested) always goes cluster-wide: it
+  // is the discovery bootstrap that seeds the group rosters the scoped
+  // path later relies on. Only the periodic anti-entropy is scoped.
+  if (!reply_requested && scoped_mode()) {
+    emit_scoped_hello();
+    return;
+  }
   if (!broadcast_) return;
   proto::hello_msg hello = build_hello(reply_requested);
   if (hello.entries.empty()) return;
   broadcast_(hello);
+}
+
+std::vector<node_id> group_maintenance::scoped_destinations(
+    const group_state& state) const {
+  std::vector<node_id> dsts;
+  if (!state.local) return dsts;
+  const bool local_is_candidate = state.local->candidate;
+  std::unordered_set<node_id> seen;
+  for (const member_info& m : state.table.members()) {
+    if (m.node == self_) continue;
+    // Candidates announce to the whole group roster; listeners only to the
+    // candidate hosts (the nodes whose tables must keep vouching for them).
+    if ((local_is_candidate || m.candidate) && seen.insert(m.node).second) {
+      dsts.push_back(m.node);
+    }
+  }
+  return dsts;
+}
+
+void group_maintenance::emit_scoped_hello() {
+  // Build the per-destination entry sets, then bucket destinations that
+  // share one (typically: full-roster groups collapse into a single
+  // multicast) so the transport can fan each encoding out once.
+  std::vector<node_id> dst_order;                       // first-seen order
+  std::unordered_map<node_id, std::vector<proto::hello_msg::entry>> per_dst;
+  for (const auto& [group, state] : groups_) {
+    if (!state.local) continue;
+    const proto::hello_msg::entry entry{group, state.local->pid,
+                                        state.local->candidate};
+    for (const node_id dst : scoped_destinations(state)) {
+      auto [it, inserted] = per_dst.try_emplace(dst);
+      if (inserted) dst_order.push_back(dst);
+      it->second.push_back(entry);
+    }
+  }
+
+  // Bucket by identical entry sets. Entries were appended in one pass over
+  // `groups_`, so two destinations covering the same groups hold equal
+  // vectors; the distinct-set count is bounded by the (small) group count.
+  std::vector<std::pair<std::vector<proto::hello_msg::entry>, std::vector<node_id>>>
+      buckets;
+  for (const node_id dst : dst_order) {
+    auto& entries = per_dst[dst];
+    auto bucket = std::find_if(buckets.begin(), buckets.end(), [&](const auto& b) {
+      return b.first == entries;
+    });
+    if (bucket == buckets.end()) {
+      buckets.emplace_back(std::move(entries), std::vector<node_id>{dst});
+    } else {
+      bucket->second.push_back(dst);
+    }
+  }
+
+  proto::hello_msg msg;
+  msg.from = self_;
+  msg.inc = inc_;
+  msg.reply_requested = false;
+  for (auto& [entries, dsts] : buckets) {
+    msg.entries = std::move(entries);
+    multicast_(dsts, msg);
+  }
+
+  // Discovery probes: rotate through roster nodes outside the scoped set
+  // with a full reply-requested HELLO, healing lost-join gaps over time.
+  if (opts_.anti_entropy_probes == 0 || cluster_roster_.empty()) return;
+  std::unordered_set<node_id> covered(dst_order.begin(), dst_order.end());
+  std::vector<node_id> probes;
+  for (std::size_t step = 0;
+       step < cluster_roster_.size() && probes.size() < opts_.anti_entropy_probes;
+       ++step) {
+    const node_id candidate =
+        cluster_roster_[probe_cursor_++ % cluster_roster_.size()];
+    if (candidate == self_ || covered.count(candidate) > 0) continue;
+    probes.push_back(candidate);
+  }
+  probe_cursor_ %= cluster_roster_.size();
+  if (probes.empty()) return;
+  proto::hello_msg probe = build_hello(/*reply_requested=*/true);
+  if (probe.entries.empty()) return;
+  multicast_(probes, probe);
+}
+
+void group_maintenance::set_cluster_roster(std::vector<node_id> roster) {
+  cluster_roster_ = std::move(roster);
+  probe_cursor_ = 0;
 }
 
 proto::hello_msg group_maintenance::build_hello(bool reply_requested) const {
@@ -150,11 +335,17 @@ proto::hello_msg group_maintenance::build_hello(bool reply_requested) const {
   return msg;
 }
 
-proto::hello_ack_msg group_maintenance::build_snapshot() const {
+proto::hello_ack_msg group_maintenance::build_snapshot(
+    const proto::hello_msg* request) const {
+  std::unordered_set<group_id> requested;
+  if (request != nullptr) {
+    for (const auto& entry : request->entries) requested.insert(entry.group);
+  }
   proto::hello_ack_msg msg;
   msg.from = self_;
   msg.inc = inc_;
   for (const auto& [group, state] : groups_) {
+    if (request != nullptr && requested.count(group) == 0) continue;
     for (const member_info& m : state.table.members()) {
       msg.entries.push_back({group, m.pid, m.node, m.inc, m.candidate});
     }
@@ -177,6 +368,18 @@ std::vector<group_id> group_maintenance::groups() const {
 std::optional<member_info> group_maintenance::local_member(group_id group) const {
   auto it = groups_.find(group);
   return it != groups_.end() ? it->second.local : std::nullopt;
+}
+
+std::vector<node_id> group_maintenance::group_roster(group_id group) const {
+  std::vector<node_id> roster;
+  auto it = groups_.find(group);
+  if (it == groups_.end()) return roster;
+  std::unordered_set<node_id> seen;
+  for (const member_info& m : it->second.table.members()) {
+    if (m.node == self_ || !seen.insert(m.node).second) continue;
+    roster.push_back(m.node);
+  }
+  return roster;
 }
 
 }  // namespace omega::membership

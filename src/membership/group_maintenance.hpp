@@ -6,8 +6,9 @@
 //
 //  * on join, the node broadcasts HELLO (reply_requested) to the cluster
 //    roster; peers answer with a unicast HELLO_ACK membership snapshot;
-//  * HELLOs are re-broadcast periodically (anti-entropy) so lost packets
-//    and recovered nodes converge;
+//  * HELLOs are re-sent periodically (anti-entropy) so lost packets and
+//    recovered nodes converge — cluster-wide by default, or scoped to the
+//    per-group rosters under `hello_fanout::roster` (see below);
 //  * ALIVE messages implicitly refresh / create membership (a heartbeat
 //    carrying a group payload is proof of membership);
 //  * LEAVE removes a member immediately; crashed members are evicted after
@@ -29,14 +30,51 @@
 
 namespace omega::membership {
 
+/// Destination policy of the periodic HELLO anti-entropy (and LEAVE).
+///
+/// `all` reproduces the paper's deployment: every announcement goes to the
+/// whole installation roster. That is the right default for the flat
+/// 12-workstation clusters of the evaluation, but it is the one remaining
+/// all-to-all path in a hierarchical deployment, where a node shares groups
+/// with a handful of peers yet still gossips to all n of them.
+///
+/// `roster` scopes dissemination to the peers that can use it:
+///   * a *candidate* member's entry for a group goes to every node hosting
+///     a member of that group (the group roster) — candidates must stay in
+///     every member's view to be electable and to fan ALIVEs out;
+///   * a *listener* (non-candidate) entry goes only to the nodes hosting
+///     the group's candidates — they are the ones that must keep the
+///     listener in their tables (the leader sends it ALIVEs; the sweep
+///     would otherwise evict it). Fellow listeners have no use for it.
+///   * the initial join HELLO (reply_requested) still goes cluster-wide:
+///     it is the discovery bootstrap that seeds the rosters in the first
+///     place, and it is O(roster) once per join, not per interval;
+///   * each sweep additionally probes `anti_entropy_probes` roster nodes
+///     outside the scoped destination set (round-robin, reply_requested),
+///     healing the rare gap where a join HELLO was lost *and* every
+///     snapshot holder crashed.
+enum class hello_fanout : std::uint8_t {
+  all,     // cluster-wide broadcast (seed behaviour, flat deployments)
+  roster,  // per-group scoped send (hierarchical deployments)
+};
+
 class group_maintenance {
  public:
+  /// Bounded snapshot-solicitation set of a scoped join (known peers
+  /// first, roster rotation as fallback): O(1) HELLO_ACKs per join
+  /// instead of one from every roster node.
+  static constexpr std::size_t kSnapshotFanout = 3;
+
   struct options {
     /// Period of the anti-entropy HELLO broadcast and eviction sweep.
     duration hello_interval = sec(2);
     /// Members silent (no HELLO/ALIVE) for this long are evicted unless the
     /// failure detector still trusts their node.
     duration eviction_after = sec(30);
+    /// Destination policy of HELLO/LEAVE dissemination (see `hello_fanout`).
+    hello_fanout fanout = hello_fanout::all;
+    /// Extra discovery probes per sweep in `roster` mode (see above).
+    std::size_t anti_entropy_probes = 1;
   };
 
   struct events {
@@ -49,9 +87,12 @@ class group_maintenance {
     std::function<void(group_id, const member_info&)> on_member_reincarnated;
   };
 
-  /// `broadcast` sends to every roster node except self; `unicast` to one.
+  /// `broadcast` sends to every roster node except self; `unicast` to one;
+  /// `multicast` to an explicit destination set (the scoped path).
   using broadcast_fn = std::function<void(const proto::wire_message&)>;
   using unicast_fn = std::function<void(node_id, const proto::wire_message&)>;
+  using multicast_fn =
+      std::function<void(const std::vector<node_id>&, const proto::wire_message&)>;
   /// Asks the FD whether `member`'s node is currently trusted in `group`.
   using vouch_fn = std::function<bool(group_id, const member_info&)>;
 
@@ -64,14 +105,33 @@ class group_maintenance {
 
   void set_broadcast(broadcast_fn fn) { broadcast_ = std::move(fn); }
   void set_unicast(unicast_fn fn) { unicast_ = std::move(fn); }
+  void set_multicast(multicast_fn fn) { multicast_ = std::move(fn); }
   void set_vouch(vouch_fn fn) { vouch_ = std::move(fn); }
   void set_events(events ev) { events_ = std::move(ev); }
+
+  /// Installation roster used by the `roster`-mode discovery probes. Without
+  /// it (or without a multicast hook) the module falls back to `all`.
+  void set_cluster_roster(std::vector<node_id> roster);
+
+  /// Switches the dissemination policy at runtime (takes effect from the
+  /// next emission; the hierarchy coordinator requests `roster` scoping).
+  void set_fanout(hello_fanout fanout) { opts_.fanout = fanout; }
+  [[nodiscard]] hello_fanout fanout() const { return opts_.fanout; }
 
   /// Local process joins a group: recorded and announced immediately.
   void local_join(group_id group, process_id pid, bool candidate);
 
   /// Local process leaves: LEAVE is broadcast, membership updated.
   void local_leave(group_id group, process_id pid);
+
+  /// Changes the local member's candidacy flag in place and announces it —
+  /// the membership half of a promotion/demotion that keeps the group view
+  /// (a leave + re-join resets every peer's state and the LEAVE/JOIN
+  /// datagrams can arrive reordered). Becoming a candidate in roster mode
+  /// re-announces cluster-wide and re-solicits bounded snapshots: the
+  /// scoped listener traffic may have let this node's roster view age out,
+  /// and a candidate must know the whole roster to lead it.
+  void update_local_candidacy(group_id group, bool candidate);
 
   // ---- inbound protocol events (wired by the service) -------------------
   void on_hello(const proto::hello_msg& msg, time_point now);
@@ -90,6 +150,10 @@ class group_maintenance {
   /// The local member entry for `group`, if the local node joined it.
   [[nodiscard]] std::optional<member_info> local_member(group_id group) const;
 
+  /// Nodes hosting members of `group`, self excluded (the group roster the
+  /// scoped dissemination targets; empty for unknown groups).
+  [[nodiscard]] std::vector<node_id> group_roster(group_id group) const;
+
  private:
   struct group_state {
     member_table table;
@@ -98,8 +162,28 @@ class group_maintenance {
 
   void sweep();
   void broadcast_hello(bool reply_requested);
+  /// The `roster`-mode anti-entropy emission: per-destination entry sets,
+  /// bucketed into one multicast per distinct set, plus discovery probes.
+  void emit_scoped_hello();
+  /// Per-group scoped destination set (candidate -> roster, listener ->
+  /// candidate hosts); empty if the group is unknown or has no local member.
+  [[nodiscard]] std::vector<node_id> scoped_destinations(
+      const group_state& state) const;
+  [[nodiscard]] bool scoped_mode() const {
+    return opts_.fanout == hello_fanout::roster && multicast_ != nullptr;
+  }
+  /// The scoped join/promotion bootstrap: cluster-wide announce plus a
+  /// bounded snapshot solicitation targeting `group`'s peers first.
+  void scoped_announce(group_id group);
+  [[nodiscard]] std::vector<node_id> snapshot_targets(group_id preferred);
   [[nodiscard]] proto::hello_msg build_hello(bool reply_requested) const;
-  [[nodiscard]] proto::hello_ack_msg build_snapshot() const;
+  /// Membership snapshot. With a `request` (roster mode) it is scoped to
+  /// the groups the requester announced: entries for groups it does not
+  /// participate in are dead weight (its apply path drops them), and the
+  /// full known world is O(cluster) large. Null = the seed's full
+  /// snapshot (`all` fanout stays byte-identical).
+  [[nodiscard]] proto::hello_ack_msg build_snapshot(
+      const proto::hello_msg* request) const;
   void apply_upsert(group_id group, process_id pid, node_id node, incarnation inc,
                     bool candidate, time_point now);
 
@@ -110,9 +194,12 @@ class group_maintenance {
   options opts_;
   broadcast_fn broadcast_;
   unicast_fn unicast_;
+  multicast_fn multicast_;
   vouch_fn vouch_;
   events events_;
   std::unordered_map<group_id, group_state> groups_;
+  std::vector<node_id> cluster_roster_;
+  std::size_t probe_cursor_ = 0;  // round-robin position in cluster_roster_
   bool running_ = false;
 };
 

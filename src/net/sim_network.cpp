@@ -126,6 +126,7 @@ void sim_network::on_send(node_id from, node_id to,
   auto& tx = traffic_.at(from.value());
   ++tx.datagrams_sent;
   tx.bytes_sent += payload.size() + wire_overhead_bytes;
+  if (tap_) tap_(from, to, payload);
 
   if (from == to) {
     // Loopback: immediate, lossless (matches kernel loopback behaviour).

@@ -61,6 +61,14 @@ class sim_network {
   [[nodiscard]] const traffic_totals& traffic(node_id node) const;
   void reset_traffic();
 
+  /// Observer of every datagram accepted for transmission (sender alive),
+  /// invoked before loss/crash drops — the same population `traffic()`
+  /// counts as sent. Benches use it with `proto::peek_kind` to split
+  /// traffic by message type; pass an empty function to remove.
+  using send_tap =
+      std::function<void(node_id from, node_id to, std::span<const std::byte>)>;
+  void set_send_tap(send_tap tap) { tap_ = std::move(tap); }
+
   /// Cluster-wide totals of datagrams dropped by links (loss + crash) and
   /// dropped because the destination node was down.
   [[nodiscard]] std::uint64_t dropped_by_links() const { return dropped_by_links_; }
@@ -82,6 +90,7 @@ class sim_network {
   std::vector<link_model> links_;  // row-major [from][to]
   std::vector<bool> alive_;
   std::vector<traffic_totals> traffic_;
+  send_tap tap_;
   std::vector<timer_id> link_flip_timers_;
   std::uint64_t dropped_by_links_ = 0;
   std::uint64_t dropped_dead_node_ = 0;

@@ -32,6 +32,15 @@ class transport {
   /// Sends one datagram to `dst` (fire-and-forget).
   virtual void send(node_id dst, std::span<const std::byte> payload) = 0;
 
+  /// Sends one datagram to every node in `dsts` (the roster-scoped
+  /// dissemination path: the caller encodes once, the transport fans out).
+  /// The default replicates over `send`; transports with a cheaper group
+  /// primitive (kernel multicast, shared-memory rings) can override.
+  virtual void multicast(std::span<const node_id> dsts,
+                         std::span<const std::byte> payload) {
+    for (node_id dst : dsts) send(dst, payload);
+  }
+
   /// The node this endpoint belongs to.
   [[nodiscard]] virtual node_id local_node() const = 0;
 

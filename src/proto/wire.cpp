@@ -6,15 +6,6 @@ namespace omega::proto {
 
 namespace {
 
-enum class msg_type : std::uint8_t {
-  alive = 1,
-  accuse = 2,
-  hello = 3,
-  hello_ack = 4,
-  leave = 5,
-  rate_request = 6,
-};
-
 // Hard cap on repeated-element counts: a datagram cannot meaningfully carry
 // more, and the cap stops malformed length fields from causing huge
 // allocations in the parser.
@@ -184,24 +175,24 @@ std::optional<rate_request_msg> decode_rate_request(byte_reader& r) {
   return m;
 }
 
-msg_type type_of(const wire_message& msg) {
+}  // namespace
+
+msg_kind kind_of(const wire_message& msg) {
   struct visitor {
-    msg_type operator()(const alive_msg&) const { return msg_type::alive; }
-    msg_type operator()(const accuse_msg&) const { return msg_type::accuse; }
-    msg_type operator()(const hello_msg&) const { return msg_type::hello; }
-    msg_type operator()(const hello_ack_msg&) const { return msg_type::hello_ack; }
-    msg_type operator()(const leave_msg&) const { return msg_type::leave; }
-    msg_type operator()(const rate_request_msg&) const { return msg_type::rate_request; }
+    msg_kind operator()(const alive_msg&) const { return msg_kind::alive; }
+    msg_kind operator()(const accuse_msg&) const { return msg_kind::accuse; }
+    msg_kind operator()(const hello_msg&) const { return msg_kind::hello; }
+    msg_kind operator()(const hello_ack_msg&) const { return msg_kind::hello_ack; }
+    msg_kind operator()(const leave_msg&) const { return msg_kind::leave; }
+    msg_kind operator()(const rate_request_msg&) const { return msg_kind::rate_request; }
   };
   return std::visit(visitor{}, msg);
 }
 
-}  // namespace
-
 std::vector<std::byte> encode(const wire_message& msg) {
   byte_writer w;
   w.write_u8(protocol_version);
-  w.write_u8(static_cast<std::uint8_t>(type_of(msg)));
+  w.write_u8(static_cast<std::uint8_t>(kind_of(msg)));
   std::visit([&w](const auto& m) { encode_body(w, m); }, msg);
   return w.take();
 }
@@ -211,25 +202,45 @@ std::optional<wire_message> decode(std::span<const std::byte> bytes) {
   const std::uint8_t version = r.read_u8();
   const std::uint8_t type = r.read_u8();
   if (!r.ok() || version != protocol_version) return std::nullopt;
-  switch (static_cast<msg_type>(type)) {
-    case msg_type::alive:
+  switch (static_cast<msg_kind>(type)) {
+    case msg_kind::alive:
       if (auto m = decode_alive(r)) return wire_message{*std::move(m)};
       return std::nullopt;
-    case msg_type::accuse:
+    case msg_kind::accuse:
       if (auto m = decode_accuse(r)) return wire_message{*std::move(m)};
       return std::nullopt;
-    case msg_type::hello:
+    case msg_kind::hello:
       if (auto m = decode_hello(r)) return wire_message{*std::move(m)};
       return std::nullopt;
-    case msg_type::hello_ack:
+    case msg_kind::hello_ack:
       if (auto m = decode_hello_ack(r)) return wire_message{*std::move(m)};
       return std::nullopt;
-    case msg_type::leave:
+    case msg_kind::leave:
       if (auto m = decode_leave(r)) return wire_message{*std::move(m)};
       return std::nullopt;
-    case msg_type::rate_request:
+    case msg_kind::rate_request:
       if (auto m = decode_rate_request(r)) return wire_message{*std::move(m)};
       return std::nullopt;
+  }
+  return std::nullopt;
+}
+
+std::optional<msg_kind> peek_kind(std::span<const std::byte> bytes) {
+  byte_reader r(bytes);
+  const std::uint8_t version = r.read_u8();
+  const std::uint8_t type = r.read_u8();
+  if (!r.ok() || version != protocol_version) return std::nullopt;
+  // Same exhaustive switch as decode(): a new message type added there
+  // without a case here trips -Wswitch instead of silently classifying
+  // as malformed.
+  switch (static_cast<msg_kind>(type)) {
+    case msg_kind::alive:
+    case msg_kind::accuse:
+    case msg_kind::hello:
+    case msg_kind::hello_ack:
+    case msg_kind::leave:
+    case msg_kind::rate_request:
+      return static_cast<msg_kind>(type);
   }
   return std::nullopt;
 }

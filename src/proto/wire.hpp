@@ -128,6 +128,16 @@ struct rate_request_msg {
 using wire_message = std::variant<alive_msg, accuse_msg, hello_msg,
                                   hello_ack_msg, leave_msg, rate_request_msg>;
 
+/// Datagram type tags of the wire envelope (the byte after the version).
+enum class msg_kind : std::uint8_t {
+  alive = 1,
+  accuse = 2,
+  hello = 3,
+  hello_ack = 4,
+  leave = 5,
+  rate_request = 6,
+};
+
 /// Current protocol version; parsers reject other versions.
 inline constexpr std::uint8_t protocol_version = 1;
 
@@ -137,6 +147,14 @@ inline constexpr std::uint8_t protocol_version = 1;
 /// Parses a datagram; returns nullopt on any malformed, truncated,
 /// over-long or wrong-version input.
 [[nodiscard]] std::optional<wire_message> decode(std::span<const std::byte> bytes);
+
+/// Reads just the (version, type) envelope without decoding the body —
+/// cheap enough for per-datagram traffic classification (bench taps).
+/// Returns nullopt for truncated, wrong-version or unknown-type input.
+[[nodiscard]] std::optional<msg_kind> peek_kind(std::span<const std::byte> bytes);
+
+/// Envelope tag of a decoded message variant.
+[[nodiscard]] msg_kind kind_of(const wire_message& msg);
 
 /// Sender node of any message variant.
 [[nodiscard]] node_id sender_of(const wire_message& msg);

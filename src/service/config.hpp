@@ -2,6 +2,7 @@
 #pragma once
 
 #include <optional>
+#include <unordered_map>
 #include <vector>
 
 #include "adaptive/engine.hpp"
@@ -21,9 +22,16 @@ struct service_config {
   /// in for the boot-id a real deployment would derive from the OS.
   incarnation inc = 1;
   /// All workstations that may run the service (the installation roster the
-  /// paper's deployment configures per cluster). HELLO broadcasts go to
-  /// every roster node.
+  /// paper's deployment configures per cluster). Join HELLOs (and, under
+  /// `hello_fanout::all`, every HELLO/LEAVE) go to every roster node.
   std::vector<node_id> roster;
+  /// Destination policy of the periodic HELLO anti-entropy and of LEAVE:
+  /// `all` (default) broadcasts to the installation roster — the paper's
+  /// behaviour, right for flat deployments where every node shares the one
+  /// group anyway; `roster` scopes each announcement to the group rosters
+  /// that can use it (the hierarchy coordinator requests this, since the
+  /// cluster-wide broadcast is the dominant per-node cost there).
+  membership::hello_fanout hello_fanout = membership::hello_fanout::all;
   /// Which of the three election algorithms this instance runs.
   election::algorithm alg = election::algorithm::omega_lc;
   /// Failure-detector tuning (estimator windows, reconfiguration cadence...).
@@ -78,6 +86,17 @@ struct service_stats {
   std::uint64_t rate_request_sent = 0;
   std::uint64_t datagrams_received = 0;
   std::uint64_t malformed_received = 0;
+
+  /// Per-group HELLO dissemination accounting: how many HELLO emissions
+  /// carried the group's entry and to how many destinations in total. Under
+  /// `hello_fanout::all` every carried group is attributed the full roster
+  /// fan-out; under `roster` scoping the per-group counts diverge — which
+  /// is exactly what the fig12 economics and the scoping tests measure.
+  struct group_hello_stats {
+    std::uint64_t hellos = 0;
+    std::uint64_t destinations = 0;
+  };
+  std::unordered_map<group_id, group_hello_stats> hello_by_group;
 };
 
 }  // namespace omega::service

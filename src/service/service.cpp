@@ -13,6 +13,12 @@ struct overloaded : Ts... {
 };
 template <class... Ts>
 overloaded(Ts...) -> overloaded<Ts...>;
+
+membership::group_maintenance::options gm_options(const service_config& cfg) {
+  auto opts = cfg.gm;
+  opts.fanout = cfg.hello_fanout;
+  return opts;
+}
 }  // namespace
 
 leader_election_service::leader_election_service(clock_source& clock,
@@ -24,7 +30,7 @@ leader_election_service::leader_election_service(clock_source& clock,
       transport_(transport),
       config_(std::move(config)),
       fd_(clock, timers, config_.fd),
-      gm_(clock, timers, config_.self, config_.inc, config_.gm),
+      gm_(clock, timers, config_.self, config_.inc, gm_options(config_)),
       rate_(fd::qos_spec{}.detection_time / 4),
       alive_timer_(timers) {
   transport_.set_receive_handler([this](const net::datagram& d) { on_datagram(d); });
@@ -43,6 +49,11 @@ leader_election_service::leader_election_service(clock_source& clock,
   gm_.set_unicast([this](node_id dst, const proto::wire_message& msg) {
     send_to(dst, msg);
   });
+  gm_.set_multicast(
+      [this](const std::vector<node_id>& dsts, const proto::wire_message& msg) {
+        multicast(dsts, msg);
+      });
+  gm_.set_cluster_roster(config_.roster);
   gm_.set_vouch([this](group_id g, const membership::member_info& m) {
     return fd_.is_trusted(g, m.node);
   });
@@ -215,6 +226,27 @@ void leader_election_service::leave_group(process_id pid, group_id group) {
   }
   rate_.set_default_eta(def);
   if (groups_.empty()) alive_timer_.cancel();
+}
+
+bool leader_election_service::set_candidacy(process_id pid, group_id group,
+                                            bool candidate) {
+  auto it = groups_.find(group);
+  if (it == groups_.end() || it->second.local_pid != pid) return false;
+  group_state& gs = it->second;
+  if (gs.options.candidate == candidate) return true;
+  gs.options.candidate = candidate;
+  gs.elector->set_candidate(candidate);
+  // The promotion's accusation-time reset is an entry baseline, not an
+  // accusation event: sync the cache so reevaluate() does not treat it as
+  // "our rank just worsened", and feed the scorer the new baseline.
+  gs.last_self_acc = gs.elector->self_accusation_time();
+  if (adaptive_ && candidate) {
+    adaptive_->observe_local_accusation(pid, config_.inc, gs.last_self_acc,
+                                        clock_.now());
+  }
+  gm_.update_local_candidacy(group, candidate);
+  reevaluate(group);
+  return true;
 }
 
 std::optional<process_id> leader_election_service::leader(group_id group) const {
@@ -419,18 +451,46 @@ void leader_election_service::count_sent(const proto::wire_message& msg) {
              msg);
 }
 
+void leader_election_service::count_hello_destinations(
+    const proto::wire_message& msg, std::uint64_t destinations) {
+  const auto* hello = std::get_if<proto::hello_msg>(&msg);
+  if (hello == nullptr) return;
+  for (const auto& entry : hello->entries) {
+    auto& per_group = stats_.hello_by_group[entry.group];
+    ++per_group.hellos;
+    per_group.destinations += destinations;
+  }
+}
+
 void leader_election_service::send_to(node_id dst, const proto::wire_message& msg) {
   count_sent(msg);
+  count_hello_destinations(msg, 1);
   transport_.send(dst, proto::encode(msg));
 }
 
 void leader_election_service::broadcast(const proto::wire_message& msg) {
   count_sent(msg);
   const auto bytes = proto::encode(msg);
+  std::uint64_t fan_out = 0;
   for (node_id node : config_.roster) {
     if (node == config_.self) continue;
     transport_.send(node, bytes);
+    ++fan_out;
   }
+  count_hello_destinations(msg, fan_out);
+}
+
+void leader_election_service::multicast(const std::vector<node_id>& dsts,
+                                        const proto::wire_message& msg) {
+  if (dsts.empty()) return;
+  count_sent(msg);
+  count_hello_destinations(msg, dsts.size());
+  transport_.multicast(dsts, proto::encode(msg));
+}
+
+void leader_election_service::set_hello_fanout(membership::hello_fanout fanout) {
+  config_.hello_fanout = fanout;
+  gm_.set_fanout(fanout);
 }
 
 }  // namespace omega::service

@@ -70,6 +70,16 @@ class leader_election_service {
   /// Leaves the group: broadcasts LEAVE and drops all local group state.
   void leave_group(process_id pid, group_id group);
 
+  /// Changes `pid`'s candidacy in `group` in place. Unlike leave +
+  /// re-join (the historical way to flip the flag), this preserves the
+  /// elector's learned state and current leader view — a re-join resets
+  /// both, leaving the node transiently leaderless, and its LEAVE/JOIN
+  /// datagrams can arrive reordered at peers (dropping the member until
+  /// the next anti-entropy round). Becoming a candidate still ranks the
+  /// process behind any established leader, exactly as a fresh join
+  /// would. Returns false if `pid` has not joined `group`.
+  bool set_candidacy(process_id pid, group_id group, bool candidate);
+
   /// Query-mode leader lookup: the current (cached) leader choice of this
   /// instance for `group`, or nullopt if unknown/leaderless.
   [[nodiscard]] std::optional<process_id> leader(group_id group) const;
@@ -103,6 +113,15 @@ class leader_election_service {
   /// per-subscription callbacks. The experiment harness uses this to track
   /// ground-truth agreement.
   void set_leader_observer(leader_callback observer);
+
+  /// Switches the membership-dissemination policy at runtime (see
+  /// `service_config::hello_fanout`). The hierarchy coordinator calls this
+  /// with `roster` so hierarchical deployments stop paying for cluster-wide
+  /// HELLO anti-entropy; flat deployments keep the configured default.
+  void set_hello_fanout(membership::hello_fanout fanout);
+  [[nodiscard]] membership::hello_fanout hello_fanout() const {
+    return config_.hello_fanout;
+  }
 
  private:
   struct group_state {
@@ -146,7 +165,10 @@ class leader_election_service {
   // Outbound helpers.
   void send_to(node_id dst, const proto::wire_message& msg);
   void broadcast(const proto::wire_message& msg);
+  void multicast(const std::vector<node_id>& dsts, const proto::wire_message& msg);
   void count_sent(const proto::wire_message& msg);
+  void count_hello_destinations(const proto::wire_message& msg,
+                                std::uint64_t destinations);
 
   clock_source& clock_;
   timer_service& timers_;

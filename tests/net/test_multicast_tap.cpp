@@ -1,0 +1,110 @@
+// The multicast-to-set send path and the send tap of the simulated
+// network, plus the envelope peek the tap-based traffic classification
+// relies on.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "net/sim_network.hpp"
+#include "proto/wire.hpp"
+#include "sim/simulator.hpp"
+
+namespace omega::net {
+namespace {
+
+constexpr node_id n0{0};
+constexpr node_id n1{1};
+constexpr node_id n2{2};
+constexpr node_id n3{3};
+
+std::vector<std::byte> hello_bytes() {
+  proto::hello_msg msg;
+  msg.from = n0;
+  msg.inc = 1;
+  msg.entries.push_back({group_id{1}, process_id{0}, true});
+  return proto::encode(proto::wire_message{msg});
+}
+
+TEST(MulticastTap, MulticastDeliversToEveryDestination) {
+  sim::simulator sim;
+  sim_network net(sim, 4, link_profile::lan(), rng(7));
+  std::set<std::uint32_t> received;
+  for (std::uint32_t i = 1; i < 4; ++i) {
+    net.endpoint(node_id{i}).set_receive_handler([&received, i](const datagram& d) {
+      EXPECT_EQ(d.from, n0);
+      received.insert(i);
+    });
+  }
+
+  const auto bytes = hello_bytes();
+  const std::vector<node_id> dsts{n1, n3};
+  net.endpoint(n0).multicast(dsts, bytes);
+  sim.run_until(sim.now() + sec(1));
+
+  EXPECT_EQ(received, (std::set<std::uint32_t>{1, 3}));
+  // One datagram per destination on the sender's wire accounting.
+  EXPECT_EQ(net.traffic(n0).datagrams_sent, 2u);
+  EXPECT_EQ(net.traffic(n1).datagrams_received, 1u);
+  EXPECT_EQ(net.traffic(n2).datagrams_received, 0u);
+}
+
+TEST(MulticastTap, SendTapSeesEveryAcceptedSend) {
+  sim::simulator sim;
+  sim_network net(sim, 4, link_profile::lan(), rng(7));
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> taps;
+  net.set_send_tap([&taps](node_id from, node_id to, std::span<const std::byte>) {
+    taps.emplace_back(from.value(), to.value());
+  });
+
+  const auto bytes = hello_bytes();
+  net.endpoint(n0).send(n1, bytes);
+  net.endpoint(n0).multicast(std::vector<node_id>{n2, n3}, bytes);
+  EXPECT_EQ(taps.size(), 3u);
+  EXPECT_EQ(taps[0], (std::pair<std::uint32_t, std::uint32_t>{0, 1}));
+
+  // A dead host transmits nothing, so the tap must not fire either.
+  net.set_node_alive(n0, false);
+  net.endpoint(n0).send(n1, bytes);
+  EXPECT_EQ(taps.size(), 3u);
+
+  // And an empty tap uninstalls cleanly.
+  net.set_node_alive(n0, true);
+  net.set_send_tap({});
+  net.endpoint(n0).send(n1, bytes);
+  EXPECT_EQ(taps.size(), 3u);
+}
+
+TEST(MulticastTap, PeekKindClassifiesWithoutFullDecode) {
+  const auto hello = hello_bytes();
+  EXPECT_EQ(proto::peek_kind(hello), proto::msg_kind::hello);
+
+  proto::alive_msg alive;
+  alive.from = n1;
+  alive.inc = 2;
+  EXPECT_EQ(proto::peek_kind(proto::encode(proto::wire_message{alive})),
+            proto::msg_kind::alive);
+  EXPECT_EQ(proto::peek_kind(proto::encode(
+                proto::wire_message{proto::leave_msg{n1, 1, group_id{1},
+                                                    process_id{1}}})),
+            proto::msg_kind::leave);
+
+  // Truncated, wrong-version and unknown-type envelopes are rejected.
+  EXPECT_EQ(proto::peek_kind({}), std::nullopt);
+  EXPECT_EQ(proto::peek_kind(std::span<const std::byte>(hello.data(), 1)),
+            std::nullopt);
+  std::vector<std::byte> wrong_version = hello;
+  wrong_version[0] = std::byte{0x7f};
+  EXPECT_EQ(proto::peek_kind(wrong_version), std::nullopt);
+  std::vector<std::byte> bad_type = hello;
+  bad_type[1] = std::byte{0x2a};
+  EXPECT_EQ(proto::peek_kind(bad_type), std::nullopt);
+
+  // peek agrees with the full decode's variant tag.
+  const auto decoded = proto::decode(hello);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(proto::kind_of(*decoded), proto::msg_kind::hello);
+}
+
+}  // namespace
+}  // namespace omega::net

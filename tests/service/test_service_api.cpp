@@ -312,5 +312,66 @@ TEST(ServiceApi, LeaveLastGroupSilencesNode) {
       << "a node with no groups must not heartbeat";
 }
 
+TEST(ServiceApi, SetCandidacyFlipsInPlaceWithoutLosingTheLeaderView) {
+  // The in-place candidacy change (what the hierarchy coordinator uses for
+  // promotion/demotion): the group view must survive the flip — no
+  // transient leaderless window, unlike a leave + re-join — and a fresh
+  // candidate must rank behind the established leader.
+  cluster c(3, election::algorithm::omega_l);
+  for (std::size_t i = 0; i < 3; ++i) c.at(i).register_process(process_id{i});
+  join_options candidate_join;
+  c.at(0).join_group(process_id{0}, g1, candidate_join);
+  c.settle(sec(2));
+  c.at(1).join_group(process_id{1}, g1, candidate_join);
+  join_options listener_join;
+  listener_join.candidate = false;
+  c.at(2).join_group(process_id{2}, g1, listener_join);
+  c.settle(sec(10));
+  const auto leader = c.at(2).leader(g1);
+  ASSERT_TRUE(leader.has_value());
+  ASSERT_EQ(*leader, process_id{0});  // earliest accusation time wins
+
+  // set_candidacy on an unjoined group / wrong pid is rejected.
+  EXPECT_FALSE(c.at(2).set_candidacy(process_id{2}, g2, true));
+  EXPECT_FALSE(c.at(2).set_candidacy(process_id{9}, g1, true));
+
+  // Promotion keeps the current view at the very instant of the flip...
+  ASSERT_TRUE(c.at(2).set_candidacy(process_id{2}, g1, true));
+  EXPECT_EQ(c.at(2).leader(g1), leader)
+      << "in-place promotion must not reset the leader view";
+  EXPECT_TRUE(c.at(2).elector_for(g1)->is_candidate());
+  // ...and the fresh candidate never displaces the established leader.
+  c.settle(sec(15));
+  for (std::size_t i = 0; i < 3; ++i) EXPECT_EQ(c.at(i).leader(g1), leader);
+
+  // Demotion back to listener: view intact, candidacy off everywhere.
+  ASSERT_TRUE(c.at(2).set_candidacy(process_id{2}, g1, false));
+  EXPECT_EQ(c.at(2).leader(g1), leader);
+  c.settle(sec(5));
+  const auto* m = c.at(0).members(g1).find(process_id{2});
+  ASSERT_NE(m, nullptr);
+  EXPECT_FALSE(m->candidate) << "demotion must propagate to peer tables";
+}
+
+TEST(ServiceApi, DemotedLeaderWithdrawsGracefully) {
+  cluster c(3, election::algorithm::omega_l);
+  for (std::size_t i = 0; i < 3; ++i) {
+    c.at(i).register_process(process_id{i});
+    c.at(i).join_group(process_id{i}, g1, {});
+    c.settle(sec(1));
+  }
+  c.settle(sec(10));
+  ASSERT_EQ(c.at(1).leader(g1), process_id{0});
+
+  // Demote the sitting leader: its graceful-withdrawal heartbeat hands the
+  // group to the next-ranked candidate within a couple of deliveries, and
+  // the demoted process follows the successor as a plain member.
+  ASSERT_TRUE(c.at(0).set_candidacy(process_id{0}, g1, false));
+  c.settle(sec(5));
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(c.at(i).leader(g1), process_id{1}) << "node " << i;
+  }
+}
+
 }  // namespace
 }  // namespace omega::service
