@@ -28,6 +28,7 @@
 #include <vector>
 
 #include "bench_support.hpp"
+#include "obs/forensics.hpp"
 #include "proto/wire.hpp"
 
 using namespace omega;
@@ -75,6 +76,11 @@ harness::scenario make_scenario(std::size_t nodes, policy p) {
   }
   sc.hierarchy.scoped_hello = (p != policy::cluster3);
   sc.hierarchy.global_qos = bench_qos();
+  // Trace every node so the failover phase can attribute each re-election's
+  // latency budget (detection / dissemination / election) from the merged
+  // event stream. Virtual-time traffic is unaffected — the CI overhead gate
+  // (scripts/ci.sh) checks msgs/s against the pre-instrumentation baseline.
+  sc.trace = true;
   sc.warmup = sec(30);
   sc.seed = omega::bench::bench_seed() * 1000003u + nodes;  // same per roster
   return sc;
@@ -90,36 +96,52 @@ struct cell_result {
   double region_availability_mean = 0.0;
   std::uint64_t blamed_regional = 0;
   std::uint64_t blamed_global = 0;
+  /// Forensic latency budget of the measured re-elections (means over the
+  /// attributed outages): how much of each interval was failure detection,
+  /// suspicion dissemination, and election convergence.
+  obs::forensics_summary budget;
 };
 
-/// Crashes the node hosting the current agreed (global) leader and returns
-/// the time until every live node agrees on a different live leader.
-double measure_failover(harness::experiment& exp) {
+struct failover_sample {
+  double recovery_s = -1.0;  // crash -> agreement on a live successor
+  std::optional<obs::outage_budget> budget;
+};
+
+/// Crashes the node hosting the current agreed (global) leader, measures
+/// the time until every live node agrees on a different live leader, and
+/// attributes that interval from the merged trace.
+failover_sample measure_failover(harness::experiment& exp) {
   auto& sim = exp.simulator();
+  failover_sample sample;
   std::optional<process_id> leader = exp.group().agreed_leader();
   const time_point deadline = sim.now() + sec(30);
   while (!leader.has_value() && sim.now() < deadline) {
     sim.run_until(sim.now() + msec(100));
     leader = exp.group().agreed_leader();
   }
-  if (!leader.has_value()) return -1.0;  // never settled: report as failure
+  if (!leader.has_value()) return sample;  // never settled: report as failure
 
   const node_id victim{leader->value()};  // harness runs pid i on node i
   const time_point crash_at = sim.now();
   exp.crash_node(victim);
-  bool converged = false;
+  std::optional<process_id> successor;
   while (sim.now() < crash_at + sec(30)) {
     sim.run_until(sim.now() + msec(25));
     const auto agreed = exp.group().agreed_leader();
     if (agreed.has_value() && *agreed != *leader) {
-      converged = true;
+      successor = agreed;
       break;
     }
   }
-  const double recovery_s = converged ? to_seconds(sim.now() - crash_at) : -1.0;
+  if (successor.has_value()) {
+    const time_point converged_at = sim.now();
+    sample.recovery_s = to_seconds(converged_at - crash_at);
+    sample.budget =
+        exp.attribute_outage(victim, crash_at, converged_at, successor);
+  }
   exp.recover_node(victim);
   sim.run_until(sim.now() + sec(10));  // let it rejoin cleanly
-  return recovery_s;
+  return sample;
 }
 
 cell_result run_cell(const harness::scenario& sc, double window_s,
@@ -160,13 +182,15 @@ cell_result run_cell(const harness::scenario& sc, double window_s,
       static_cast<double>(exp.total_alive_sent() - alive_base) /
       (span_s * static_cast<double>(sc.nodes));
 
-  // Failover phase: global detection + re-election time and blame split.
+  // Failover phase: global detection + re-election time, blame split and
+  // forensic per-phase latency budget.
   double sum = 0.0;
   for (std::size_t k = 0; k < failovers; ++k) {
-    const double t = measure_failover(exp);
-    if (t < 0.0) continue;
-    sum += t;
+    const failover_sample s = measure_failover(exp);
+    if (s.recovery_s < 0.0) continue;
+    sum += s.recovery_s;
     ++res.reelection_samples;
+    if (s.budget.has_value()) res.budget.add(*s.budget);
   }
   res.reelection_mean_s =
       res.reelection_samples > 0
@@ -201,6 +225,17 @@ std::string json_cell(const cell_result& r) {
        harness::fmt_double(r.region_availability_mean, 5);
   s += ", \"outages_blamed_regional\": " + std::to_string(r.blamed_regional);
   s += ", \"outages_blamed_global\": " + std::to_string(r.blamed_global);
+  const auto mean_or = [](const running_stats& st, double fallback) {
+    return st.empty() ? fallback : st.mean();
+  };
+  s += ", \"latency_budget\": {\"detection_mean_s\": " +
+       harness::fmt_double(mean_or(r.budget.detection, -1.0), 3) +
+       ", \"dissemination_mean_s\": " +
+       harness::fmt_double(mean_or(r.budget.dissemination, -1.0), 3) +
+       ", \"election_mean_s\": " +
+       harness::fmt_double(mean_or(r.budget.election, -1.0), 3) +
+       ", \"attributed_fraction_mean\": " +
+       harness::fmt_double(mean_or(r.budget.fraction, 0.0), 4) + "}";
   s += "}";
   return s;
 }
@@ -218,7 +253,8 @@ int main() {
       "Figure 12: roster-scoped vs cluster-wide HELLO dissemination, 3-tier "
       "hierarchy (regions of 10)");
   t.headers({"roster", "policy", "msgs/s", "HELLO/s", "KB/s", "ALIVE/node/s",
-             "re-election (s)", "region avail", "blame reg/glob"});
+             "re-election (s)", "det/diss/elect (s)", "region avail",
+             "blame reg/glob"});
 
   std::string rows_json;
   bool scoped_fewer_at_300 = false;
@@ -236,12 +272,18 @@ int main() {
     const auto scoped3 = timed_cell(policy::scoped3);
     const auto two_tier = timed_cell(policy::two_tier);
     const auto row = [&](policy p, const cell_result& r) {
+      const std::string split =
+          r.budget.fraction.empty()
+              ? "-"
+              : harness::fmt_double(r.budget.detection.mean(), 2) + "/" +
+                    harness::fmt_double(r.budget.dissemination.mean(), 2) +
+                    "/" + harness::fmt_double(r.budget.election.mean(), 2);
       t.row({std::to_string(nodes), policy_label(p),
              harness::fmt_double(r.messages_per_s, 0),
              harness::fmt_double(r.hello_messages_per_s, 0),
              harness::fmt_double(r.bytes_per_s / 1024.0, 1),
              harness::fmt_double(r.alive_per_node_per_s, 2),
-             harness::fmt_double(r.reelection_mean_s, 2),
+             harness::fmt_double(r.reelection_mean_s, 2), split,
              harness::fmt_double(r.region_availability_mean, 4),
              std::to_string(r.blamed_regional) + "/" +
                  std::to_string(r.blamed_global)});

@@ -1,0 +1,123 @@
+// Observability exposition smoke (run by scripts/ci.sh): builds a registry
+// covering every metric type and label shape the stack emits, renders the
+// Prometheus text, re-parses it, and cross-checks every sample against the
+// live registry; then runs a traced 12-node experiment and verifies the
+// trace ring dumps as well-formed JSONL. Exits non-zero on any mismatch.
+#include <algorithm>
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "bench_support.hpp"
+#include "obs/exposition.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+using namespace omega;
+
+namespace {
+
+int failures = 0;
+
+void check(bool ok, const std::string& what) {
+  if (!ok) {
+    ++failures;
+    std::cerr << "obs_smoke FAIL: " << what << "\n";
+  }
+}
+
+const obs::parsed_sample* find(const std::vector<obs::parsed_sample>& samples,
+                               std::string_view name, obs::label_set labels) {
+  std::sort(labels.begin(), labels.end());
+  for (const auto& s : samples) {
+    if (s.name != name) continue;
+    obs::label_set got = s.labels;  // renderer puts `le` last, not sorted
+    std::sort(got.begin(), got.end());
+    if (got == labels) return &s;
+  }
+  return nullptr;
+}
+
+void render_reparse_roundtrip() {
+  obs::registry reg;
+  reg.get_counter("omega_messages_sent_total", {{"kind", "alive"}, {"node", "0"}})
+      .inc(12345);
+  reg.get_counter("omega_messages_sent_total", {{"kind", "accuse"}, {"node", "0"}})
+      .inc(7);
+  reg.get_gauge("omega_heartbeat_interval_seconds", {{"node", "0"}}).set(0.934);
+  // Hostile label value: every escape the format defines.
+  reg.get_counter("omega_escapes_total", {{"path", "a\\b\"c\nd"}}).inc();
+  auto& h = reg.get_histogram("omega_reelection_seconds", {{"tier", "2"}},
+                              {0.5, 1.0, 2.0, 5.0});
+  h.observe(0.7);
+  h.observe(0.9);
+  h.observe(4.0);
+  h.observe(60.0);
+
+  const std::string text = obs::render_prometheus(reg);
+  const auto samples = obs::parse_prometheus(text);
+  check(samples.has_value(), "rendered text must re-parse");
+  if (!samples.has_value()) return;
+
+  const auto* alive = find(*samples, "omega_messages_sent_total",
+                           {{"kind", "alive"}, {"node", "0"}});
+  check(alive != nullptr && alive->value == 12345.0, "counter round-trips");
+  const auto* esc =
+      find(*samples, "omega_escapes_total", {{"path", "a\\b\"c\nd"}});
+  check(esc != nullptr, "escaped label value round-trips");
+  const auto* b1 = find(*samples, "omega_reelection_seconds_bucket",
+                        {{"le", "1"}, {"tier", "2"}});
+  check(b1 != nullptr && b1->value == 2.0, "cumulative bucket le=1");
+  const auto* binf = find(*samples, "omega_reelection_seconds_bucket",
+                          {{"le", "+Inf"}, {"tier", "2"}});
+  const auto* count =
+      find(*samples, "omega_reelection_seconds_count", {{"tier", "2"}});
+  check(binf != nullptr && count != nullptr && binf->value == count->value &&
+            count->value == 4.0,
+        "+Inf bucket equals count");
+}
+
+void traced_experiment_smoke() {
+  harness::scenario sc;
+  sc.name = "obs-smoke";
+  sc.nodes = 12;
+  sc.churn = harness::churn_profile::none();
+  sc.trace = true;
+  sc.measured = sec(60);
+  sc.warmup = sec(30);
+  harness::experiment exp(sc);
+  exp.simulator().run_until(time_origin + sec(40));
+  exp.export_metrics();
+
+  auto* reg = exp.node_registry(node_id{0});
+  check(reg != nullptr, "traced run exposes a per-node registry");
+  if (reg != nullptr) {
+    const auto samples = obs::parse_prometheus(obs::render_prometheus(*reg));
+    check(samples.has_value() && !samples->empty(),
+          "live-service registry renders and re-parses");
+    const auto* alive = find(*samples, "omega_messages_sent_total",
+                             {{"kind", "alive"}, {"node", "0"}});
+    check(alive != nullptr && alive->value > 0.0,
+          "exported ALIVE counter is live");
+  }
+
+  const auto merged = exp.merged_trace();
+  check(!merged.empty(), "traced run produces events");
+  const std::string jsonl = obs::render_jsonl(merged);
+  std::size_t lines = 0;
+  for (char c : jsonl) lines += c == '\n';
+  check(lines == merged.size(), "JSONL has one line per event");
+}
+
+}  // namespace
+
+int main() {
+  render_reparse_roundtrip();
+  traced_experiment_smoke();
+  if (failures == 0) {
+    std::cout << "obs_smoke: all exposition checks passed\n";
+    return 0;
+  }
+  std::cout << "obs_smoke: " << failures << " check(s) failed\n";
+  return 1;
+}

@@ -6,12 +6,23 @@
 // real time, kills the leader's instance, and watches the survivors
 // re-elect within the FD detection bound.
 //
+// Each instance carries the observability plane: a metrics registry plus a
+// trace ring, rendered at the end as a Prometheus text snapshot and a JSONL
+// event dump — what a production daemon would serve from a /metrics
+// endpoint and write to its flight-recorder file.
+//
 // (Total wall-clock runtime: about 6 seconds.)
 #include <chrono>
 #include <iostream>
+#include <span>
 #include <thread>
 
 #include "election/elector.hpp"
+#include "obs/exposition.hpp"
+#include "obs/metrics.hpp"
+#include "obs/service_export.hpp"
+#include "obs/sink.hpp"
+#include "obs/trace.hpp"
 #include "runtime/real_time.hpp"
 #include "runtime/udp_transport.hpp"
 #include "service/service.hpp"
@@ -27,6 +38,11 @@ struct workstation {
   std::unique_ptr<runtime::real_time_engine> engine;
   std::unique_ptr<runtime::udp_transport> transport;
   std::unique_ptr<service::leader_election_service> svc;
+  // Observability outlives the service (the sink is registered in its
+  // config); rendered after shutdown.
+  obs::registry metrics;
+  obs::ring_recorder trace{256};
+  obs::sink sink{&metrics, &trace};
 };
 
 }  // namespace
@@ -53,6 +69,7 @@ int main() {
     cfg.self = node_id{i};
     cfg.roster = roster;
     cfg.alg = election::algorithm::omega_l;
+    cfg.sink = &ws.sink;
 
     // Service construction and all API calls must happen on the engine's
     // loop thread (the protocol stack is single-threaded by design).
@@ -111,14 +128,32 @@ int main() {
     if (!now_leader || now_leader->value() == victim) healed = false;
   }
 
-  // Orderly shutdown: services die on their loop threads first.
+  // Orderly shutdown: services die on their loop threads first. Each
+  // survivor exports its counters on its own loop before dying (the same
+  // render a /metrics scrape would trigger).
   for (std::size_t i = 0; i < kNodes; ++i) {
     if (i == victim) continue;
-    cluster[i].engine->post([&, i] { cluster[i].svc.reset(); });
+    cluster[i].engine->post([&, i] {
+      obs::export_service_stats(cluster[i].metrics, *cluster[i].svc);
+      cluster[i].svc.reset();
+    });
     cluster[i].engine->drain(msec(50));
     cluster[i].transport.reset();
     cluster[i].engine->stop();
   }
+
+  // One survivor's observability, post-mortem: the Prometheus exposition
+  // and the tail of the structured trace.
+  const std::size_t witness = victim == 0 ? 1 : 0;
+  std::cout << "\n-- node " << witness << " /metrics snapshot:\n"
+            << obs::render_prometheus(cluster[witness].metrics);
+  auto events = cluster[witness].trace.events();
+  const std::size_t tail = events.size() > 8 ? events.size() - 8 : 0;
+  std::cout << "\n-- node " << witness << " trace (last "
+            << (events.size() - tail) << " of " << events.size()
+            << " events, JSONL):\n"
+            << obs::render_jsonl(
+                   std::span<const obs::trace_event>(events).subspan(tail));
 
   std::cout << (healed ? "-- re-election over real UDP succeeded\n"
                        : "-- FAILED to re-elect\n");

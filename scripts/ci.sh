@@ -31,6 +31,10 @@ OMEGA_BENCH_HOURS="${OMEGA_BENCH_HOURS:-0.2}" ./build/fig12_roster_scope
 # pass/fail exit code: run it as part of the smoke set.
 ./build/example_hierarchical_election > /dev/null
 
+# Metrics-exposition smoke: render the Prometheus text format from a live
+# registry and re-parse it, plus a traced experiment's JSONL dump.
+./build/obs_smoke
+
 # Every emitted bench artifact must be parseable JSON: the figures are
 # consumed by tooling, so a truncated or malformed write fails here, not
 # downstream.
@@ -42,9 +46,14 @@ if command -v python3 > /dev/null; then
     echo "ci.sh: $f parses"
   done
   # Roster scoping must beat cluster-wide HELLO on total wire traffic at
-  # every 300+ roster of the 3-tier sweep.
+  # every 300+ roster of the 3-tier sweep; the observability plane must not
+  # perturb the protocol (msgs/s within 3% of the pre-instrumentation
+  # baseline on the stock smoke setting) and must attribute >= 95% of every
+  # measured re-election interval to a named phase.
+  OMEGA_BENCH_HOURS="${OMEGA_BENCH_HOURS:-0.2}" \
+  OMEGA_BENCH_SEED="${OMEGA_BENCH_SEED:-42}" \
   python3 - <<'PY'
-import json, sys
+import json, os, sys
 with open("BENCH_roster.json") as fh:
     data = json.load(fh)
 failed = False
@@ -61,6 +70,45 @@ for row in data["rosters"]:
         print(f"ci.sh: roster scoping at {row['nodes']} nodes: "
               f"{scoped:.0f} vs {cluster:.0f} msgs/s "
               f"({cluster / max(scoped, 1e-9):.1f}x)")
+
+# Instrumentation-overhead gate: the simulator is deterministic, so on the
+# stock smoke setting (0.2 h window, seed 42) the 120-node scoped3 traffic
+# must match the value measured before the observability hooks landed. A
+# drift beyond 3% means an instrumentation site changed protocol behaviour.
+BASELINE_120_SCOPED3 = 6264.6  # msgs/s, pre-observability, hours=0.2 seed=42
+if (os.environ.get("OMEGA_BENCH_HOURS") == "0.2"
+        and os.environ.get("OMEGA_BENCH_SEED") == "42"):
+    row120 = next((r for r in data["rosters"] if r["nodes"] == 120), None)
+    if row120 is None:
+        print("ci.sh: no 120-node row in BENCH_roster.json", file=sys.stderr)
+        failed = True
+    else:
+        got = row120["scoped3"]["messages_per_s"]
+        drift = abs(got - BASELINE_120_SCOPED3) / BASELINE_120_SCOPED3
+        if drift > 0.03:
+            print(f"ci.sh: instrumentation overhead gate: 120-node scoped3 "
+                  f"{got:.1f} msgs/s drifts {drift * 100:.1f}% from the "
+                  f"pre-instrumentation baseline {BASELINE_120_SCOPED3}",
+                  file=sys.stderr)
+            failed = True
+        else:
+            print(f"ci.sh: overhead gate: {got:.1f} msgs/s vs baseline "
+                  f"{BASELINE_120_SCOPED3} ({drift * 100:.2f}% drift)")
+else:
+    print("ci.sh: non-stock bench window/seed, skipping the overhead gate")
+
+# Forensics gate: every cell that measured re-elections must attribute at
+# least 95% of the mean outage window to detection/dissemination/election.
+for row in data["rosters"]:
+    for cell in ("cluster3", "scoped3", "two_tier"):
+        c = row[cell]
+        if c["reelection_samples"] == 0:
+            continue
+        frac = c["latency_budget"]["attributed_fraction_mean"]
+        if frac < 0.95:
+            print(f"ci.sh: forensics attributed only {frac * 100:.1f}% of "
+                  f"the outage at {row['nodes']}/{cell}", file=sys.stderr)
+            failed = True
 sys.exit(1 if failed else 0)
 PY
 else

@@ -131,6 +131,14 @@ void engine::tick() {
     // covers peers whose own window is not (yet) confident.
     if (auto params = rt->evaluate(binding, now)) {
       fd_.set_params_override(group, *params);
+      if (sink_) {
+        obs::trace_event ev;
+        ev.kind = obs::event_kind::retune;
+        ev.at = now;
+        ev.group = group;
+        ev.value = to_seconds(params->eta);
+        sink_->record(ev);
+      }
     }
     // Per-link refinements from each peer's own tracked window.
     for (const auto& [peer, est] : peers) {
@@ -145,6 +153,15 @@ void engine::tick() {
       }
       if (auto params = rt->evaluate_peer(peer, *est, now)) {
         fd_.set_params_override(group, peer, *params);
+        if (sink_) {
+          obs::trace_event ev;
+          ev.kind = obs::event_kind::retune;
+          ev.at = now;
+          ev.group = group;
+          ev.peer = peer;  // per-link refinement (unset peer = group default)
+          ev.value = to_seconds(params->eta);
+          sink_->record(ev);
+        }
       }
     }
   }

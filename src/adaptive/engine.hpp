@@ -41,6 +41,7 @@
 #include "common/executor.hpp"
 #include "common/ids.hpp"
 #include "fd/fd_manager.hpp"
+#include "obs/sink.hpp"
 #include "proto/wire.hpp"
 
 namespace omega::adaptive {
@@ -78,6 +79,10 @@ class engine {
 
   void start();
   void stop();
+
+  /// Attaches the observability sink; adopted operating points emit retune
+  /// trace events. Null disables.
+  void set_sink(obs::sink* sink) { sink_ = sink; }
 
   /// Registers a group whose operating-point plan this engine manages;
   /// `cls` is the group's QoS class (objective of its retuner).
@@ -132,6 +137,7 @@ class engine {
   stability_scorer scorer_;
   std::unordered_map<group_id, std::unique_ptr<retuner>> retuners_;
   scoped_timer tick_timer_;
+  obs::sink* sink_ = nullptr;
   bool running_ = false;
 };
 

@@ -28,6 +28,7 @@
 #include "common/executor.hpp"
 #include "common/ids.hpp"
 #include "membership/member_table.hpp"
+#include "obs/sink.hpp"
 #include "proto/wire.hpp"
 
 namespace omega::election {
@@ -64,6 +65,10 @@ struct elector_context {
   /// stability ranking. Null when the feature is off — electors must
   /// behave exactly as the paper specifies in that case.
   std::function<double(process_id)> stability_score;
+  /// Observability sink of the hosting instance; electors trace algorithm
+  /// state transitions (omega_l competition entry/withdrawal) through it.
+  /// Null (default) disables tracing.
+  obs::sink* sink = nullptr;
 };
 
 class elector {

@@ -99,8 +99,10 @@ std::optional<process_id> omega_l::evaluate() {
   if (now_competing && !competing_) {
     competing_ = true;
     ++phase_;  // new competition epoch: accusations from the silence are stale
+    note_competition(true);
   } else if (!now_competing && competing_) {
     competing_ = false;
+    note_competition(false);
   }
 
   if (!best) return std::nullopt;
@@ -117,9 +119,24 @@ void omega_l::set_candidate(bool candidate) {
     self_acc_ = ctx_.clock ? ctx_.clock->now() : time_point{};
     competing_ = true;
     ++phase_;
+    note_competition(true);
   } else {
+    const bool was = competing_;
     competing_ = false;  // the service's reevaluate sends the withdrawal
+    if (was) note_competition(false);
   }
+}
+
+void omega_l::note_competition(bool entered) {
+  if (!ctx_.sink) return;
+  obs::trace_event ev;
+  ev.kind = entered ? obs::event_kind::competition_enter
+                    : obs::event_kind::competition_withdraw;
+  ev.at = ctx_.clock ? ctx_.clock->now() : time_point{};
+  ev.group = ctx_.group;
+  ev.subject = ctx_.self_pid;
+  ev.value = static_cast<double>(phase_);
+  ctx_.sink->record(ev);
 }
 
 void omega_l::fill_payload(proto::group_payload& payload) {

@@ -80,6 +80,8 @@ class omega_l final : public elector {
     }
   };
 
+  void note_competition(bool entered);
+
   options opts_;
   time_point self_acc_{};
   std::uint32_t phase_ = 0;

@@ -105,6 +105,26 @@ heartbeat_monitor& fd_manager::ensure_monitor(group_id group, node_id remote,
     }();
     auto monitor = std::make_unique<heartbeat_monitor>(
         clock_, timers_, params.delta, [this, group, remote](bool trusted) {
+          if (sink_) {
+            obs::trace_event ev;
+            ev.kind = trusted ? obs::event_kind::suspicion_cleared
+                              : obs::event_kind::suspicion_raised;
+            ev.at = clock_.now();
+            ev.group = group;
+            ev.peer = remote;
+            if (!trusted) {
+              // Staleness of the suspect's evidence: how long since its
+              // last heartbeat (the forensics detection phase reads this).
+              if (auto rit = remotes_.find(remote); rit != remotes_.end()) {
+                auto mit = rit->second->monitors.find(group);
+                if (mit != rit->second->monitors.end()) {
+                  ev.value =
+                      to_seconds(ev.at - mit->second->last_heartbeat());
+                }
+              }
+            }
+            sink_->record(ev);
+          }
           if (on_transition_) on_transition_(group, remote, trusted);
         });
     it = state.monitors.emplace(group, std::move(monitor)).first;

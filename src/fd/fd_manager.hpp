@@ -27,6 +27,7 @@
 #include "fd/link_quality_estimator.hpp"
 #include "fd/param_plan.hpp"
 #include "fd/qos.hpp"
+#include "obs/sink.hpp"
 #include "proto/wire.hpp"
 
 namespace omega::fd {
@@ -68,6 +69,9 @@ class fd_manager {
   void set_transition_handler(transition_handler handler);
   void set_rate_request_fn(rate_request_fn fn);
   void set_link_observer(link_observer observer);
+  /// Attaches the observability sink; trust/suspect edges emit
+  /// suspicion_raised / suspicion_cleared trace events. Null disables.
+  void set_sink(obs::sink* sink) { sink_ = sink; }
 
   /// Registers a local group and the FD QoS its members require.
   void add_group(group_id group, const qos_spec& qos);
@@ -169,6 +173,7 @@ class fd_manager {
   transition_handler on_transition_;
   rate_request_fn send_rate_request_;
   link_observer on_link_sample_;
+  obs::sink* sink_ = nullptr;
   std::unordered_map<group_id, qos_spec> groups_;
   std::unordered_map<group_id, param_plan> plans_;
   std::unordered_map<node_id, std::unique_ptr<remote_state>> remotes_;

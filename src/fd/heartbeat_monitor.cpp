@@ -14,6 +14,7 @@ heartbeat_monitor::heartbeat_monitor(clock_source& clock, timer_service& timers,
 
 void heartbeat_monitor::on_heartbeat(time_point send_time, duration sender_eta) {
   ever_heard_ = true;
+  last_heartbeat_ = clock_.now();
   const time_point fresh_until = send_time + sender_eta + delta_;
   if (fresh_until <= deadline_ && trusted_) return;  // stale / reordered
   if (fresh_until <= clock_.now()) return;           // already expired in flight

@@ -36,6 +36,9 @@ class heartbeat_monitor {
   [[nodiscard]] bool trusted() const { return trusted_; }
   /// Time the current freshness expires (meaningful while trusted).
   [[nodiscard]] time_point deadline() const { return deadline_; }
+  /// Local receipt time of the most recent heartbeat (even stale ones —
+  /// any heartbeat is evidence of life). Origin if never heard.
+  [[nodiscard]] time_point last_heartbeat() const { return last_heartbeat_; }
 
  private:
   void arm();
@@ -48,6 +51,7 @@ class heartbeat_monitor {
   bool trusted_ = false;
   bool ever_heard_ = false;
   time_point deadline_{};
+  time_point last_heartbeat_{};
 };
 
 }  // namespace omega::fd

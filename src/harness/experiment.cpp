@@ -1,7 +1,10 @@
 #include "harness/experiment.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 #include <utility>
+
+#include "obs/service_export.hpp"
 
 namespace omega::harness {
 
@@ -75,6 +78,13 @@ experiment::experiment(scenario sc) : sc_(std::move(sc)), root_rng_(sc_.seed) {
     });
   }
 
+  if (sc_.trace) {
+    obs_.reserve(sc_.nodes);
+    for (std::size_t i = 0; i < sc_.nodes; ++i) {
+      obs_.push_back(std::make_unique<node_obs>(sc_.trace_capacity));
+    }
+  }
+
   nodes_.reserve(sc_.nodes);
   rng stagger = root_rng_.split();
   for (std::size_t i = 0; i < sc_.nodes; ++i) {
@@ -121,6 +131,7 @@ void experiment::start_service(workstation& ws) {
   for (const auto& other : nodes_) cfg.roster.push_back(other.node);
   cfg.alg = sc_.alg;
   cfg.adaptive = sc_.adaptive;
+  if (!obs_.empty()) cfg.sink = &obs_[ws.node.value()]->sink;
   ws.svc = std::make_unique<service::leader_election_service>(
       sim_, sim_, net_->endpoint(ws.node), cfg);
 
@@ -176,6 +187,11 @@ void experiment::crash_node(node_id node) {
   ws.up = false;
   dead_alive_sent_ += ws.svc->stats().alive_sent;
   if (auto* eng = ws.svc->adaptation()) dead_retunes_ += eng->total_retunes();
+  // Final snapshot export before the instance dies: advance_to keeps the
+  // node's counter series monotone across the incarnation boundary.
+  if (!obs_.empty()) {
+    obs::export_service_stats(obs_[node.value()]->metrics, *ws.svc);
+  }
   ws.coord.reset();  // no shutdown(): a crash sends no goodbyes
   ws.svc.reset();    // destroys all state; no goodbye messages
   net_->set_node_alive(ws.node, false);
@@ -205,6 +221,47 @@ void experiment::schedule_recovery(workstation& ws) {
     recover_node(ws.node);
     schedule_crash(ws);
   });
+}
+
+obs::registry* experiment::node_registry(node_id node) {
+  return obs_.empty() ? nullptr : &obs_.at(node.value())->metrics;
+}
+
+obs::ring_recorder* experiment::node_trace(node_id node) {
+  return obs_.empty() ? nullptr : &obs_.at(node.value())->trace;
+}
+
+std::vector<obs::trace_event> experiment::merged_trace() const {
+  std::vector<obs::trace_event> merged;
+  for (const auto& o : obs_) {
+    const auto events = o->trace.events();
+    merged.insert(merged.end(), events.begin(), events.end());
+  }
+  std::sort(merged.begin(), merged.end(),
+            [](const obs::trace_event& a, const obs::trace_event& b) {
+              if (a.at != b.at) return a.at < b.at;
+              if (a.node != b.node) return a.node < b.node;
+              return a.seq < b.seq;
+            });
+  return merged;
+}
+
+void experiment::export_metrics() {
+  if (obs_.empty()) return;
+  for (const auto& ws : nodes_) {
+    if (ws.svc) {
+      obs::export_service_stats(obs_[ws.node.value()]->metrics, *ws.svc);
+    }
+  }
+}
+
+obs::outage_budget experiment::attribute_outage(
+    node_id victim, time_point start, time_point end,
+    std::optional<process_id> resolved_leader) const {
+  const auto merged = merged_trace();
+  // The harness runs pid i on node i.
+  return obs::attribute_outage(merged, victim, process_id{victim.value()},
+                               start, end, resolved_leader);
 }
 
 std::uint64_t experiment::total_alive_sent() const {
@@ -252,6 +309,7 @@ experiment_result experiment::run() {
   sim_.run_until(time_origin + sc_.warmup + sc_.measured);
   metrics_.finish(sim_.now());
   if (hier_metrics_) hier_metrics_->finish(sim_.now());
+  export_metrics();  // end-of-window snapshot for exposition
 
   experiment_result res;
   res.p_leader = metrics_.leader_availability();

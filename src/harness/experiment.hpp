@@ -15,6 +15,8 @@
 #include "metrics/group_metrics.hpp"
 #include "metrics/hierarchy_metrics.hpp"
 #include "net/sim_network.hpp"
+#include "obs/forensics.hpp"
+#include "obs/sink.hpp"
 #include "service/service.hpp"
 #include "sim/simulator.hpp"
 
@@ -109,6 +111,28 @@ class experiment {
   /// Adaptation-engine adoptions so far, dead incarnations included.
   [[nodiscard]] std::uint64_t total_retunes() const;
 
+  // ---- observability (scenario::trace) -----------------------------------
+  // Each node owns one registry + ring recorder for the whole run: they
+  // survive crash/recovery cycles of the instrumented service, so exported
+  // counters stay monotone and the trace spans incarnations.
+
+  /// The node's metrics registry, or nullptr when tracing is off.
+  [[nodiscard]] obs::registry* node_registry(node_id node);
+  /// The node's trace ring, or nullptr when tracing is off.
+  [[nodiscard]] obs::ring_recorder* node_trace(node_id node);
+  /// All nodes' trace events merged into one timeline (time, node, seq
+  /// order). Empty when tracing is off.
+  [[nodiscard]] std::vector<obs::trace_event> merged_trace() const;
+  /// Re-exports every live instance's service_stats into its registry
+  /// (crashes export automatically before the instance dies).
+  void export_metrics();
+  /// Forensics over the merged trace: attributes the outage of `victim`'s
+  /// leadership over [start, end] (see obs::attribute_outage; the harness
+  /// runs pid i on node i).
+  [[nodiscard]] obs::outage_budget attribute_outage(
+      node_id victim, time_point start, time_point end,
+      std::optional<process_id> resolved_leader = std::nullopt) const;
+
  private:
   struct workstation {
     node_id node;
@@ -129,11 +153,22 @@ class experiment {
   void schedule_crash(workstation& ws);
   void schedule_recovery(workstation& ws);
 
+  /// Per-node observability plane (scenario::trace). Declared before
+  /// `nodes_` so the sinks outlive the service instances pointing at them.
+  struct node_obs {
+    obs::registry metrics;
+    obs::ring_recorder trace;
+    obs::sink sink;
+    explicit node_obs(std::size_t capacity)
+        : trace(capacity), sink(&metrics, &trace) {}
+  };
+
   scenario sc_;
   rng root_rng_;
   sim::simulator sim_;
   std::unique_ptr<net::sim_network> net_;
   std::optional<hierarchy::topology> topo_;
+  std::vector<std::unique_ptr<node_obs>> obs_;
   std::vector<workstation> nodes_;
   metrics::group_metrics metrics_;
   /// Per-region trackers + cross-tier blame split (hierarchy scenarios).

@@ -134,6 +134,13 @@ struct scenario {
   /// Hierarchical (two-tier) election instead of the single flat group.
   hierarchy_profile hierarchy = hierarchy_profile::none();
 
+  /// Attach a per-node observability sink (metrics registry + bounded
+  /// trace ring) to every service instance. Off by default: the un-traced
+  /// run is the overhead baseline the CI gate protects.
+  bool trace = false;
+  /// Ring capacity (events retained per node) when `trace` is on.
+  std::size_t trace_capacity = 2048;
+
   /// Simulated measurement window (after warm-up).
   duration measured = std::chrono::duration_cast<duration>(std::chrono::hours(2));
   /// Warm-up before metrics/traffic accounting starts (FD estimator

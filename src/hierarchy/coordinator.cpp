@@ -23,6 +23,15 @@ hierarchy_coordinator::hierarchy_coordinator(
   if (opts_.scoped_hello) {
     svc_.set_hello_fanout(membership::hello_fanout::roster);
   }
+  // Annotate the whole group chain with tier numbers before any join can
+  // emit a trace event, so every recorded event of a hierarchical group
+  // carries its tier.
+  if (obs::sink* sink = svc_.observability()) {
+    for (std::size_t tier = 0; tier < topo_.tiers(); ++tier) {
+      sink->set_tier(topo_.group_at(svc_.self(), tier),
+                     static_cast<std::int32_t>(tier));
+    }
+  }
   // Join upper tiers first (as listeners), the region group last: the very
   // first region evaluation can already elect this node (a one-node region,
   // or the first joiner), and the promotion path requires the tier-1 group
@@ -95,6 +104,14 @@ void hierarchy_coordinator::set_candidacy(std::size_t tier, bool want) {
     ++promotions_;
   } else {
     ++demotions_;
+  }
+  if (obs::sink* sink = svc_.observability()) {
+    obs::trace_event ev;
+    ev.kind = want ? obs::event_kind::promotion : obs::event_kind::demotion;
+    ev.at = svc_.clock().now();
+    ev.group = topo_.group_at(svc_.self(), tier);
+    ev.subject = pid_;
+    sink->record(ev);
   }
   // In-place flip: the elector keeps its learned state and current leader
   // view, and a promotion still resets our accusation time to "now" — the

@@ -109,6 +109,7 @@ void group_maintenance::local_leave(group_id group, process_id pid) {
   std::vector<node_id> scoped_dsts;
   if (scoped_mode()) scoped_dsts = group_roster(group);
   if (auto removed = it->second.table.remove(pid, inc_)) {
+    note_membership(obs::event_kind::member_leave, group, pid, self_);
     if (events_.on_member_removed) events_.on_member_removed(group, *removed);
   }
   const proto::leave_msg leave{self_, inc_, group, pid};
@@ -124,6 +125,18 @@ void group_maintenance::local_leave(group_id group, process_id pid) {
   }
 }
 
+void group_maintenance::note_membership(obs::event_kind kind, group_id group,
+                                        process_id pid, node_id node) {
+  if (!sink_) return;
+  obs::trace_event ev;
+  ev.kind = kind;
+  ev.at = clock_.now();
+  ev.group = group;
+  ev.subject = pid;
+  ev.peer = node;
+  sink_->record(ev);
+}
+
 void group_maintenance::apply_upsert(group_id group, process_id pid, node_id node,
                                      incarnation inc, bool candidate,
                                      time_point now) {
@@ -134,9 +147,11 @@ void group_maintenance::apply_upsert(group_id group, process_id pid, node_id nod
   const member_info prior = before ? *before : member_info{};
   switch (table.upsert(pid, node, inc, candidate, now)) {
     case upsert_result::joined:
+      note_membership(obs::event_kind::member_join, group, pid, node);
       if (events_.on_member_joined) events_.on_member_joined(group, *table.find(pid));
       break;
     case upsert_result::reincarnated:
+      note_membership(obs::event_kind::member_join, group, pid, node);
       if (events_.on_member_removed) events_.on_member_removed(group, prior);
       if (events_.on_member_reincarnated) {
         events_.on_member_reincarnated(group, *table.find(pid));
@@ -176,6 +191,7 @@ void group_maintenance::on_leave(const proto::leave_msg& msg) {
   auto it = groups_.find(msg.group);
   if (it == groups_.end()) return;
   if (auto removed = it->second.table.remove(msg.pid, msg.inc)) {
+    note_membership(obs::event_kind::member_leave, msg.group, msg.pid, msg.from);
     if (events_.on_member_removed) events_.on_member_removed(msg.group, *removed);
   }
 }
@@ -216,6 +232,7 @@ void group_maintenance::sweep() {
           return vouch_ ? vouch_(g, m) : false;
         });
     for (const member_info& m : evicted) {
+      note_membership(obs::event_kind::member_evicted, g, m.pid, m.node);
       if (events_.on_member_removed) events_.on_member_removed(g, m);
     }
   }

@@ -26,6 +26,7 @@
 #include "common/executor.hpp"
 #include "common/ids.hpp"
 #include "membership/member_table.hpp"
+#include "obs/sink.hpp"
 #include "proto/wire.hpp"
 
 namespace omega::membership {
@@ -108,6 +109,9 @@ class group_maintenance {
   void set_multicast(multicast_fn fn) { multicast_ = std::move(fn); }
   void set_vouch(vouch_fn fn) { vouch_ = std::move(fn); }
   void set_events(events ev) { events_ = std::move(ev); }
+  /// Attaches the observability sink; membership churn (join, leave,
+  /// eviction) emits trace events. Null disables.
+  void set_sink(obs::sink* sink) { sink_ = sink; }
 
   /// Installation roster used by the `roster`-mode discovery probes. Without
   /// it (or without a multicast hook) the module falls back to `all`.
@@ -186,6 +190,8 @@ class group_maintenance {
       const proto::hello_msg* request) const;
   void apply_upsert(group_id group, process_id pid, node_id node, incarnation inc,
                     bool candidate, time_point now);
+  void note_membership(obs::event_kind kind, group_id group, process_id pid,
+                       node_id node);
 
   clock_source& clock_;
   scoped_timer sweep_timer_;
@@ -197,6 +203,7 @@ class group_maintenance {
   multicast_fn multicast_;
   vouch_fn vouch_;
   events events_;
+  obs::sink* sink_ = nullptr;
   std::unordered_map<group_id, group_state> groups_;
   std::vector<node_id> cluster_roster_;
   std::size_t probe_cursor_ = 0;  // round-robin position in cluster_roster_

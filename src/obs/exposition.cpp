@@ -1,0 +1,278 @@
+#include "obs/exposition.hpp"
+
+#include <cinttypes>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <limits>
+
+#include "common/time.hpp"
+
+namespace omega::obs {
+
+namespace {
+
+// Prometheus label-value escaping: backslash, double quote, newline.
+void append_escaped(std::string& out, std::string_view v) {
+  for (char c : v) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '"': out += "\\\""; break;
+      case '\n': out += "\\n"; break;
+      default: out += c;
+    }
+  }
+}
+
+void append_labels(std::string& out, const label_set& labels) {
+  if (labels.empty()) return;
+  out += '{';
+  bool first = true;
+  for (const auto& [k, v] : labels) {
+    if (!first) out += ',';
+    first = false;
+    out += k;
+    out += "=\"";
+    append_escaped(out, v);
+    out += '"';
+  }
+  out += '}';
+}
+
+// Labels plus one extra pair (for histogram `le`), keeping render order
+// stable: the extra pair goes last, matching common exporter output.
+void append_labels_with(std::string& out, const label_set& labels,
+                        std::string_view key, std::string_view value) {
+  out += '{';
+  for (const auto& [k, v] : labels) {
+    out += k;
+    out += "=\"";
+    append_escaped(out, v);
+    out += "\",";
+  }
+  out += key;
+  out += "=\"";
+  append_escaped(out, value);
+  out += "\"}";
+}
+
+void append_double(std::string& out, double v) {
+  if (std::isinf(v)) {
+    out += v > 0 ? "+Inf" : "-Inf";
+    return;
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.15g", v);
+  out += buf;
+}
+
+void append_u64(std::string& out, std::uint64_t v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%" PRIu64, v);
+  out += buf;
+}
+
+std::string le_string(double bound) {
+  std::string s;
+  append_double(s, bound);
+  return s;
+}
+
+}  // namespace
+
+std::string render_prometheus(const registry& reg) {
+  std::string out;
+  for (const auto& [name, fam] : reg.families()) {
+    out += "# TYPE ";
+    out += name;
+    out += ' ';
+    out += to_string(fam.type);
+    out += '\n';
+    for (const auto& s : fam.entries) {
+      switch (fam.type) {
+        case metric_type::counter: {
+          out += name;
+          append_labels(out, s->labels);
+          out += ' ';
+          append_u64(out, s->c ? s->c->value() : 0);
+          out += '\n';
+          break;
+        }
+        case metric_type::gauge: {
+          out += name;
+          append_labels(out, s->labels);
+          out += ' ';
+          append_double(out, s->g ? s->g->value() : 0.0);
+          out += '\n';
+          break;
+        }
+        case metric_type::histogram: {
+          if (!s->h) break;
+          const auto& bounds = s->h->bounds();
+          std::uint64_t cumulative = 0;
+          for (std::size_t i = 0; i < bounds.size(); ++i) {
+            cumulative += s->h->bucket_count(i);
+            out += name;
+            out += "_bucket";
+            append_labels_with(out, s->labels, "le", le_string(bounds[i]));
+            out += ' ';
+            append_u64(out, cumulative);
+            out += '\n';
+          }
+          cumulative += s->h->bucket_count(bounds.size());
+          out += name;
+          out += "_bucket";
+          append_labels_with(out, s->labels, "le", "+Inf");
+          out += ' ';
+          append_u64(out, cumulative);
+          out += '\n';
+          out += name;
+          out += "_sum";
+          append_labels(out, s->labels);
+          out += ' ';
+          append_double(out, s->h->sum());
+          out += '\n';
+          out += name;
+          out += "_count";
+          append_labels(out, s->labels);
+          out += ' ';
+          append_u64(out, s->h->count());
+          out += '\n';
+          break;
+        }
+      }
+    }
+  }
+  return out;
+}
+
+namespace {
+
+// --- minimal parser of the dialect render_prometheus emits ---------------
+
+bool parse_line(std::string_view line, parsed_sample& out) {
+  std::size_t i = 0;
+  const std::size_t n = line.size();
+  auto name_char = [](char c) {
+    return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+           (c >= '0' && c <= '9') || c == '_' || c == ':';
+  };
+  std::size_t name_end = i;
+  while (name_end < n && name_char(line[name_end])) ++name_end;
+  if (name_end == i) return false;
+  out.name.assign(line.substr(i, name_end - i));
+  i = name_end;
+  out.labels.clear();
+  if (i < n && line[i] == '{') {
+    ++i;
+    while (i < n && line[i] != '}') {
+      std::size_t key_end = i;
+      while (key_end < n && name_char(line[key_end])) ++key_end;
+      if (key_end == i || key_end >= n || line[key_end] != '=') return false;
+      std::string key(line.substr(i, key_end - i));
+      i = key_end + 1;
+      if (i >= n || line[i] != '"') return false;
+      ++i;
+      std::string value;
+      while (i < n && line[i] != '"') {
+        if (line[i] == '\\') {
+          if (i + 1 >= n) return false;
+          char next = line[i + 1];
+          if (next == '\\') value += '\\';
+          else if (next == '"') value += '"';
+          else if (next == 'n') value += '\n';
+          else return false;
+          i += 2;
+        } else {
+          value += line[i++];
+        }
+      }
+      if (i >= n) return false;  // unterminated quote
+      ++i;                       // closing quote
+      out.labels.emplace_back(std::move(key), std::move(value));
+      if (i < n && line[i] == ',') ++i;
+    }
+    if (i >= n || line[i] != '}') return false;
+    ++i;
+  }
+  if (i >= n || line[i] != ' ') return false;
+  ++i;
+  std::string_view value_sv = line.substr(i);
+  if (value_sv.empty()) return false;
+  if (value_sv == "+Inf") {
+    out.value = std::numeric_limits<double>::infinity();
+    return true;
+  }
+  if (value_sv == "-Inf") {
+    out.value = -std::numeric_limits<double>::infinity();
+    return true;
+  }
+  std::string value_str(value_sv);
+  char* end = nullptr;
+  out.value = std::strtod(value_str.c_str(), &end);
+  return end == value_str.c_str() + value_str.size();
+}
+
+}  // namespace
+
+std::optional<std::vector<parsed_sample>> parse_prometheus(
+    std::string_view text) {
+  std::vector<parsed_sample> samples;
+  while (!text.empty()) {
+    std::size_t eol = text.find('\n');
+    std::string_view line =
+        eol == std::string_view::npos ? text : text.substr(0, eol);
+    text = eol == std::string_view::npos ? std::string_view{}
+                                         : text.substr(eol + 1);
+    if (line.empty()) continue;
+    if (line[0] == '#') continue;  // TYPE / HELP / comment lines
+    parsed_sample s;
+    if (!parse_line(line, s)) return std::nullopt;
+    samples.push_back(std::move(s));
+  }
+  return samples;
+}
+
+namespace {
+
+void append_json_id(std::string& out, bool valid, std::uint64_t v) {
+  if (!valid) {
+    out += "null";
+  } else {
+    append_u64(out, v);
+  }
+}
+
+}  // namespace
+
+std::string render_jsonl(std::span<const trace_event> events) {
+  std::string out;
+  for (const trace_event& ev : events) {
+    out += "{\"seq\":";
+    append_u64(out, ev.seq);
+    out += ",\"t\":";
+    append_double(out, to_seconds(ev.at));
+    out += ",\"kind\":\"";
+    out += to_string(ev.kind);
+    out += "\",\"node\":";
+    append_json_id(out, ev.node.valid(), ev.node.value());
+    out += ",\"group\":";
+    append_json_id(out, ev.group.valid(), ev.group.value());
+    out += ",\"tier\":";
+    if (ev.tier < 0) {
+      out += "null";
+    } else {
+      append_u64(out, static_cast<std::uint64_t>(ev.tier));
+    }
+    out += ",\"subject\":";
+    append_json_id(out, ev.subject.valid(), ev.subject.value());
+    out += ",\"peer\":";
+    append_json_id(out, ev.peer.valid(), ev.peer.value());
+    out += ",\"value\":";
+    append_double(out, ev.value);
+    out += "}\n";
+  }
+  return out;
+}
+
+}  // namespace omega::obs

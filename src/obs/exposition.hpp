@@ -1,0 +1,45 @@
+// Exposition formats of the observability plane (DESIGN.md §7).
+//
+//   * `render_prometheus` — the Prometheus text format, version 0.0.4: one
+//     `# TYPE` line per family, escaped label values, histograms in the
+//     cumulative `_bucket{le=...}` / `_sum` / `_count` shape scrapers
+//     expect. `examples/udp_live.cpp` serves this for real deployments;
+//     the harness dumps it at the end of sim runs.
+//   * `parse_prometheus` — a minimal re-parser of the same dialect, used by
+//     the CI exposition smoke (render → re-parse → compare) and the tests.
+//     It understands exactly what `render_prometheus` emits; it is not a
+//     general scraper.
+//   * `render_jsonl` — one JSON object per trace event, for offline
+//     forensics tooling (jq, pandas, ...).
+#pragma once
+
+#include <optional>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace omega::obs {
+
+[[nodiscard]] std::string render_prometheus(const registry& reg);
+
+/// One sample line of the text format, after unescaping.
+struct parsed_sample {
+  std::string name;
+  label_set labels;
+  double value = 0.0;
+};
+
+/// Parses the output of `render_prometheus`. Returns nullopt on any
+/// malformed line (the CI smoke treats that as a render bug).
+[[nodiscard]] std::optional<std::vector<parsed_sample>> parse_prometheus(
+    std::string_view text);
+
+/// One JSON object per event, newline-terminated. Times in fractional
+/// seconds on the virtual timeline; invalid ids rendered as null.
+[[nodiscard]] std::string render_jsonl(std::span<const trace_event> events);
+
+}  // namespace omega::obs

@@ -1,0 +1,82 @@
+#include "obs/forensics.hpp"
+
+#include <algorithm>
+
+namespace omega::obs {
+
+namespace {
+
+bool about_victim(const trace_event& ev, node_id victim_node,
+                  process_id victim_pid) {
+  switch (ev.kind) {
+    case event_kind::suspicion_raised:
+      return ev.peer == victim_node;
+    case event_kind::accusation_sent:
+    case event_kind::accusation_received:
+      return ev.subject == victim_pid || ev.peer == victim_node;
+    case event_kind::member_evicted:
+      return ev.subject == victim_pid;
+    default:
+      return false;
+  }
+}
+
+bool is_engagement(const trace_event& ev, node_id victim_node,
+                   process_id victim_pid,
+                   const std::optional<process_id>& resolved_leader) {
+  if (ev.node == victim_node) return false;  // the corpse does not campaign
+  switch (ev.kind) {
+    case event_kind::promotion:
+      return true;
+    case event_kind::candidacy_flip:
+      return ev.value > 0.5;  // flipping *into* candidacy
+    case event_kind::competition_enter:
+      return ev.subject != victim_pid;
+    case event_kind::leader_change:
+      // A survivor locally electing a live replacement engages the race;
+      // electing the (stale) victim or going leaderless does not.
+      if (!ev.subject.valid() || ev.subject == victim_pid) return false;
+      return !resolved_leader || ev.subject == *resolved_leader;
+    default:
+      return false;
+  }
+}
+
+}  // namespace
+
+outage_budget attribute_outage(std::span<const trace_event> events,
+                               node_id victim_node, process_id victim_pid,
+                               time_point start, time_point end,
+                               std::optional<process_id> resolved_leader) {
+  outage_budget b;
+  b.victim = victim_node;
+  b.start = start;
+  b.end = end;
+  if (end <= start) return b;
+
+  // Earliest detection of the victim anywhere in the window.
+  std::optional<time_point> t_detect;
+  for (const trace_event& ev : events) {
+    if (ev.at <= start || ev.at > end) continue;
+    if (!about_victim(ev, victim_node, victim_pid)) continue;
+    if (!t_detect || ev.at < *t_detect) t_detect = ev.at;
+  }
+  if (!t_detect) return b;
+  b.saw_detection = true;
+  b.detection_s = to_seconds(*t_detect - start);
+
+  // Earliest election engagement by a survivor at or after detection.
+  std::optional<time_point> t_engage;
+  for (const trace_event& ev : events) {
+    if (ev.at < *t_detect || ev.at > end) continue;
+    if (!is_engagement(ev, victim_node, victim_pid, resolved_leader)) continue;
+    if (!t_engage || ev.at < *t_engage) t_engage = ev.at;
+  }
+  if (!t_engage) return b;
+  b.saw_engagement = true;
+  b.dissemination_s = to_seconds(*t_engage - *t_detect);
+  b.election_s = to_seconds(end - *t_engage);
+  return b;
+}
+
+}  // namespace omega::obs

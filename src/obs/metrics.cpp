@@ -1,0 +1,76 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace omega::obs {
+
+std::string_view to_string(metric_type type) {
+  switch (type) {
+    case metric_type::counter: return "counter";
+    case metric_type::gauge: return "gauge";
+    case metric_type::histogram: return "histogram";
+  }
+  return "unknown";
+}
+
+histogram::histogram(std::vector<double> bounds) : bounds_(std::move(bounds)) {
+  std::sort(bounds_.begin(), bounds_.end());
+  bounds_.erase(std::unique(bounds_.begin(), bounds_.end()), bounds_.end());
+  counts_.assign(bounds_.size() + 1, 0);
+}
+
+void histogram::observe(double v) {
+  std::size_t i = 0;
+  while (i < bounds_.size() && v > bounds_[i]) ++i;
+  ++counts_[i];
+  ++count_;
+  sum_ += v;
+}
+
+registry::series& registry::get_series(std::string_view name, metric_type type,
+                                       label_set labels) {
+  std::sort(labels.begin(), labels.end());
+  auto fit = families_.find(name);
+  if (fit == families_.end()) {
+    fit = families_.emplace(std::string(name), family{type, {}}).first;
+  } else if (fit->second.type != type) {
+    throw std::logic_error("obs::registry: metric '" + std::string(name) +
+                           "' re-registered as " + std::string(to_string(type)) +
+                           ", was " + std::string(to_string(fit->second.type)));
+  }
+  for (const auto& s : fit->second.entries) {
+    if (s->labels == labels) return *s;
+  }
+  auto s = std::make_unique<series>();
+  s->labels = std::move(labels);
+  fit->second.entries.push_back(std::move(s));
+  return *fit->second.entries.back();
+}
+
+counter& registry::get_counter(std::string_view name, label_set labels) {
+  series& s = get_series(name, metric_type::counter, std::move(labels));
+  if (!s.c) s.c = std::make_unique<counter>();
+  return *s.c;
+}
+
+gauge& registry::get_gauge(std::string_view name, label_set labels) {
+  series& s = get_series(name, metric_type::gauge, std::move(labels));
+  if (!s.g) s.g = std::make_unique<gauge>();
+  return *s.g;
+}
+
+histogram& registry::get_histogram(std::string_view name, label_set labels,
+                                   std::vector<double> bounds) {
+  series& s = get_series(name, metric_type::histogram, std::move(labels));
+  if (!s.h) s.h = std::make_unique<histogram>(std::move(bounds));
+  return *s.h;
+}
+
+std::size_t registry::series_count() const {
+  std::size_t n = 0;
+  for (const auto& [name, fam] : families_) n += fam.entries.size();
+  return n;
+}
+
+}  // namespace omega::obs

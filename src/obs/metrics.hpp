@@ -1,0 +1,133 @@
+// Metrics registry of the observability plane (DESIGN.md §7).
+//
+// Counters, gauges and fixed-bucket histograms keyed by (name, label set),
+// designed for the protocol stack's single-threaded event loops:
+//
+//   * lock-cheap by construction — there are no locks at all. A registry is
+//     owned by one event loop (one service instance, or one harness run);
+//     instrumentation acquires a cell handle once (a linear name+labels
+//     lookup) and afterwards every update is a plain integer/double store.
+//     Cross-thread exposition renders on the owning loop (the real-time
+//     runtime posts the render closure, exactly like every other API call).
+//   * stable cells — get_* returns a reference that stays valid for the
+//     registry's lifetime, so handles can be cached across crash/recovery
+//     cycles of the instrumented component. Counters are therefore
+//     monotonic across component restarts: a recovered service re-acquires
+//     the same cell and keeps counting where its predecessor stopped
+//     (`counter::advance_to` absorbs snapshot-style re-publishing without
+//     ever moving a cell backwards).
+//   * Prometheus-shaped — families carry one type, series are label sets,
+//     histograms store fixed upper bounds and render cumulatively
+//     (obs/exposition.hpp does the text format).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace omega::obs {
+
+/// Sorted (key, value) pairs identifying one series within a family.
+using label_set = std::vector<std::pair<std::string, std::string>>;
+
+enum class metric_type : std::uint8_t { counter, gauge, histogram };
+
+[[nodiscard]] std::string_view to_string(metric_type type);
+
+/// Monotonically non-decreasing event count.
+class counter {
+ public:
+  void inc(std::uint64_t n = 1) { value_ += n; }
+  /// Raises the cell to `v` if (and only if) that does not decrease it —
+  /// the snapshot-export path: a component re-publishing its internal
+  /// counters can never move the exposed series backwards, even when the
+  /// component itself restarted from zero.
+  void advance_to(std::uint64_t v) {
+    if (v > value_) value_ = v;
+  }
+  [[nodiscard]] std::uint64_t value() const { return value_; }
+
+ private:
+  std::uint64_t value_ = 0;
+};
+
+/// Point-in-time measurement; may go up and down.
+class gauge {
+ public:
+  void set(double v) { value_ = v; }
+  void add(double d) { value_ += d; }
+  [[nodiscard]] double value() const { return value_; }
+
+ private:
+  double value_ = 0.0;
+};
+
+/// Fixed-bucket histogram: `bounds` are ascending inclusive upper bounds;
+/// an implicit +Inf bucket catches the rest. Buckets are stored
+/// non-cumulatively; the exposition renders the Prometheus cumulative form.
+class histogram {
+ public:
+  explicit histogram(std::vector<double> bounds);
+
+  void observe(double v);
+
+  [[nodiscard]] const std::vector<double>& bounds() const { return bounds_; }
+  /// Non-cumulative count of bucket `i`; `i == bounds().size()` is +Inf.
+  [[nodiscard]] std::uint64_t bucket_count(std::size_t i) const {
+    return counts_.at(i);
+  }
+  [[nodiscard]] std::uint64_t count() const { return count_; }
+  [[nodiscard]] double sum() const { return sum_; }
+
+ private:
+  std::vector<double> bounds_;
+  std::vector<std::uint64_t> counts_;  // bounds_.size() + 1 (last = +Inf)
+  std::uint64_t count_ = 0;
+  double sum_ = 0.0;
+};
+
+class registry {
+ public:
+  /// One (label set, cell) series. Exactly one of the cell pointers is
+  /// non-null, matching the family's type.
+  struct series {
+    label_set labels;
+    std::unique_ptr<counter> c;
+    std::unique_ptr<gauge> g;
+    std::unique_ptr<histogram> h;
+  };
+  struct family {
+    metric_type type{};
+    std::vector<std::unique_ptr<series>> entries;
+  };
+
+  /// Returns the cell for (name, labels), creating it on first use. Labels
+  /// are normalized (sorted by key), so acquisition order never splits a
+  /// series. Throws std::logic_error if `name` already exists with a
+  /// different metric type — that is an instrumentation bug, not input.
+  counter& get_counter(std::string_view name, label_set labels = {});
+  gauge& get_gauge(std::string_view name, label_set labels = {});
+  /// Histogram bounds are fixed at first acquisition; later calls with the
+  /// same (name, labels) return the existing cell and ignore `bounds`.
+  histogram& get_histogram(std::string_view name, label_set labels,
+                           std::vector<double> bounds);
+
+  /// Families in name order (the exposition's render order).
+  [[nodiscard]] const std::map<std::string, family, std::less<>>& families()
+      const {
+    return families_;
+  }
+  [[nodiscard]] std::size_t series_count() const;
+
+ private:
+  series& get_series(std::string_view name, metric_type type,
+                     label_set labels);
+
+  std::map<std::string, family, std::less<>> families_;
+};
+
+}  // namespace omega::obs

@@ -1,0 +1,21 @@
+// Bridges the service's internal `service_stats` snapshot into the metrics
+// registry, superseding ad-hoc counter dumps: call `export_service_stats`
+// whenever an up-to-date view is wanted (before a scrape, at end of a sim
+// window). Counters are published with `counter::advance_to`, so a registry
+// that outlives the service instance — the harness owns one per node across
+// crash/recovery cycles — exposes monotone series even though each
+// recovered instance restarts its internal counts from zero.
+#pragma once
+
+#include "obs/metrics.hpp"
+
+namespace omega::service {
+class leader_election_service;
+}
+
+namespace omega::obs {
+
+void export_service_stats(registry& reg,
+                          const service::leader_election_service& svc);
+
+}  // namespace omega::obs

@@ -1,0 +1,61 @@
+// The instrumentation sink: the one handle protocol components hold.
+//
+// A `sink` bundles a metrics registry and a trace recorder with the
+// node identity and the hierarchy's group→tier annotations, so event
+// sites stay one-liners:
+//
+//   if (sink_) sink_->record({.kind = obs::event_kind::leader_change, ...});
+//
+// Components default to `sink* = nullptr`; the un-instrumented hot path
+// costs a single pointer compare per site (the fig12 overhead gate in
+// scripts/ci.sh keeps it honest). The sink stamps each event with the
+// owning node and resolves the tier of the event's group — components
+// never need to know whether they sit in a hierarchy.
+#pragma once
+
+#include <map>
+
+#include "common/ids.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace omega::obs {
+
+class sink {
+ public:
+  sink() = default;
+  sink(registry* metrics, trace_recorder* trace,
+       node_id self = node_id::invalid())
+      : metrics_(metrics), trace_(trace), self_(self) {}
+
+  [[nodiscard]] registry* metrics() const { return metrics_; }
+  [[nodiscard]] trace_recorder* trace() const { return trace_; }
+  [[nodiscard]] node_id self() const { return self_; }
+
+  void set_self(node_id self) { self_ = self; }
+
+  /// Hierarchy annotation: events for `group` get stamped with `tier`.
+  /// The hierarchy coordinator registers its tiers before joining them.
+  void set_tier(group_id group, std::int32_t tier) { tiers_[group] = tier; }
+  [[nodiscard]] std::int32_t tier_of(group_id group) const {
+    auto it = tiers_.find(group);
+    return it == tiers_.end() ? -1 : it->second;
+  }
+
+  /// Stamps node (if unset) and tier (if unset and annotated), then hands
+  /// the event to the recorder. No-op without a recorder.
+  void record(trace_event ev) {
+    if (!trace_) return;
+    if (!ev.node.valid()) ev.node = self_;
+    if (ev.tier < 0) ev.tier = tier_of(ev.group);
+    trace_->record(ev);
+  }
+
+ private:
+  registry* metrics_ = nullptr;
+  trace_recorder* trace_ = nullptr;
+  node_id self_ = node_id::invalid();
+  std::map<group_id, std::int32_t> tiers_;
+};
+
+}  // namespace omega::obs

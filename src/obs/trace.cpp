@@ -1,0 +1,65 @@
+#include "obs/trace.hpp"
+
+namespace omega::obs {
+
+std::string_view to_string(event_kind kind) {
+  switch (kind) {
+    case event_kind::leader_change: return "leader_change";
+    case event_kind::suspicion_raised: return "suspicion_raised";
+    case event_kind::suspicion_cleared: return "suspicion_cleared";
+    case event_kind::accusation_sent: return "accusation_sent";
+    case event_kind::accusation_received: return "accusation_received";
+    case event_kind::candidacy_flip: return "candidacy_flip";
+    case event_kind::competition_enter: return "competition_enter";
+    case event_kind::competition_withdraw: return "competition_withdraw";
+    case event_kind::member_join: return "member_join";
+    case event_kind::member_leave: return "member_leave";
+    case event_kind::member_evicted: return "member_evicted";
+    case event_kind::promotion: return "promotion";
+    case event_kind::demotion: return "demotion";
+    case event_kind::retune: return "retune";
+    case event_kind::unknown_group_drop: return "unknown_group_drop";
+  }
+  return "unknown";
+}
+
+ring_recorder::ring_recorder(std::size_t capacity)
+    : capacity_(capacity == 0 ? 1 : capacity) {
+  ring_.reserve(capacity_);
+}
+
+void ring_recorder::record(const trace_event& ev) {
+  trace_event stamped = ev;
+  stamped.seq = next_seq_++;
+  if (ring_.size() < capacity_) {
+    ring_.push_back(stamped);
+  } else {
+    ring_[write_pos_] = stamped;
+    write_pos_ = (write_pos_ + 1) % capacity_;
+    ++dropped_;
+  }
+}
+
+std::vector<trace_event> ring_recorder::events() const {
+  std::vector<trace_event> out;
+  out.reserve(ring_.size());
+  if (ring_.size() < capacity_) {
+    out = ring_;  // push_back order is seq order
+  } else {
+    // The ring is full; the oldest retained event sits where the next
+    // wraparound write would land.
+    out.insert(out.end(),
+               ring_.begin() + static_cast<std::ptrdiff_t>(write_pos_),
+               ring_.end());
+    out.insert(out.end(), ring_.begin(),
+               ring_.begin() + static_cast<std::ptrdiff_t>(write_pos_));
+  }
+  return out;
+}
+
+void ring_recorder::clear() {
+  ring_.clear();
+  write_pos_ = 0;
+}
+
+}  // namespace omega::obs

@@ -11,6 +11,7 @@
 #include "fd/fd_manager.hpp"
 #include "fd/qos.hpp"
 #include "membership/group_maintenance.hpp"
+#include "obs/sink.hpp"
 
 namespace omega::service {
 
@@ -41,6 +42,11 @@ struct service_config {
   /// Online QoS re-configuration: tuning mode plus adaptation-engine knobs
   /// (tracker windows, retune hysteresis, stability scoring).
   adaptive::engine_options adaptive{};
+  /// Observability sink (metrics + structured trace), threaded through
+  /// every module of the instance. Null (the default) disables the plane;
+  /// instrumented sites then cost one pointer compare. The sink must
+  /// outlive the service instance.
+  obs::sink* sink = nullptr;
 };
 
 /// How a joined process wants to learn about leader changes (paper §4:
@@ -86,6 +92,11 @@ struct service_stats {
   std::uint64_t rate_request_sent = 0;
   std::uint64_t datagrams_received = 0;
   std::uint64_t malformed_received = 0;
+  /// Well-formed datagrams addressed to a group this instance has not
+  /// joined (or has already left) — late traffic racing a leave, or stale
+  /// senders that have not yet processed our LEAVE. Previously these were
+  /// silently ignored, indistinguishable from decode failures.
+  std::uint64_t dropped_unknown_group = 0;
 
   /// Per-group HELLO dissemination accounting: how many HELLO emissions
   /// carried the group's entry and to how many destinations in total. Under

@@ -35,6 +35,12 @@ leader_election_service::leader_election_service(clock_source& clock,
       alive_timer_(timers) {
   transport_.set_receive_handler([this](const net::datagram& d) { on_datagram(d); });
 
+  if (config_.sink) {
+    config_.sink->set_self(config_.self);
+    fd_.set_sink(config_.sink);
+    gm_.set_sink(config_.sink);
+  }
+
   fd_.set_transition_handler([this](group_id g, node_id node, bool trusted) {
     auto it = groups_.find(g);
     if (it == groups_.end()) return;
@@ -96,6 +102,7 @@ leader_election_service::leader_election_service(clock_source& clock,
   if (config_.adaptive.mode == adaptive::tuning_mode::adaptive) {
     adaptive_ = std::make_unique<adaptive::engine>(clock_, timers_, fd_,
                                                    config_.adaptive);
+    if (config_.sink) adaptive_->set_sink(config_.sink);
     fd_.set_link_observer(
         [this](node_id node, const fd::link_estimate& est, time_point now) {
           adaptive_->on_link_sample(node, est, now);
@@ -140,8 +147,18 @@ election::elector_context leader_election_service::make_context(group_id group,
   ctx.is_trusted = [this, group](node_id node) { return fd_.is_trusted(group, node); };
   ctx.members = [this, group] { return gm_.table(group).members(); };
   ctx.send_accuse = [this](const proto::accuse_msg& msg, node_id dst) {
+    if (config_.sink) {
+      obs::trace_event ev;
+      ev.kind = obs::event_kind::accusation_sent;
+      ev.at = clock_.now();
+      ev.group = msg.group;
+      ev.subject = msg.target;
+      ev.peer = dst;
+      config_.sink->record(ev);
+    }
     send_to(dst, msg);
   };
+  ctx.sink = config_.sink;
   return ctx;
 }
 
@@ -218,6 +235,10 @@ void leader_election_service::leave_group(process_id pid, group_id group) {
   fd_.remove_group(group);
   if (adaptive_) adaptive_->remove_group(group);
   groups_.erase(it);
+  // The per-group HELLO accounting row is meaningless once the node no
+  // longer participates (and a later unrelated join of the same group id
+  // must start from zero).
+  stats_.hello_by_group.erase(group);
   // Relax the default heartbeat cadence to the tightest *remaining* group
   // (join_group only ever ratchets it down).
   duration def = fd::qos_spec{}.detection_time / 4;
@@ -245,6 +266,15 @@ bool leader_election_service::set_candidacy(process_id pid, group_id group,
                                         clock_.now());
   }
   gm_.update_local_candidacy(group, candidate);
+  if (config_.sink) {
+    obs::trace_event ev;
+    ev.kind = obs::event_kind::candidacy_flip;
+    ev.at = clock_.now();
+    ev.group = group;
+    ev.subject = pid;
+    ev.value = candidate ? 1.0 : 0.0;
+    config_.sink->record(ev);
+  }
   reevaluate(group);
   return true;
 }
@@ -283,8 +313,31 @@ void leader_election_service::on_datagram(const net::datagram& dgram) {
   std::visit([this](const auto& m) { handle(m); }, *msg);
 }
 
+void leader_election_service::note_unknown_group(group_id group, node_id from) {
+  ++stats_.dropped_unknown_group;
+  if (config_.sink) {
+    obs::trace_event ev;
+    ev.kind = obs::event_kind::unknown_group_drop;
+    ev.at = clock_.now();
+    ev.group = group;
+    ev.peer = from;
+    config_.sink->record(ev);
+  }
+}
+
 void leader_election_service::handle(const proto::alive_msg& msg) {
   const time_point now = clock_.now();
+  // An ALIVE whose every payload targets groups we never joined (or have
+  // already left) is stale traffic racing our LEAVE: account for it instead
+  // of silently ignoring the payloads below. The node-level freshness and
+  // membership evidence are still consumed — the sender is alive regardless.
+  if (!msg.groups.empty()) {
+    const bool any_known =
+        std::any_of(msg.groups.begin(), msg.groups.end(), [this](const auto& p) {
+          return groups_.find(p.group) != groups_.end();
+        });
+    if (!any_known) note_unknown_group(msg.groups.front().group, msg.from);
+  }
   // Membership evidence first (electors pull membership during evaluation),
   // then failure-detector freshness, then election payloads.
   gm_.on_alive(msg, now);
@@ -302,7 +355,20 @@ void leader_election_service::handle(const proto::alive_msg& msg) {
 
 void leader_election_service::handle(const proto::accuse_msg& msg) {
   auto it = groups_.find(msg.group);
-  if (it == groups_.end() || it->second.local_pid != msg.target) return;
+  if (it == groups_.end()) {
+    note_unknown_group(msg.group, msg.from);
+    return;
+  }
+  if (it->second.local_pid != msg.target) return;
+  if (config_.sink) {
+    obs::trace_event ev;
+    ev.kind = obs::event_kind::accusation_received;
+    ev.at = clock_.now();
+    ev.group = msg.group;
+    ev.subject = msg.target;
+    ev.peer = msg.from;
+    config_.sink->record(ev);
+  }
   it->second.elector->on_accuse(msg);
   reevaluate(msg.group);
 }
@@ -316,6 +382,10 @@ void leader_election_service::handle(const proto::hello_ack_msg& msg) {
 }
 
 void leader_election_service::handle(const proto::leave_msg& msg) {
+  if (groups_.find(msg.group) == groups_.end()) {
+    note_unknown_group(msg.group, msg.from);
+    return;
+  }
   gm_.on_leave(msg);
 }
 
@@ -370,6 +440,14 @@ void leader_election_service::reevaluate(group_id group) {
 
   if (leader != gs.last_leader) {
     gs.last_leader = leader;
+    if (config_.sink) {
+      obs::trace_event ev;
+      ev.kind = obs::event_kind::leader_change;
+      ev.at = clock_.now();
+      ev.group = group;
+      ev.subject = leader.value_or(process_id::invalid());
+      config_.sink->record(ev);
+    }
     if (gs.options.notify == notification_mode::interrupt && gs.on_change) {
       gs.on_change(group, leader);
     }

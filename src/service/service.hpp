@@ -89,6 +89,8 @@ class leader_election_service {
   [[nodiscard]] const service_config& config() const { return config_; }
   [[nodiscard]] const service_stats& stats() const { return stats_; }
   [[nodiscard]] node_id self() const { return config_.self; }
+  /// The clock this instance runs on (sim or real time).
+  [[nodiscard]] clock_source& clock() const { return clock_; }
 
   /// Current effective heartbeat interval of this sender.
   [[nodiscard]] duration current_eta() const;
@@ -113,6 +115,11 @@ class leader_election_service {
   /// per-subscription callbacks. The experiment harness uses this to track
   /// ground-truth agreement.
   void set_leader_observer(leader_callback observer);
+
+  /// The observability sink this instance records through (the one from
+  /// `service_config::sink`), or nullptr. The hierarchy coordinator uses it
+  /// to annotate its groups with tier numbers before joining them.
+  [[nodiscard]] obs::sink* observability() const { return config_.sink; }
 
   /// Switches the membership-dissemination policy at runtime (see
   /// `service_config::hello_fanout`). The hierarchy coordinator calls this
@@ -140,6 +147,9 @@ class leader_election_service {
 
   // Wiring.
   void on_datagram(const net::datagram& dgram);
+  /// Counts (and traces) a well-formed datagram addressed to a group this
+  /// instance does not participate in.
+  void note_unknown_group(group_id group, node_id from);
   void handle(const proto::alive_msg& msg);
   void handle(const proto::accuse_msg& msg);
   void handle(const proto::hello_msg& msg);

@@ -1,0 +1,149 @@
+#include "obs/exposition.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace omega::obs {
+namespace {
+
+const parsed_sample* find_sample(const std::vector<parsed_sample>& samples,
+                                 std::string_view name,
+                                 const label_set& labels) {
+  for (const auto& s : samples) {
+    if (s.name == name && s.labels == labels) return &s;
+  }
+  return nullptr;
+}
+
+TEST(Exposition, RendersTypeLinesAndPlainSamples) {
+  registry reg;
+  reg.get_counter("omega_msgs_total", {{"kind", "alive"}}).inc(7);
+  reg.get_gauge("omega_eta_seconds").set(2.5);
+  std::string text = render_prometheus(reg);
+  EXPECT_NE(text.find("# TYPE omega_msgs_total counter\n"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE omega_eta_seconds gauge\n"), std::string::npos);
+  EXPECT_NE(text.find("omega_msgs_total{kind=\"alive\"} 7\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("omega_eta_seconds 2.5\n"), std::string::npos);
+}
+
+TEST(Exposition, EscapesLabelValues) {
+  registry reg;
+  reg.get_counter("m", {{"path", "a\\b\"c\nd"}}).inc();
+  std::string text = render_prometheus(reg);
+  EXPECT_NE(text.find("m{path=\"a\\\\b\\\"c\\nd\"} 1\n"), std::string::npos);
+  // And the parser must unescape it back to the original value.
+  auto samples = parse_prometheus(text);
+  ASSERT_TRUE(samples.has_value());
+  const auto* s = find_sample(*samples, "m", {{"path", "a\\b\"c\nd"}});
+  ASSERT_NE(s, nullptr);
+  EXPECT_DOUBLE_EQ(s->value, 1.0);
+}
+
+TEST(Exposition, HistogramBucketsAreCumulative) {
+  registry reg;
+  histogram& h = reg.get_histogram("lat", {{"g", "1"}}, {0.1, 1.0});
+  h.observe(0.05);
+  h.observe(0.5);
+  h.observe(0.7);
+  h.observe(50.0);
+  std::string text = render_prometheus(reg);
+  auto samples = parse_prometheus(text);
+  ASSERT_TRUE(samples.has_value());
+
+  auto bucket = [&](const char* le) {
+    return find_sample(*samples, "lat_bucket", {{"g", "1"}, {"le", le}});
+  };
+  const auto* b0 = bucket("0.1");
+  const auto* b1 = bucket("1");
+  const auto* binf = bucket("+Inf");
+  ASSERT_NE(b0, nullptr);
+  ASSERT_NE(b1, nullptr);
+  ASSERT_NE(binf, nullptr);
+  EXPECT_DOUBLE_EQ(b0->value, 1.0);
+  EXPECT_DOUBLE_EQ(b1->value, 3.0);  // cumulative: 1 + 2
+  EXPECT_DOUBLE_EQ(binf->value, 4.0);
+
+  const auto* count = find_sample(*samples, "lat_count", {{"g", "1"}});
+  const auto* sum = find_sample(*samples, "lat_sum", {{"g", "1"}});
+  ASSERT_NE(count, nullptr);
+  ASSERT_NE(sum, nullptr);
+  EXPECT_DOUBLE_EQ(count->value, 4.0);
+  EXPECT_DOUBLE_EQ(count->value, binf->value);  // +Inf bucket == count
+  EXPECT_NEAR(sum->value, 51.25, 1e-9);
+}
+
+TEST(Exposition, CounterStaysMonotoneAcrossComponentResets) {
+  registry reg;
+  counter& c = reg.get_counter("omega_sent_total");
+
+  // First incarnation publishes a snapshot of 42.
+  c.advance_to(42);
+  auto first = parse_prometheus(render_prometheus(reg));
+  ASSERT_TRUE(first.has_value());
+  const auto* s1 = find_sample(*first, "omega_sent_total", {});
+  ASSERT_NE(s1, nullptr);
+
+  // The component restarts and republishes from a fresh internal count.
+  c.advance_to(5);
+  auto second = parse_prometheus(render_prometheus(reg));
+  ASSERT_TRUE(second.has_value());
+  const auto* s2 = find_sample(*second, "omega_sent_total", {});
+  ASSERT_NE(s2, nullptr);
+  EXPECT_GE(s2->value, s1->value);  // never observed going backwards
+
+  c.advance_to(50);
+  auto third = parse_prometheus(render_prometheus(reg));
+  const auto* s3 = find_sample(*third, "omega_sent_total", {});
+  ASSERT_NE(s3, nullptr);
+  EXPECT_DOUBLE_EQ(s3->value, 50.0);
+}
+
+TEST(Exposition, RoundTripsEveryRenderedSample) {
+  registry reg;
+  reg.get_counter("a_total", {{"x", "1"}}).inc(3);
+  reg.get_counter("a_total", {{"x", "2"}}).inc(9);
+  reg.get_gauge("b", {{"node", "7"}, {"group", "g one"}}).set(-0.25);
+  reg.get_histogram("c", {}, {1.0, 2.0}).observe(1.5);
+  auto samples = parse_prometheus(render_prometheus(reg));
+  ASSERT_TRUE(samples.has_value());
+  // 2 counters + 1 gauge + (3 buckets + sum + count) = 8 samples.
+  EXPECT_EQ(samples->size(), 8u);
+}
+
+TEST(Exposition, ParserRejectsMalformedLines) {
+  EXPECT_FALSE(parse_prometheus("name_without_value\n").has_value());
+  EXPECT_FALSE(parse_prometheus("m{unterminated=\"x} 1\n").has_value());
+  EXPECT_FALSE(parse_prometheus("m 12abc\n").has_value());
+  EXPECT_TRUE(parse_prometheus("# just a comment\n\n").has_value());
+}
+
+TEST(Exposition, JsonlDumpsOneObjectPerEvent) {
+  trace_event ev;
+  ev.kind = event_kind::suspicion_raised;
+  ev.at = time_origin + msec(1500);
+  ev.node = node_id{3};
+  ev.group = group_id{1};
+  ev.tier = 2;
+  ev.peer = node_id{9};
+  ev.value = 0.75;
+  ev.seq = 12;
+  std::vector<trace_event> events{ev};
+  std::string out = render_jsonl(events);
+  EXPECT_EQ(std::count(out.begin(), out.end(), '\n'), 1);
+  EXPECT_NE(out.find("\"kind\":\"suspicion_raised\""), std::string::npos);
+  EXPECT_NE(out.find("\"node\":3"), std::string::npos);
+  EXPECT_NE(out.find("\"tier\":2"), std::string::npos);
+  EXPECT_NE(out.find("\"peer\":9"), std::string::npos);
+  EXPECT_NE(out.find("\"seq\":12"), std::string::npos);
+  // Unset ids render as null, not as sentinel integers.
+  EXPECT_NE(out.find("\"subject\":null"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace omega::obs

@@ -1,0 +1,101 @@
+#include "obs/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace omega::obs {
+namespace {
+
+TEST(MetricsRegistry, CounterStartsAtZeroAndAccumulates) {
+  registry reg;
+  counter& c = reg.get_counter("omega_test_total");
+  EXPECT_EQ(c.value(), 0u);
+  c.inc();
+  c.inc(4);
+  EXPECT_EQ(c.value(), 5u);
+}
+
+TEST(MetricsRegistry, SameNameAndLabelsReturnsSameCell) {
+  registry reg;
+  counter& a = reg.get_counter("omega_msgs_total", {{"kind", "alive"}});
+  counter& b = reg.get_counter("omega_msgs_total", {{"kind", "alive"}});
+  EXPECT_EQ(&a, &b);
+  counter& other = reg.get_counter("omega_msgs_total", {{"kind", "accuse"}});
+  EXPECT_NE(&a, &other);
+  EXPECT_EQ(reg.series_count(), 2u);
+}
+
+TEST(MetricsRegistry, LabelOrderIsNormalized) {
+  registry reg;
+  counter& a = reg.get_counter("m", {{"a", "1"}, {"b", "2"}});
+  counter& b = reg.get_counter("m", {{"b", "2"}, {"a", "1"}});
+  EXPECT_EQ(&a, &b);
+  EXPECT_EQ(reg.series_count(), 1u);
+}
+
+TEST(MetricsRegistry, AdvanceToNeverMovesBackwards) {
+  registry reg;
+  counter& c = reg.get_counter("restarts");
+  c.advance_to(10);
+  EXPECT_EQ(c.value(), 10u);
+  // A component restarting from zero re-publishes smaller snapshots; the
+  // exported series must stay monotone.
+  c.advance_to(3);
+  EXPECT_EQ(c.value(), 10u);
+  c.advance_to(12);
+  EXPECT_EQ(c.value(), 12u);
+}
+
+TEST(MetricsRegistry, GaugeMovesBothWays) {
+  registry reg;
+  gauge& g = reg.get_gauge("omega_eta_seconds");
+  g.set(2.5);
+  g.add(-1.0);
+  EXPECT_DOUBLE_EQ(g.value(), 1.5);
+}
+
+TEST(MetricsRegistry, HistogramBucketsAreInclusiveUpperBounds) {
+  registry reg;
+  histogram& h = reg.get_histogram("latency", {}, {0.1, 1.0, 10.0});
+  h.observe(0.1);   // lands in le=0.1 (inclusive)
+  h.observe(0.5);   // le=1.0
+  h.observe(100.0); // +Inf
+  EXPECT_EQ(h.bucket_count(0), 1u);
+  EXPECT_EQ(h.bucket_count(1), 1u);
+  EXPECT_EQ(h.bucket_count(2), 0u);
+  EXPECT_EQ(h.bucket_count(3), 1u);  // +Inf
+  EXPECT_EQ(h.count(), 3u);
+  EXPECT_DOUBLE_EQ(h.sum(), 100.6);
+}
+
+TEST(MetricsRegistry, HistogramBoundsSortedAndDeduped) {
+  registry reg;
+  histogram& h = reg.get_histogram("h", {}, {5.0, 1.0, 5.0});
+  ASSERT_EQ(h.bounds().size(), 2u);
+  EXPECT_DOUBLE_EQ(h.bounds()[0], 1.0);
+  EXPECT_DOUBLE_EQ(h.bounds()[1], 5.0);
+}
+
+TEST(MetricsRegistry, TypeMismatchThrows) {
+  registry reg;
+  reg.get_counter("omega_thing");
+  EXPECT_THROW(reg.get_gauge("omega_thing"), std::logic_error);
+  EXPECT_THROW(reg.get_histogram("omega_thing", {}, {1.0}), std::logic_error);
+}
+
+TEST(MetricsRegistry, FamiliesIterateInNameOrder) {
+  registry reg;
+  reg.get_counter("zzz");
+  reg.get_counter("aaa");
+  reg.get_gauge("mmm");
+  std::vector<std::string> names;
+  for (const auto& [name, fam] : reg.families()) names.push_back(name);
+  ASSERT_EQ(names.size(), 3u);
+  EXPECT_EQ(names[0], "aaa");
+  EXPECT_EQ(names[1], "mmm");
+  EXPECT_EQ(names[2], "zzz");
+}
+
+}  // namespace
+}  // namespace omega::obs

@@ -1,0 +1,81 @@
+#include "obs/trace.hpp"
+
+#include <gtest/gtest.h>
+
+namespace omega::obs {
+namespace {
+
+trace_event ev_at(std::uint64_t i) {
+  trace_event ev;
+  ev.kind = event_kind::leader_change;
+  ev.at = time_origin + sec(static_cast<std::int64_t>(i));
+  ev.value = static_cast<double>(i);
+  return ev;
+}
+
+TEST(TraceRing, RetainsEverythingBelowCapacity) {
+  ring_recorder ring(8);
+  for (std::uint64_t i = 0; i < 5; ++i) ring.record(ev_at(i));
+  auto events = ring.events();
+  ASSERT_EQ(events.size(), 5u);
+  for (std::uint64_t i = 0; i < 5; ++i) {
+    EXPECT_EQ(events[i].seq, i);
+    EXPECT_DOUBLE_EQ(events[i].value, static_cast<double>(i));
+  }
+  EXPECT_EQ(ring.recorded(), 5u);
+  EXPECT_EQ(ring.dropped(), 0u);
+}
+
+TEST(TraceRing, WraparoundKeepsNewestInSeqOrder) {
+  ring_recorder ring(4);
+  for (std::uint64_t i = 0; i < 11; ++i) ring.record(ev_at(i));
+  auto events = ring.events();
+  ASSERT_EQ(events.size(), 4u);
+  // Oldest retained is 7; order must be strictly seq-ascending even though
+  // the ring's physical layout wrapped mid-window.
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    EXPECT_EQ(events[i].seq, 7u + i);
+    EXPECT_DOUBLE_EQ(events[i].value, static_cast<double>(7 + i));
+  }
+  EXPECT_EQ(ring.recorded(), 11u);
+  EXPECT_EQ(ring.dropped(), 7u);
+}
+
+TEST(TraceRing, WraparoundExactlyAtCapacityBoundary) {
+  ring_recorder ring(4);
+  for (std::uint64_t i = 0; i < 8; ++i) ring.record(ev_at(i));
+  auto events = ring.events();
+  ASSERT_EQ(events.size(), 4u);
+  EXPECT_EQ(events.front().seq, 4u);
+  EXPECT_EQ(events.back().seq, 7u);
+}
+
+TEST(TraceRing, ClearResetsRetainedButSeqKeepsCounting) {
+  ring_recorder ring(4);
+  for (std::uint64_t i = 0; i < 3; ++i) ring.record(ev_at(i));
+  ring.clear();
+  EXPECT_TRUE(ring.events().empty());
+  ring.record(ev_at(99));
+  auto events = ring.events();
+  ASSERT_EQ(events.size(), 1u);
+  // Sequence numbers stay globally unique per recorder across clears.
+  EXPECT_EQ(events[0].seq, 3u);
+}
+
+TEST(TraceRing, ZeroCapacityClampsToOne) {
+  ring_recorder ring(0);
+  EXPECT_EQ(ring.capacity(), 1u);
+  ring.record(ev_at(0));
+  ring.record(ev_at(1));
+  auto events = ring.events();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].seq, 1u);
+}
+
+TEST(TraceRing, NullRecorderSwallows) {
+  null_recorder null;
+  null.record(ev_at(0));  // must simply not crash
+}
+
+}  // namespace
+}  // namespace omega::obs

@@ -1,0 +1,226 @@
+// Service-layer observability: sink wiring, trace events emitted by the
+// protocol modules, unknown-group drop accounting, per-group stats pruning
+// and the service_stats -> registry export.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+
+#include "net/sim_network.hpp"
+#include "obs/exposition.hpp"
+#include "obs/metrics.hpp"
+#include "obs/service_export.hpp"
+#include "obs/sink.hpp"
+#include "obs/trace.hpp"
+#include "proto/wire.hpp"
+#include "service/service.hpp"
+#include "sim/simulator.hpp"
+
+namespace omega::service {
+namespace {
+
+const group_id g1{1};
+const group_id g2{2};
+
+/// Like the service_api cluster, but every instance gets its own
+/// registry + ring recorder through an obs::sink.
+struct observed_cluster {
+  explicit observed_cluster(std::size_t n,
+                            election::algorithm alg = election::algorithm::omega_lc)
+      : net(sim, n, net::link_profile::lan(), rng{11}) {
+    for (std::size_t i = 0; i < n; ++i) roster.push_back(node_id{i});
+    for (std::size_t i = 0; i < n; ++i) {
+      auto o = std::make_unique<node_obs>();
+      service_config cfg;
+      cfg.self = node_id{i};
+      cfg.roster = roster;
+      cfg.alg = alg;
+      cfg.sink = &o->sink;
+      obs.push_back(std::move(o));
+      services.push_back(std::make_unique<leader_election_service>(
+          sim, sim, net.endpoint(node_id{i}), cfg));
+    }
+  }
+
+  leader_election_service& at(std::size_t i) { return *services[i]; }
+  std::vector<obs::trace_event> events_of(std::size_t i) {
+    return obs[i]->ring.events();
+  }
+  bool has_event(std::size_t i, obs::event_kind kind) {
+    auto events = events_of(i);
+    return std::any_of(events.begin(), events.end(),
+                       [kind](const auto& ev) { return ev.kind == kind; });
+  }
+  void settle(duration d = sec(5)) { sim.run_until(sim.now() + d); }
+
+  struct node_obs {
+    obs::registry reg;
+    obs::ring_recorder ring{1024};
+    obs::sink sink{&reg, &ring};
+  };
+
+  sim::simulator sim;
+  net::sim_network net;
+  std::vector<node_id> roster;
+  std::vector<std::unique_ptr<node_obs>> obs;
+  std::vector<std::unique_ptr<leader_election_service>> services;
+};
+
+TEST(ServiceObs, SinkStampsRecordingNode) {
+  observed_cluster c(2);
+  for (std::size_t i = 0; i < 2; ++i) {
+    c.at(i).register_process(process_id{i});
+    c.at(i).join_group(process_id{i}, g1, {});
+  }
+  c.settle();
+  auto events = c.events_of(1);
+  ASSERT_FALSE(events.empty());
+  for (const auto& ev : events) EXPECT_EQ(ev.node, node_id{1});
+}
+
+TEST(ServiceObs, LeaderChangeAndJoinEventsRecorded) {
+  observed_cluster c(3);
+  for (std::size_t i = 0; i < 3; ++i) {
+    c.at(i).register_process(process_id{i});
+    c.at(i).join_group(process_id{i}, g1, {});
+  }
+  c.settle();
+  ASSERT_TRUE(c.at(0).leader(g1).has_value());
+  EXPECT_TRUE(c.has_event(0, obs::event_kind::leader_change));
+  EXPECT_TRUE(c.has_event(0, obs::event_kind::member_join));
+  // The recorded leader matches the service's answer.
+  auto events = c.events_of(0);
+  std::optional<process_id> last;
+  for (const auto& ev : events) {
+    if (ev.kind == obs::event_kind::leader_change && ev.group == g1) {
+      last = ev.subject.valid() ? std::optional(ev.subject) : std::nullopt;
+    }
+  }
+  EXPECT_EQ(last, c.at(0).leader(g1));
+}
+
+TEST(ServiceObs, SuspicionAndAccusationEventsOnCrash) {
+  observed_cluster c(3);
+  for (std::size_t i = 0; i < 3; ++i) {
+    c.at(i).register_process(process_id{i});
+    c.at(i).join_group(process_id{i}, g1, {});
+  }
+  c.settle(sec(10));
+  const auto leader = c.at(2).leader(g1);
+  ASSERT_TRUE(leader.has_value());
+  const std::size_t victim = leader->value();
+  ASSERT_NE(victim, 2u);  // highest id never wins the paper's ranking
+
+  c.services[victim].reset();  // crash: heartbeats stop
+  c.settle(sec(30));
+
+  const std::size_t observer = victim == 0 ? 1 : 0;
+  auto events = c.events_of(observer);
+  bool suspected = false;
+  for (const auto& ev : events) {
+    if (ev.kind == obs::event_kind::suspicion_raised &&
+        ev.peer == node_id{victim}) {
+      suspected = true;
+      EXPECT_GT(ev.value, 0.0) << "seconds since last heartbeat";
+    }
+  }
+  EXPECT_TRUE(suspected);
+  EXPECT_TRUE(c.has_event(observer, obs::event_kind::accusation_sent));
+  // And a survivor took over.
+  const auto new_leader = c.at(observer).leader(g1);
+  ASSERT_TRUE(new_leader.has_value());
+  EXPECT_NE(*new_leader, *leader);
+}
+
+TEST(ServiceObs, CandidacyFlipRecorded) {
+  observed_cluster c(1);
+  c.at(0).register_process(process_id{0});
+  join_options opts;
+  opts.candidate = false;
+  c.at(0).join_group(process_id{0}, g1, opts);
+  c.settle();
+  ASSERT_TRUE(c.at(0).set_candidacy(process_id{0}, g1, true));
+  auto events = c.events_of(0);
+  auto it = std::find_if(events.begin(), events.end(), [](const auto& ev) {
+    return ev.kind == obs::event_kind::candidacy_flip;
+  });
+  ASSERT_NE(it, events.end());
+  EXPECT_EQ(it->subject, process_id{0});
+  EXPECT_DOUBLE_EQ(it->value, 1.0);
+}
+
+TEST(ServiceObs, UnknownGroupDropCountedAndTraced) {
+  observed_cluster c(2);
+  c.at(0).register_process(process_id{0});
+  c.at(0).join_group(process_id{0}, g1, {});
+  c.settle(sec(2));
+  ASSERT_EQ(c.at(0).stats().dropped_unknown_group, 0u);
+
+  // A stale LEAVE for a group node 0 never joined (e.g. the sender has not
+  // processed our own departure yet).
+  proto::leave_msg leave;
+  leave.from = node_id{1};
+  leave.inc = 1;
+  leave.group = g2;
+  leave.pid = process_id{1};
+  c.net.endpoint(node_id{1}).send(node_id{0}, proto::encode(leave));
+  c.settle(sec(1));
+
+  EXPECT_EQ(c.at(0).stats().dropped_unknown_group, 1u);
+  auto events = c.events_of(0);
+  auto it = std::find_if(events.begin(), events.end(), [](const auto& ev) {
+    return ev.kind == obs::event_kind::unknown_group_drop;
+  });
+  ASSERT_NE(it, events.end());
+  EXPECT_EQ(it->group, g2);
+  EXPECT_EQ(it->peer, node_id{1});
+}
+
+TEST(ServiceObs, HelloByGroupPrunedOnLeave) {
+  observed_cluster c(2);
+  for (std::size_t i = 0; i < 2; ++i) {
+    c.at(i).register_process(process_id{i});
+    c.at(i).join_group(process_id{i}, g1, {});
+    c.at(i).join_group(process_id{i}, g2, {});
+  }
+  c.settle(sec(30));
+  ASSERT_TRUE(c.at(0).stats().hello_by_group.contains(g1));
+  ASSERT_TRUE(c.at(0).stats().hello_by_group.contains(g2));
+
+  c.at(0).leave_group(process_id{0}, g1);
+  // Departed groups must not keep stale accounting rows alive forever (a
+  // long-lived instance cycling through many groups would leak them).
+  EXPECT_FALSE(c.at(0).stats().hello_by_group.contains(g1));
+  EXPECT_TRUE(c.at(0).stats().hello_by_group.contains(g2));
+}
+
+TEST(ServiceObs, ExportPublishesServiceStats) {
+  observed_cluster c(2);
+  for (std::size_t i = 0; i < 2; ++i) {
+    c.at(i).register_process(process_id{i});
+    c.at(i).join_group(process_id{i}, g1, {});
+  }
+  c.settle(sec(10));
+  obs::export_service_stats(c.obs[0]->reg, c.at(0));
+
+  auto& reg = c.obs[0]->reg;
+  const auto alive = reg.get_counter("omega_messages_sent_total",
+                                     {{"kind", "alive"}, {"node", "0"}})
+                         .value();
+  EXPECT_EQ(alive, c.at(0).stats().alive_sent);
+  EXPECT_GT(alive, 0u);
+  const auto received =
+      reg.get_counter("omega_datagrams_received_total", {{"node", "0"}}).value();
+  EXPECT_EQ(received, c.at(0).stats().datagrams_received);
+  EXPECT_GT(reg.get_gauge("omega_heartbeat_interval_seconds", {{"node", "0"}})
+                .value(),
+            0.0);
+
+  // The whole registry renders and re-parses (the exposition smoke).
+  auto samples = obs::parse_prometheus(obs::render_prometheus(reg));
+  ASSERT_TRUE(samples.has_value());
+  EXPECT_FALSE(samples->empty());
+}
+
+}  // namespace
+}  // namespace omega::service
