@@ -15,6 +15,7 @@
 //                       own stream from it.
 #pragma once
 
+#include <chrono>
 #include <cstdlib>
 #include <iostream>
 #include <string>
@@ -38,6 +39,23 @@ inline double bench_hours() { return env_double("OMEGA_BENCH_HOURS", 2.0); }
 inline std::uint64_t bench_seed() {
   return static_cast<std::uint64_t>(env_double("OMEGA_BENCH_SEED", 42.0));
 }
+
+/// Wall-clock stopwatch. The benches sweep *virtual* time; this measures
+/// the real CPU cost of simulating it — the number the hot-path work
+/// (DESIGN.md §9) moves, reported as `wall_clock_s` in every BENCH_*.json
+/// and gated against regression by scripts/ci.sh.
+class wall_timer {
+ public:
+  wall_timer() : start_(std::chrono::steady_clock::now()) {}
+  [[nodiscard]] double seconds() const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         start_)
+        .count();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
 
 /// The paper's five headline lossy-link settings, in figure order.
 struct lossy_setting {

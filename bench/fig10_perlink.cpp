@@ -73,9 +73,12 @@ struct cell_result {
   std::uint64_t retunes = 0;
   std::size_t samples = 0;
   double simulated_hours = 0.0;
+  double wall_clock_s = 0.0;
+  std::uint64_t events_executed = 0;
 };
 
 cell_result run_cell(const harness::scenario& sc) {
+  omega::bench::wall_timer wall;
   harness::experiment exp(sc);
   auto& sim = exp.simulator();
   const std::size_t lan_count = sc.nodes - sc.wan_nodes;
@@ -130,6 +133,8 @@ cell_result run_cell(const harness::scenario& sc) {
   }
   res.retunes = exp.total_retunes() - retunes_base;
   res.simulated_hours = to_seconds(sc.measured) / 3600.0;
+  res.wall_clock_s = wall.seconds();
+  res.events_executed = sim.events_executed();
   return res;
 }
 
@@ -141,6 +146,8 @@ std::string json_cell(const cell_result& r) {
   s += ", \"rate_req_total\": " + std::to_string(r.rate_req_total);
   s += ", \"retunes\": " + std::to_string(r.retunes);
   s += ", \"samples\": " + std::to_string(r.samples);
+  s += ", \"wall_clock_s\": " + harness::fmt_double(r.wall_clock_s, 3);
+  s += ", \"events_executed\": " + std::to_string(r.events_executed);
   s += "}";
   return s;
 }

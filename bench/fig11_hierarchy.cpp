@@ -77,6 +77,8 @@ struct cell_result {
   std::size_t reelection_samples = 0;
   std::uint64_t promotions = 0;  // hierarchy only
   std::uint64_t demotions = 0;   // hierarchy only
+  double wall_clock_s = 0.0;
+  std::uint64_t events_executed = 0;
 };
 
 /// Crashes the node hosting the current agreed (global) leader and returns
@@ -113,6 +115,7 @@ double measure_failover(harness::experiment& exp) {
 
 cell_result run_cell(const harness::scenario& sc, double window_s,
                      std::size_t failovers) {
+  omega::bench::wall_timer wall;
   harness::experiment exp(sc);
   auto& sim = exp.simulator();
 
@@ -174,6 +177,8 @@ cell_result run_cell(const harness::scenario& sc, double window_s,
       res.demotions += c->demotions();
     }
   }
+  res.wall_clock_s = wall.seconds();
+  res.events_executed = sim.events_executed();
   return res;
 }
 
@@ -187,6 +192,8 @@ std::string json_cell(const cell_result& r) {
        harness::fmt_double(r.plan_entries_per_node, 2);
   s += ", \"reelection_mean_s\": " + harness::fmt_double(r.reelection_mean_s, 3);
   s += ", \"reelection_samples\": " + std::to_string(r.reelection_samples);
+  s += ", \"wall_clock_s\": " + harness::fmt_double(r.wall_clock_s, 3);
+  s += ", \"events_executed\": " + std::to_string(r.events_executed);
   s += ", \"promotions\": " + std::to_string(r.promotions);
   s += ", \"demotions\": " + std::to_string(r.demotions);
   s += "}";

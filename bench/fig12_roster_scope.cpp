@@ -22,6 +22,7 @@
 // leader, mean per-region availability, and the cross-tier blame split of
 // global outages. Machine readable: BENCH_roster.json (OMEGA_BENCH_JSON).
 #include <algorithm>
+#include <cstdlib>
 #include <fstream>
 #include <iostream>
 #include <string>
@@ -100,6 +101,11 @@ struct cell_result {
   /// attributed outages): how much of each interval was failure detection,
   /// suspicion dissemination, and election convergence.
   obs::forensics_summary budget;
+  /// Real time spent simulating the whole cell (settle + traffic window +
+  /// failovers) and the events it took — the simulator-cost numbers the
+  /// ci.sh wall-clock regression gate tracks.
+  double wall_clock_s = 0.0;
+  std::uint64_t events_executed = 0;
 };
 
 struct failover_sample {
@@ -146,6 +152,7 @@ failover_sample measure_failover(harness::experiment& exp) {
 
 cell_result run_cell(const harness::scenario& sc, double window_s,
                      std::size_t failovers) {
+  omega::bench::wall_timer wall;
   harness::experiment exp(sc);
   auto& sim = exp.simulator();
 
@@ -208,6 +215,8 @@ cell_result run_cell(const harness::scenario& sc, double window_s,
       availability_sum / static_cast<double>(hm->regions());
   res.blamed_regional = hm->outages_blamed_regional();
   res.blamed_global = hm->outages_blamed_global();
+  res.wall_clock_s = wall.seconds();
+  res.events_executed = sim.events_executed();
   return res;
 }
 
@@ -225,6 +234,8 @@ std::string json_cell(const cell_result& r) {
        harness::fmt_double(r.region_availability_mean, 5);
   s += ", \"outages_blamed_regional\": " + std::to_string(r.blamed_regional);
   s += ", \"outages_blamed_global\": " + std::to_string(r.blamed_global);
+  s += ", \"wall_clock_s\": " + harness::fmt_double(r.wall_clock_s, 3);
+  s += ", \"events_executed\": " + std::to_string(r.events_executed);
   const auto mean_or = [](const running_stats& st, double fallback) {
     return st.empty() ? fallback : st.mean();
   };
@@ -247,14 +258,29 @@ int main() {
   // Membership-dissemination economics are stationary: a few minutes of
   // simulated wire suffice per cell, even where the paper ran days.
   const double window_s = std::clamp(hours * 120.0, 45.0, 180.0);
-  const std::size_t rosters[] = {120, 300, 500};
+  // OMEGA_BENCH_ROSTERS ("120,300,500" default) restricts the roster sweep:
+  // profiling runs and the CI wall-clock gate only need one size each.
+  std::vector<std::size_t> rosters = {120, 300, 500};
+  if (const char* env = std::getenv("OMEGA_BENCH_ROSTERS"); env && *env) {
+    rosters.clear();
+    std::size_t value = 0;
+    for (const char* c = env;; ++c) {
+      if (*c >= '0' && *c <= '9') {
+        value = value * 10 + static_cast<std::size_t>(*c - '0');
+      } else {
+        if (value > 0) rosters.push_back(value);
+        value = 0;
+        if (*c == '\0') break;
+      }
+    }
+  }
 
   harness::table t(
       "Figure 12: roster-scoped vs cluster-wide HELLO dissemination, 3-tier "
       "hierarchy (regions of 10)");
   t.headers({"roster", "policy", "msgs/s", "HELLO/s", "KB/s", "ALIVE/node/s",
              "re-election (s)", "det/diss/elect (s)", "region avail",
-             "blame reg/glob"});
+             "blame reg/glob", "wall (s)"});
 
   std::string rows_json;
   bool scoped_fewer_at_300 = false;
@@ -286,7 +312,8 @@ int main() {
              harness::fmt_double(r.reelection_mean_s, 2), split,
              harness::fmt_double(r.region_availability_mean, 4),
              std::to_string(r.blamed_regional) + "/" +
-                 std::to_string(r.blamed_global)});
+                 std::to_string(r.blamed_global),
+             harness::fmt_double(r.wall_clock_s, 1)});
     };
     row(policy::cluster3, cluster3);
     row(policy::scoped3, scoped3);

@@ -77,6 +77,8 @@ std::string json_cell(const harness::experiment_result& r) {
   s += ", \"lambda_u_per_h\": " + harness::fmt_double(r.lambda_u, 3);
   s += ", \"p_leader\": " + harness::fmt_double(r.p_leader, 6);
   s += ", \"retunes\": " + std::to_string(r.retunes);
+  s += ", \"wall_clock_s\": " + harness::fmt_double(r.wall_clock_s, 3);
+  s += ", \"events_executed\": " + std::to_string(r.events_executed);
   s += "}";
   return s;
 }

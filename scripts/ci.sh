@@ -27,6 +27,12 @@ OMEGA_BENCH_HOURS="${OMEGA_BENCH_HOURS:-0.2}" ./build/fig10_perlink
 OMEGA_BENCH_HOURS="${OMEGA_BENCH_HOURS:-0.2}" ./build/fig11_hierarchy
 OMEGA_BENCH_HOURS="${OMEGA_BENCH_HOURS:-0.2}" ./build/fig12_roster_scope
 
+# Hot-path microbench: pure datagram churn through the zero-copy simulated
+# network (DESIGN.md §9). Writes BENCH_sim_hotpath.json; the allocation gate
+# below fails CI the moment a steady-state allocation sneaks back into the
+# multicast -> admit -> deliver path.
+./build/sim_hotpath
+
 # The hierarchical-election example is a two-level failover demo with a
 # pass/fail exit code: run it as part of the smoke set.
 ./build/example_hierarchical_election > /dev/null
@@ -96,6 +102,46 @@ if (os.environ.get("OMEGA_BENCH_HOURS") == "0.2"
                   f"{BASELINE_120_SCOPED3} ({drift * 100:.2f}% drift)")
 else:
     print("ci.sh: non-stock bench window/seed, skipping the overhead gate")
+
+# Zero-allocation gate: the hot-path microbench must report no heap
+# allocations during its measurement window. Any regression here means a
+# per-datagram copy or callback-box allocation crept back in (DESIGN.md §9).
+with open("BENCH_sim_hotpath.json") as fh:
+    hot = json.load(fh)
+if hot["allocations"] != 0 or not hot["zero_alloc_steady_state"]:
+    print(f"ci.sh: hot path allocated {hot['allocations']} times over "
+          f"{hot['datagrams_delivered']} datagrams "
+          f"({hot['allocs_per_datagram']:.6f}/datagram)", file=sys.stderr)
+    failed = True
+else:
+    print(f"ci.sh: zero-alloc gate: {hot['datagrams_delivered']} datagrams, "
+          f"0 allocations, {hot['events_per_s']:.0f} events/s")
+
+# Wall-clock regression gate: on the stock smoke setting the three 120-node
+# fig12 cells are deterministic workloads, so their summed wall clock tracks
+# raw simulator throughput. More than 20% above the committed baseline means
+# the hot path got slower (the threshold absorbs machine-to-machine noise;
+# re-baseline WALL_BASELINE_120_S when hardware changes).
+WALL_BASELINE_120_S = 10.9  # sum over 120-node cells, hours=0.2 seed=42
+if (os.environ.get("OMEGA_BENCH_HOURS") == "0.2"
+        and os.environ.get("OMEGA_BENCH_SEED") == "42"):
+    row120 = next((r for r in data["rosters"] if r["nodes"] == 120), None)
+    if row120 is None:
+        print("ci.sh: no 120-node row for the wall-clock gate", file=sys.stderr)
+        failed = True
+    else:
+        wall = sum(row120[c]["wall_clock_s"]
+                   for c in ("cluster3", "scoped3", "two_tier"))
+        if wall > WALL_BASELINE_120_S * 1.20:
+            print(f"ci.sh: wall-clock gate: 120-node cells took {wall:.1f}s, "
+                  f">20% above the {WALL_BASELINE_120_S}s baseline",
+                  file=sys.stderr)
+            failed = True
+        else:
+            print(f"ci.sh: wall-clock gate: 120-node cells {wall:.1f}s "
+                  f"(baseline {WALL_BASELINE_120_S}s)")
+else:
+    print("ci.sh: non-stock bench window/seed, skipping the wall-clock gate")
 
 # Forensics gate: every cell that measured re-elections must attribute at
 # least 95% of the mean outage window to detection/dissemination/election.

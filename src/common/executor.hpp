@@ -8,8 +8,8 @@
 #pragma once
 
 #include <cstdint>
-#include <functional>
 
+#include "common/task.hpp"
 #include "common/time.hpp"
 
 namespace omega {
@@ -33,11 +33,13 @@ class timer_service {
   virtual ~timer_service() = default;
 
   /// Schedules `fn` to run at absolute time `when` (or immediately if `when`
-  /// is in the past). Returns a handle usable with `cancel`.
-  virtual timer_id schedule_at(time_point when, std::function<void()> fn) = 0;
+  /// is in the past). Returns a handle usable with `cancel`. Takes a
+  /// move-only SBO callable: arming a timer with a small capture is
+  /// allocation-free on the simulator's slab (lambdas convert implicitly).
+  virtual timer_id schedule_at(time_point when, unique_task fn) = 0;
 
   /// Schedules `fn` to run `after` from now.
-  virtual timer_id schedule_after(duration after, std::function<void()> fn) = 0;
+  virtual timer_id schedule_after(duration after, unique_task fn) = 0;
 
   /// Cancels a pending timer; no-op if it already fired or was cancelled.
   virtual void cancel(timer_id id) = 0;
@@ -55,11 +57,11 @@ class scoped_timer {
   scoped_timer(const scoped_timer&) = delete;
   scoped_timer& operator=(const scoped_timer&) = delete;
 
-  void arm_at(time_point when, std::function<void()> fn) {
+  void arm_at(time_point when, unique_task fn) {
     cancel();
     id_ = timers_->schedule_at(when, std::move(fn));
   }
-  void arm_after(duration after, std::function<void()> fn) {
+  void arm_after(duration after, unique_task fn) {
     cancel();
     id_ = timers_->schedule_after(after, std::move(fn));
   }

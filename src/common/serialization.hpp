@@ -24,6 +24,11 @@ namespace omega {
 class byte_writer {
  public:
   byte_writer() = default;
+  /// Adopts `buf` (cleared) as the output buffer, reusing its capacity —
+  /// the allocation-free encode path writes into pool-recycled storage.
+  explicit byte_writer(std::vector<std::byte> buf) : buf_(std::move(buf)) {
+    buf_.clear();
+  }
 
   void write_u8(std::uint8_t v);
   void write_u16(std::uint16_t v);

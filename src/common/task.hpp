@@ -1,0 +1,119 @@
+// Move-only type-erased `void()` callable with small-buffer optimization.
+//
+// The discrete-event simulator executes tens of millions of timer callbacks
+// per run; `std::function`'s copyability requirement forces almost every
+// capturing lambda onto the heap (libstdc++ only stores pointer-sized
+// callables inline). `unique_task` stores any nothrow-movable callable of up
+// to `inline_size` bytes in place — enough for every closure in the protocol
+// stack (this + a shared payload + two node ids fits with room to spare) —
+// so arming a timer allocates nothing. Larger or throwing-move callables
+// fall back to one heap allocation, exactly like std::function.
+#pragma once
+
+#include <cstddef>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace omega {
+
+class unique_task {
+ public:
+  /// Inline capture budget; closures above it are heap-allocated.
+  static constexpr std::size_t inline_size = 64;
+
+  unique_task() = default;
+
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::remove_cvref_t<F>, unique_task> &&
+                std::is_invocable_r_v<void, std::remove_cvref_t<F>&>>>
+  unique_task(F&& f) {  // NOLINT(google-explicit-constructor): drop-in for
+    emplace(std::forward<F>(f));  // the std::function it replaces
+  }
+
+  unique_task(unique_task&& other) noexcept { move_from(other); }
+  unique_task& operator=(unique_task&& other) noexcept {
+    if (this != &other) {
+      reset();
+      move_from(other);
+    }
+    return *this;
+  }
+  unique_task(const unique_task&) = delete;
+  unique_task& operator=(const unique_task&) = delete;
+  ~unique_task() { reset(); }
+
+  void operator()() { ops_->call(target()); }
+
+  [[nodiscard]] explicit operator bool() const { return ops_ != nullptr; }
+
+  void reset() {
+    if (ops_ != nullptr) {
+      ops_->destroy(target());
+      ops_ = nullptr;
+    }
+  }
+
+ private:
+  struct ops_t {
+    void (*call)(void*);
+    void (*destroy)(void*);
+    /// Move-construct at `dst` from `src`, destroying `src`. Only used for
+    /// inline storage; heap callables relocate by stealing the pointer.
+    void (*relocate)(void* dst, void* src);
+    bool stored_inline;
+  };
+
+  template <typename F>
+  void emplace(F&& f) {
+    using fn = std::remove_cvref_t<F>;
+    if constexpr (sizeof(fn) <= inline_size &&
+                  alignof(fn) <= alignof(std::max_align_t) &&
+                  std::is_nothrow_move_constructible_v<fn>) {
+      ::new (static_cast<void*>(buf_)) fn(std::forward<F>(f));
+      static constexpr ops_t ops = {
+          [](void* p) { (*static_cast<fn*>(p))(); },
+          [](void* p) { static_cast<fn*>(p)->~fn(); },
+          [](void* dst, void* src) {
+            ::new (dst) fn(std::move(*static_cast<fn*>(src)));
+            static_cast<fn*>(src)->~fn();
+          },
+          true,
+      };
+      ops_ = &ops;
+    } else {
+      heap_ = new fn(std::forward<F>(f));
+      static constexpr ops_t ops = {
+          [](void* p) { (*static_cast<fn*>(p))(); },
+          [](void* p) { delete static_cast<fn*>(p); },
+          nullptr,
+          false,
+      };
+      ops_ = &ops;
+    }
+  }
+
+  void move_from(unique_task& other) noexcept {
+    ops_ = other.ops_;
+    if (ops_ == nullptr) return;
+    if (ops_->stored_inline) {
+      ops_->relocate(buf_, other.buf_);
+    } else {
+      heap_ = other.heap_;
+    }
+    other.ops_ = nullptr;
+  }
+
+  [[nodiscard]] void* target() {
+    return ops_->stored_inline ? static_cast<void*>(buf_) : heap_;
+  }
+
+  const ops_t* ops_ = nullptr;
+  union {
+    alignas(std::max_align_t) std::byte buf_[inline_size];
+    void* heap_;
+  };
+};
+
+}  // namespace omega

@@ -56,8 +56,16 @@ struct elector_context {
   clock_source* clock = nullptr;
   /// FD verdict for a remote node within this group.
   std::function<bool(node_id)> is_trusted;
-  /// Current group membership.
-  std::function<std::vector<membership::member_info>()> members;
+  /// Current group membership, sorted by pid. Returns a reference into the
+  /// group-maintenance roster cache: valid until the next membership event,
+  /// which is always outside an elector call (datagram sends are enqueued,
+  /// never delivered synchronously). Electors run evaluate() once per
+  /// inbound payload, so this must not copy the roster.
+  std::function<const std::vector<membership::member_info>&()> members;
+  /// Monotonic roster-content version (member_table::version). Lets an
+  /// elector detect membership changes between evaluations without a scan;
+  /// leave null to disable evaluation memoization.
+  std::function<std::uint64_t()> members_version;
   /// Sends an ACCUSE message to the node hosting the accused process.
   std::function<void(const proto::accuse_msg&, node_id)> send_accuse;
   /// Optional stability score in [0, 1] for a candidate (higher = more

@@ -23,18 +23,31 @@ void omega_l::on_alive_payload(node_id from, incarnation inc,
   if (!payload.competing || !payload.candidate) {
     // A final ALIVE with competing=false is a graceful withdrawal: drop the
     // contender right away instead of waiting for a timeout.
-    if (it != contenders_.end()) contenders_.erase(it);
+    if (it != contenders_.end()) {
+      contenders_.erase(it);
+      memo_dirty_ = true;
+    }
     return;
   }
-  contender_state& st = contenders_[payload.pid];
+  const bool existed = it != contenders_.end();
+  contender_state& st = existed ? it->second : contenders_[payload.pid];
+  const contender_state before = st;
   st.node = from;
   st.inc = inc;
   st.candidate = payload.candidate;
   st.acc_time = std::max(st.acc_time, payload.accusation_time);
   st.phase = payload.phase;
+  // The steady-state leader heartbeat repeats the same evidence; only an
+  // actual change can affect the next evaluation.
+  if (!existed || before.node != st.node || before.inc != st.inc ||
+      before.candidate != st.candidate || before.acc_time != st.acc_time ||
+      before.phase != st.phase) {
+    memo_dirty_ = true;
+  }
 }
 
 void omega_l::on_fd_transition(node_id node, bool trusted) {
+  memo_dirty_ = true;  // trust verdicts gate contender eligibility
   if (trusted) return;
   // Timeout on a contender: accuse it (tagged with the phase we last saw,
   // so a voluntary withdrawal in the meantime makes the accusation stale)
@@ -69,21 +82,47 @@ void omega_l::on_accuse(const proto::accuse_msg& msg) {
   // which punishes voluntary withdrawal — see options::phase_guard.)
   if (opts_.phase_guard && (!competing_ || msg.phase != phase_)) return;
   const time_point now = ctx_.clock ? ctx_.clock->now() : time_point{};
-  self_acc_ = std::max(self_acc_, now);
+  if (now > self_acc_) {
+    self_acc_ = now;
+    memo_dirty_ = true;
+  }
 }
 
 void omega_l::on_member_removed(const membership::member_info& member) {
   auto it = contenders_.find(member.pid);
-  if (it != contenders_.end() && it->second.inc <= member.inc) contenders_.erase(it);
+  if (it != contenders_.end() && it->second.inc <= member.inc) {
+    contenders_.erase(it);
+    memo_dirty_ = true;
+  }
 }
 
 std::optional<process_id> omega_l::evaluate() {
-  const auto members = ctx_.members();
+  // Steady-state short-circuit: see the memo contract in the header. The
+  // competing_/phase_ side effects below depend only on `best`, which
+  // cannot differ from the memoized run when no input changed.
+  const std::uint64_t roster_version =
+      ctx_.members_version ? ctx_.members_version() : 0;
+  if (!memo_dirty_ && ctx_.members_version &&
+      roster_version == memo_members_version_) {
+    return memo_result_;
+  }
+
+  // Candidate roster indexed per roster *version*, not per evaluation: the
+  // per-contender linear scan made every evaluation O(contenders * members)
+  // — quadratic in the global group — and during cluster settle many
+  // evaluations share one roster version.
+  if (!candidate_index_valid_ || !ctx_.members_version ||
+      roster_version != candidate_index_version_) {
+    candidate_index_.clear();
+    for (const auto& m : ctx_.members()) {
+      if (m.candidate) candidate_index_.emplace(m.pid, m.inc);
+    }
+    candidate_index_version_ = roster_version;
+    candidate_index_valid_ = ctx_.members_version != nullptr;
+  }
   const auto is_candidate_member = [&](process_id pid, incarnation inc) {
-    return std::any_of(members.begin(), members.end(),
-                       [&](const membership::member_info& m) {
-                         return m.pid == pid && m.candidate && m.inc == inc;
-                       });
+    auto it = candidate_index_.find(pid);
+    return it != candidate_index_.end() && it->second == inc;
   };
 
   std::optional<rank> best;
@@ -105,13 +144,16 @@ std::optional<process_id> omega_l::evaluate() {
     note_competition(false);
   }
 
-  if (!best) return std::nullopt;
-  return best->pid;
+  memo_result_ = best ? std::optional<process_id>(best->pid) : std::nullopt;
+  memo_members_version_ = roster_version;
+  memo_dirty_ = false;
+  return memo_result_;
 }
 
 void omega_l::set_candidate(bool candidate) {
   if (ctx_.candidate == candidate) return;
   ctx_.candidate = candidate;
+  memo_dirty_ = true;
   if (candidate) {
     // Same entry semantics as a fresh candidate join: compete until we hear
     // someone better, ranked behind every established contender, in a new

@@ -17,16 +17,27 @@ void omega_lc::on_alive_payload(node_id from, incarnation inc,
   if (payload.pid == ctx_.self_pid) return;
   auto it = peers_.find(payload.pid);
   if (it != peers_.end() && inc < it->second.inc) return;  // stale incarnation
-  peer_state& st = peers_[payload.pid];
+  const bool existed = it != peers_.end();
+  peer_state& st = existed ? it->second : peers_[payload.pid];
+  const peer_state before = st;
   st.node = from;
   st.inc = inc;
   st.candidate = payload.candidate;
   st.acc_time = std::max(st.acc_time, payload.accusation_time);
   st.local_leader = payload.local_leader;
   st.local_leader_acc = payload.local_leader_acc;
+  // The steady-state heartbeat repeats the same election evidence; only an
+  // actual change can affect the next evaluation.
+  if (!existed || before.node != st.node || before.inc != st.inc ||
+      before.candidate != st.candidate || before.acc_time != st.acc_time ||
+      before.local_leader != st.local_leader ||
+      before.local_leader_acc != st.local_leader_acc) {
+    memo_dirty_ = true;
+  }
 }
 
 void omega_lc::on_fd_transition(node_id node, bool trusted) {
+  memo_dirty_ = true;  // trust verdicts feed fresh(); any edge can flip ranks
   if (trusted) {
     // The link healed before the accusation became necessary: cancel any
     // pending accusation against processes hosted there. This is the path
@@ -100,7 +111,10 @@ void omega_lc::recheck_pending_accusations() {
 void omega_lc::on_accuse(const proto::accuse_msg& msg) {
   if (msg.target != ctx_.self_pid || msg.target_inc != ctx_.self_inc) return;
   const time_point now = ctx_.clock ? ctx_.clock->now() : time_point{};
-  self_acc_ = std::max(self_acc_, now);
+  if (now > self_acc_) {
+    self_acc_ = now;
+    memo_dirty_ = true;
+  }
 }
 
 void omega_lc::on_member_removed(const membership::member_info& member) {
@@ -108,6 +122,7 @@ void omega_lc::on_member_removed(const membership::member_info& member) {
   if (it != peers_.end() && it->second.inc <= member.inc) {
     peers_.erase(it);
     pending_accuse_.erase(member.pid);
+    memo_dirty_ = true;
   }
 }
 
@@ -117,10 +132,11 @@ bool omega_lc::fresh(const membership::member_info& m) const {
 }
 
 std::optional<omega_lc::rank> omega_lc::local_stage(
-    const std::vector<membership::member_info>& members) const {
+    const std::vector<membership::member_info>& members) {
   // Collect the eligible candidates (fresh, with accusation data) first:
   // the optional stability filter needs the whole field before ranking.
-  std::vector<rank> eligible;
+  std::vector<rank>& eligible = eligible_scratch_;
+  eligible.clear();
   for (const auto& m : members) {
     if (!m.candidate || !fresh(m)) continue;
     time_point acc;
@@ -142,7 +158,8 @@ std::optional<omega_lc::rank> omega_lc::local_stage(
     // survives), so a leader is still always chosen. Scores are taken once
     // per candidate into a vector: the callback may walk the adaptation
     // engine's records, so it must not run again per comparison.
-    std::vector<double> scores;
+    std::vector<double>& scores = scores_scratch_;
+    scores.clear();
     scores.reserve(eligible.size());
     double best_score = 0.0;
     for (const rank& r : eligible) {
@@ -165,27 +182,47 @@ std::optional<omega_lc::rank> omega_lc::local_stage(
 }
 
 std::optional<process_id> omega_lc::evaluate() {
+  // Steady-state short-circuit: no input changed since the last full
+  // evaluation, so the result (and the stage-1 cache fill_payload reads)
+  // is still exact. Disqualifiers: pending accusations (their recheck is
+  // time-driven, not event-driven) and an attached stability scorer
+  // (scores drift without any protocol event).
+  const std::uint64_t roster_version =
+      ctx_.members_version ? ctx_.members_version() : 0;
+  if (!memo_dirty_ && stage1_cached_ && pending_accuse_.empty() &&
+      !ctx_.stability_score && ctx_.members_version &&
+      roster_version == memo_members_version_) {
+    return memo_result_;
+  }
+
   // Evidence may have changed since the last event batch: fire or cancel
   // held-back accusations first.
   recheck_pending_accusations();
 
-  const auto members = ctx_.members();
-  // Candidate roster built once: stage 2 mentions up to one pid per member,
-  // and a linear is-candidate scan per mention would make every evaluation
-  // O(n^2) — measurable at the hierarchy bench's 120-node rosters.
-  std::unordered_set<process_id> candidate_members;
-  for (const auto& m : members) {
-    if (m.candidate) candidate_members.insert(m.pid);
+  const auto& members = ctx_.members();
+  // Candidate roster indexed per roster version: stage 2 mentions up to one
+  // pid per member, and a linear is-candidate scan per mention would make
+  // every evaluation O(n^2) — measurable at the hierarchy bench's 120-node
+  // rosters.
+  if (!candidate_index_valid_ || !ctx_.members_version ||
+      roster_version != candidate_index_version_) {
+    candidate_index_.clear();
+    for (const auto& m : members) {
+      if (m.candidate) candidate_index_.insert(m.pid);
+    }
+    candidate_index_version_ = roster_version;
+    candidate_index_valid_ = ctx_.members_version != nullptr;
   }
   const auto is_candidate_member = [&](process_id pid) {
-    return candidate_members.find(pid) != candidate_members.end();
+    return candidate_index_.find(pid) != candidate_index_.end();
   };
 
   // Stage 2: gather (local leader, accusation time) reports from every
   // fresh member plus our own stage-1 result, keeping for each mentioned
   // candidate the *latest* accusation time we can see anywhere (accusation
   // times only grow, so max is the freshest knowledge).
-  std::unordered_map<process_id, time_point> mentioned;
+  std::unordered_map<process_id, time_point>& mentioned = mentioned_scratch_;
+  mentioned.clear();
   const auto mention = [&](process_id pid, time_point acc) {
     if (!pid.valid() || !is_candidate_member(pid)) return;
     auto [it, inserted] = mentioned.try_emplace(pid, acc);
@@ -217,13 +254,16 @@ std::optional<process_id> omega_lc::evaluate() {
     const rank r{acc, pid};
     if (!best || r < *best) best = r;
   }
-  if (!best) return std::nullopt;
-  return best->pid;
+  memo_result_ = best ? std::optional<process_id>(best->pid) : std::nullopt;
+  memo_members_version_ = roster_version;
+  memo_dirty_ = false;
+  return memo_result_;
 }
 
 void omega_lc::set_candidate(bool candidate) {
   if (ctx_.candidate == candidate) return;
   ctx_.candidate = candidate;
+  memo_dirty_ = true;
   if (candidate) {
     // Enter the order ranked behind every established candidate, exactly
     // like a fresh join would (the accusation time doubles as join time).

@@ -84,8 +84,10 @@ void fd_manager::remove_group(group_id group) {
   groups_.erase(group);
   plans_.erase(group);
   for (auto& [node, state] : remotes_) {
+    trusted_pairs_.erase(trust_key(group, node));
     state->monitors.erase(group);
     state->params.erase(group);
+    state->hot.clear();
   }
 }
 
@@ -105,6 +107,13 @@ heartbeat_monitor& fd_manager::ensure_monitor(group_id group, node_id remote,
     }();
     auto monitor = std::make_unique<heartbeat_monitor>(
         clock_, timers_, params.delta, [this, group, remote](bool trusted) {
+          // Mirror first: the transition handler re-enters is_trusted via
+          // the elector re-evaluation.
+          if (trusted) {
+            trusted_pairs_.insert(trust_key(group, remote));
+          } else {
+            trusted_pairs_.erase(trust_key(group, remote));
+          }
           if (sink_) {
             obs::trace_event ev;
             ev.kind = trusted ? obs::event_kind::suspicion_cleared
@@ -145,17 +154,31 @@ void fd_manager::on_alive(const proto::alive_msg& msg, time_point recv_time) {
     // describe this incarnation.
     state.inc = msg.inc;
     state.lqe.reset();
+    forget_trust(msg.from, state);
     state.monitors.clear();
     state.params.clear();
+    state.hot.clear();
   }
   state.last_heard = recv_time;
   state.lqe.on_heartbeat(msg.seq, msg.send_time, recv_time);
   if (on_link_sample_) on_link_sample_(msg.from, state.lqe.estimate(), recv_time);
 
   for (const auto& payload : msg.groups) {
-    if (groups_.find(payload.group) == groups_.end()) continue;  // not ours
-    ensure_monitor(payload.group, msg.from, state)
-        .on_heartbeat(msg.send_time, msg.eta);
+    // Hot path: one linear probe of the positive cache instead of two hash
+    // lookups (groups_ + monitors) per carried payload.
+    heartbeat_monitor* mon = nullptr;
+    for (auto& [g, m] : state.hot) {
+      if (g == payload.group) {
+        mon = m;
+        break;
+      }
+    }
+    if (mon == nullptr) {
+      if (groups_.find(payload.group) == groups_.end()) continue;  // not ours
+      mon = &ensure_monitor(payload.group, msg.from, state);
+      state.hot.emplace_back(payload.group, mon);
+    }
+    mon->on_heartbeat(msg.send_time, msg.eta);
   }
 }
 
@@ -166,8 +189,10 @@ void fd_manager::drop(group_id group, node_id remote) {
   }
   auto it = remotes_.find(remote);
   if (it == remotes_.end()) return;
+  trusted_pairs_.erase(trust_key(group, remote));
   it->second->monitors.erase(group);
   it->second->params.erase(group);
+  it->second->hot.clear();
   // The dropped group may have been the one pinning this remote to a fast
   // heartbeat rate; renegotiate from the remaining groups immediately
   // instead of leaving the stale request in force until the next refresh.
@@ -187,7 +212,16 @@ void fd_manager::forget_remote_refinements(node_id remote) {
 
 void fd_manager::drop_node(node_id remote) {
   forget_remote_refinements(remote);
-  remotes_.erase(remote);
+  if (auto it = remotes_.find(remote); it != remotes_.end()) {
+    forget_trust(remote, *it->second);
+    remotes_.erase(it);
+  }
+}
+
+void fd_manager::forget_trust(node_id remote, const remote_state& state) {
+  for (const auto& [group, monitor] : state.monitors) {
+    trusted_pairs_.erase(trust_key(group, remote));
+  }
 }
 
 void fd_manager::start() {
@@ -225,8 +259,13 @@ void fd_manager::reconfigure_all() {
   for (node_id node : gc) {
     // Same hygiene as drop_node: a GC'd remote's per-remote refinements
     // must not apply to its reincarnation on a possibly different link.
+    // (No monitor is trusted here — GC requires it — but clear the trust
+    // mirror under the same invariant as every other teardown.)
     forget_remote_refinements(node);
-    remotes_.erase(node);
+    if (auto it = remotes_.find(node); it != remotes_.end()) {
+      forget_trust(node, *it->second);
+      remotes_.erase(it);
+    }
   }
 }
 
@@ -286,10 +325,7 @@ void fd_manager::renegotiate_rate(node_id remote, remote_state& state,
 }
 
 bool fd_manager::is_trusted(group_id group, node_id remote) const {
-  auto it = remotes_.find(remote);
-  if (it == remotes_.end()) return false;
-  auto m = it->second->monitors.find(group);
-  return m != it->second->monitors.end() && m->second->trusted();
+  return trusted_pairs_.find(trust_key(group, remote)) != trusted_pairs_.end();
 }
 
 link_estimate fd_manager::link_quality(node_id remote) const {

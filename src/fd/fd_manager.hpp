@@ -19,6 +19,9 @@
 #include <memory>
 #include <optional>
 #include <unordered_map>
+#include <unordered_set>
+#include <utility>
+#include <vector>
 
 #include "common/executor.hpp"
 #include "common/ids.hpp"
@@ -149,6 +152,11 @@ class fd_manager {
     link_quality_estimator lqe;
     std::unordered_map<group_id, std::unique_ptr<heartbeat_monitor>> monitors;
     std::unordered_map<group_id, fd_params> params;
+    /// Positive-only lookup cache for the per-ALIVE hot path: (group,
+    /// monitor) pairs known to be registered and monitored, scanned
+    /// linearly (a node is in a handful of groups). Cleared whenever
+    /// `monitors` shrinks; pointer targets are stable (unique_ptr map).
+    std::vector<std::pair<group_id, heartbeat_monitor*>> hot;
     duration last_requested_eta{0};
     time_point last_rate_sent{};
     time_point last_heard{};
@@ -167,6 +175,16 @@ class fd_manager {
   heartbeat_monitor& ensure_monitor(group_id group, node_id remote,
                                     remote_state& state);
 
+  static constexpr std::uint64_t trust_key(group_id group, node_id remote) {
+    return (static_cast<std::uint64_t>(group.value()) << 32) |
+           static_cast<std::uint64_t>(remote.value());
+  }
+  /// Drops every (group, remote) trust entry backed by `state`'s monitors —
+  /// the bulk-teardown paths (incarnation restart, node drop, GC) destroy
+  /// possibly-trusted monitors without firing transitions, and the mirror
+  /// must not outlive them.
+  void forget_trust(node_id remote, const remote_state& state);
+
   clock_source& clock_;
   timer_service& timers_;
   options opts_;
@@ -177,6 +195,11 @@ class fd_manager {
   std::unordered_map<group_id, qos_spec> groups_;
   std::unordered_map<group_id, param_plan> plans_;
   std::unordered_map<node_id, std::unique_ptr<remote_state>> remotes_;
+  /// Mirror of "monitor exists and trusts" per (group, remote), maintained
+  /// at every trust edge and every monitor teardown. `is_trusted` is called
+  /// per contender per election evaluation, and the mirror answers it with
+  /// one flat hash probe instead of two chained map lookups.
+  std::unordered_set<std::uint64_t> trusted_pairs_;
   scoped_timer reconfig_timer_;
   bool running_ = false;
 };

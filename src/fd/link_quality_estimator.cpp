@@ -11,6 +11,7 @@ link_quality_estimator::link_quality_estimator(options opts)
 
 void link_quality_estimator::on_heartbeat(std::uint64_t seq, time_point sent,
                                           time_point received) {
+  est_valid_ = false;
   ++total_received_;
   if (opts_.synchronized_clocks) {
     // Delay sample; clamp at zero in case of residual clock skew.
@@ -51,6 +52,7 @@ void link_quality_estimator::roll_epoch() {
 }
 
 void link_quality_estimator::reset() {
+  est_valid_ = false;
   delay_seconds_.reset();
   raw_diff_seconds_.reset();
   total_received_ = 0;
@@ -61,10 +63,15 @@ void link_quality_estimator::reset() {
 }
 
 link_estimate link_quality_estimator::estimate() const {
+  if (est_valid_) return est_cache_;
   link_estimate est;
   est.samples = opts_.synchronized_clocks ? delay_seconds_.count()
                                           : raw_diff_seconds_.count();
-  if (est.samples == 0) return est;  // defaults: see qos.hpp
+  if (est.samples == 0) {  // defaults: see qos.hpp
+    est_cache_ = est;
+    est_valid_ = true;
+    return est;
+  }
 
   if (opts_.synchronized_clocks) {
     est.delay_mean = from_seconds(delay_seconds_.mean());
@@ -91,6 +98,8 @@ link_estimate link_quality_estimator::estimate() const {
     loss = est.loss_probability;  // keep the conservative default
   }
   est.loss_probability = std::clamp(std::max(loss, opts_.loss_floor), 0.0, 1.0);
+  est_cache_ = est;
+  est_valid_ = true;
   return est;
 }
 

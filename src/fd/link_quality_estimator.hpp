@@ -72,6 +72,13 @@ class link_quality_estimator {
   windowed_stats raw_diff_seconds_;  // skew-tolerant mode: raw recv - sent
   std::uint64_t total_received_ = 0;
 
+  /// estimate() is a pure function of the sample state and is queried both
+  /// per received ALIVE (the link observer) and per remote per
+  /// reconfiguration tick; the memo makes every query between two
+  /// heartbeats free.
+  mutable bool est_valid_ = false;
+  mutable link_estimate est_cache_{};
+
   bool epoch_open_ = false;
   std::uint64_t epoch_min_seq_ = 0;
   std::uint64_t epoch_max_seq_ = 0;

@@ -51,6 +51,18 @@ class rate_controller {
   duration default_eta_;
   duration expiry_;
   std::unordered_map<node_id, request> requests_;
+
+  /// Memoized scan result. effective_eta() is called on every outgoing
+  /// ALIVE, and the full scan over per-remote requests made it O(cluster)
+  /// per heartbeat. The cached minimum stays exact until either a request
+  /// mutation that could raise the minimum (invalidation below) or the
+  /// earliest recorded expiry passes (`valid_until`); both trigger a fresh
+  /// scan. Mutations that can only lower or confirm the minimum update it
+  /// in place. `valid_until` is allowed to be conservative (early) — an
+  /// early rescan returns the same value, a late one could not.
+  mutable bool cache_valid_ = false;
+  mutable duration cached_min_{0};  // 0 = no unexpired request seen
+  mutable time_point valid_until_{};
 };
 
 }  // namespace omega::fd

@@ -1,6 +1,7 @@
 #include "harness/experiment.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <stdexcept>
 #include <utility>
 
@@ -294,6 +295,7 @@ hierarchy::hierarchy_coordinator* experiment::node_coordinator(node_id node) {
 bool experiment::node_up(node_id node) const { return nodes_.at(node.value()).up; }
 
 experiment_result experiment::run() {
+  const auto wall_start = std::chrono::steady_clock::now();
   // Warm-up: stable cluster, estimators converge, leader settles.
   sim_.run_until(time_origin + sc_.warmup);
 
@@ -355,6 +357,9 @@ experiment_result experiment::run() {
 
   res.simulated_hours = to_seconds(sc_.measured) / 3600.0;
   res.events_executed = sim_.events_executed();
+  res.wall_clock_s = std::chrono::duration<double>(
+                         std::chrono::steady_clock::now() - wall_start)
+                         .count();
   return res;
 }
 

@@ -63,6 +63,9 @@ struct experiment_result {
   // Run bookkeeping.
   double simulated_hours = 0.0;
   std::uint64_t events_executed = 0;
+  /// Real time spent simulating this cell (warm-up + measured window) — the
+  /// simulator-cost number the BENCH_*.json wall-clock columns report.
+  double wall_clock_s = 0.0;
 };
 
 /// The simulated 12-workstation testbed: one `leader_election_service` per

@@ -53,7 +53,7 @@ std::vector<node_id> group_maintenance::snapshot_targets(group_id preferred) {
   std::vector<node_id> targets;
   std::unordered_set<node_id> seen;
   const auto take_from = [&](const member_table& table) {
-    for (const member_info& m : table.members()) {
+    for (const member_info& m : table.members_view()) {
       if (m.node == self_ || !seen.insert(m.node).second) continue;
       targets.push_back(m.node);
       if (targets.size() >= kSnapshotFanout) return true;
@@ -143,9 +143,8 @@ void group_maintenance::apply_upsert(group_id group, process_id pid, node_id nod
   auto it = groups_.find(group);
   if (it == groups_.end()) return;  // not a group we participate in
   member_table& table = it->second.table;
-  const member_info* before = table.find(pid);
-  const member_info prior = before ? *before : member_info{};
-  switch (table.upsert(pid, node, inc, candidate, now)) {
+  member_info prior{};
+  switch (table.upsert(pid, node, inc, candidate, now, &prior)) {
     case upsert_result::joined:
       note_membership(obs::event_kind::member_join, group, pid, node);
       if (events_.on_member_joined) events_.on_member_joined(group, *table.find(pid));
@@ -261,7 +260,7 @@ std::vector<node_id> group_maintenance::scoped_destinations(
   if (!state.local) return dsts;
   const bool local_is_candidate = state.local->candidate;
   std::unordered_set<node_id> seen;
-  for (const member_info& m : state.table.members()) {
+  for (const member_info& m : state.table.members_view()) {
     if (m.node == self_) continue;
     // Candidates announce to the whole group roster; listeners only to the
     // candidate hosts (the nodes whose tables must keep vouching for them).
@@ -363,7 +362,7 @@ proto::hello_ack_msg group_maintenance::build_snapshot(
   msg.inc = inc_;
   for (const auto& [group, state] : groups_) {
     if (request != nullptr && requested.count(group) == 0) continue;
-    for (const member_info& m : state.table.members()) {
+    for (const member_info& m : state.table.members_view()) {
       msg.entries.push_back({group, m.pid, m.node, m.inc, m.candidate});
     }
   }
@@ -392,7 +391,7 @@ std::vector<node_id> group_maintenance::group_roster(group_id group) const {
   auto it = groups_.find(group);
   if (it == groups_.end()) return roster;
   std::unordered_set<node_id> seen;
-  for (const member_info& m : it->second.table.members()) {
+  for (const member_info& m : it->second.table.members_view()) {
     if (m.node == self_ || !seen.insert(m.node).second) continue;
     roster.push_back(m.node);
   }

@@ -10,6 +10,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <functional>
 #include <optional>
 #include <unordered_map>
@@ -42,8 +43,12 @@ enum class upsert_result {
 class member_table {
  public:
   /// Inserts or refreshes a member; see `upsert_result` for the outcome.
+  /// If `prior` is non-null, it receives the entry as it was before the
+  /// call (unchanged when the result is `joined`) — saves the caller a
+  /// second hash lookup on the per-ALIVE path.
   upsert_result upsert(process_id pid, node_id node, incarnation inc,
-                       bool candidate, time_point now);
+                       bool candidate, time_point now,
+                       member_info* prior = nullptr);
 
   /// Removes a member if the evidence is not stale (incarnation >= stored).
   /// Returns the removed entry, if any.
@@ -59,11 +64,46 @@ class member_table {
 
   [[nodiscard]] const member_info* find(process_id pid) const;
   [[nodiscard]] std::vector<member_info> members() const;
+
+  /// The members sorted by pid, as a reference into a cache that stays valid
+  /// until the next membership *change* (join/leave/eviction). Timestamp
+  /// refreshes — the once-per-ALIVE common case — patch the cache in place,
+  /// so the election hot path reads the roster without copying or sorting
+  /// it. The reference is invalidated by any non-const member call.
+  [[nodiscard]] const std::vector<member_info>& members_view() const;
+
   [[nodiscard]] std::size_t size() const { return members_.size(); }
   [[nodiscard]] bool empty() const { return members_.empty(); }
 
+  /// Monotonic counter bumped by every change to membership *content* —
+  /// joins, leaves, evictions, reincarnations, candidate/host updates —
+  /// but not by pure last_refresh timestamps. Electors use it to detect
+  /// roster changes between evaluations without rescanning the roster.
+  [[nodiscard]] std::uint64_t version() const { return version_; }
+
  private:
+  /// Mirrors an updated entry into the sorted cache (pid unchanged, so the
+  /// sort position is stable). No-op while the cache is invalid.
+  void patch_cache(const member_info& m);
+  /// Sorted-position insert / erase keeping the cache valid across single
+  /// joins and removals; bulk removals (remove_node, evict_stale) just
+  /// invalidate instead. No-ops while the cache is invalid.
+  void insert_cache(const member_info& m);
+  void erase_cache(process_id pid);
+
   std::unordered_map<process_id, member_info> members_;
+  mutable std::vector<member_info> sorted_cache_;
+  mutable bool cache_valid_ = false;
+  std::uint64_t version_ = 0;
+
+  /// Lower bound on every member's last_refresh, so the periodic eviction
+  /// sweep can prove "nobody is stale" without scanning. Refreshes only
+  /// raise timestamps (time is monotone) and removals only raise the true
+  /// minimum, so the bound stays valid between full scans; inserts fold
+  /// their timestamp in. evict_stale recomputes it exactly when it does
+  /// scan. A conservative (low) bound only costs an unnecessary scan.
+  time_point min_refresh_bound_{};
+  bool min_bound_valid_ = false;
 };
 
 }  // namespace omega::membership

@@ -80,6 +80,24 @@ class link_model {
   void set_up(bool up) { up_ = up; }
   [[nodiscard]] bool up() const { return up_; }
 
+  /// Advances the lazy crash/recovery process to `now`. The up/down flip
+  /// schedule is drawn on demand from this link's own RNG stream the first
+  /// time the link is touched after `enable_crashes` — arming 250k timers up
+  /// front for a 500-node mesh (O(n²)) was the old, eager design. `anchor`
+  /// is the enable time: the first up-period starts there, exactly like the
+  /// first eagerly-scheduled flip used to.
+  void advance_crashes(const link_crash_profile& p, time_point anchor,
+                       time_point now) {
+    if (!flips_armed_) {
+      flips_armed_ = true;
+      next_flip_ = anchor + draw_uptime(p);
+    }
+    while (next_flip_ <= now) {
+      up_ = !up_;
+      next_flip_ += up_ ? draw_uptime(p) : draw_downtime(p);
+    }
+  }
+
   /// Draws the next up or down period for the crash process.
   duration draw_uptime(const link_crash_profile& p) { return rng_.exponential(p.mean_uptime); }
   duration draw_downtime(const link_crash_profile& p) { return rng_.exponential(p.mean_downtime); }
@@ -87,6 +105,8 @@ class link_model {
  private:
   link_profile profile_;
   bool up_ = true;
+  bool flips_armed_ = false;
+  time_point next_flip_{};
   rng rng_;
 };
 

@@ -1,0 +1,194 @@
+// Refcounted immutable datagram buffer with a recycling pool.
+//
+// The simulated network used to heap-allocate a fresh byte vector per
+// *delivery*: a multicast to a 500-node roster copied the encoded message
+// 500 times. A `shared_payload` is encoded once (into a buffer checked out
+// of a `payload_pool`), then every in-flight delivery event holds one
+// reference; when the last reference drops, the buffer — capacity intact —
+// goes back to the pool's free list. In steady state the ALIVE/HELLO
+// working set cycles through a fixed set of buffers and the datagram path
+// allocates nothing (DESIGN.md §9).
+//
+// The buffer is immutable after `seal`: receivers get `std::span<const
+// std::byte>` views, so a multicast destination can never mutate the bytes
+// a sibling destination is about to read. Lifetime is decoupled from the
+// pool: payloads still in flight when their pool is destroyed (the
+// simulator may hold delivery events past the network's teardown) are
+// orphaned and self-delete on the last release. Not thread-safe by design —
+// the pool lives on a single event loop, like everything else in the stack.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace omega::net {
+
+class payload_pool;
+
+class shared_payload {
+ public:
+  shared_payload() = default;
+  shared_payload(const shared_payload& other) : b_(other.b_) {
+    if (b_ != nullptr) ++b_->refs;
+  }
+  shared_payload(shared_payload&& other) noexcept : b_(other.b_) {
+    other.b_ = nullptr;
+  }
+  shared_payload& operator=(const shared_payload& other) {
+    if (this != &other) {
+      release();
+      b_ = other.b_;
+      if (b_ != nullptr) ++b_->refs;
+    }
+    return *this;
+  }
+  shared_payload& operator=(shared_payload&& other) noexcept {
+    if (this != &other) {
+      release();
+      b_ = other.b_;
+      other.b_ = nullptr;
+    }
+    return *this;
+  }
+  ~shared_payload() { release(); }
+
+  [[nodiscard]] std::span<const std::byte> bytes() const {
+    return b_ != nullptr ? std::span<const std::byte>(b_->data)
+                         : std::span<const std::byte>();
+  }
+  [[nodiscard]] std::size_t size() const {
+    return b_ != nullptr ? b_->data.size() : 0;
+  }
+  [[nodiscard]] bool empty() const { return size() == 0; }
+  [[nodiscard]] explicit operator bool() const { return b_ != nullptr; }
+
+  /// References alive, 0 for an empty handle (white-box for the tests).
+  [[nodiscard]] std::uint32_t use_count() const {
+    return b_ != nullptr ? b_->refs : 0;
+  }
+
+ private:
+  friend class payload_pool;
+  struct block {
+    std::vector<std::byte> data;
+    std::uint32_t refs = 0;
+    payload_pool* owner = nullptr;  // null once orphaned: self-delete
+    // Intrusive list of live (sealed, not yet fully released) blocks, so a
+    // dying pool can orphan the ones the simulator still references.
+    block* prev = nullptr;
+    block* next = nullptr;
+  };
+  explicit shared_payload(block* b) : b_(b) {}
+  inline void release();
+
+  block* b_ = nullptr;
+};
+
+/// Free list of payload blocks. `checkout` hands out an empty vector with
+/// recycled capacity to encode into; `seal` wraps the filled bytes into an
+/// immutable refcounted payload whose storage returns here when the last
+/// reference drops. Sized by the working set: at most `max_free` idle
+/// buffers are retained, the rest are freed.
+class payload_pool {
+ public:
+  explicit payload_pool(std::size_t max_free = 256) : max_free_(max_free) {}
+  payload_pool(const payload_pool&) = delete;
+  payload_pool& operator=(const payload_pool&) = delete;
+  ~payload_pool() {
+    for (shared_payload::block* b : free_) delete b;
+    for (shared_payload::block* b : staged_) delete b;
+    // In-flight payloads outlive the pool: orphan them so the last release
+    // frees the block directly instead of chasing a dangling owner.
+    for (shared_payload::block* b = live_head_; b != nullptr;) {
+      shared_payload::block* next = b->next;
+      b->owner = nullptr;
+      b->prev = b->next = nullptr;
+      b = next;
+    }
+  }
+
+  /// An empty buffer with recycled capacity, ready to be encoded into.
+  [[nodiscard]] std::vector<std::byte> checkout() {
+    if (free_.empty()) return {};
+    shared_payload::block* b = free_.back();
+    free_.pop_back();
+    std::vector<std::byte> buf = std::move(b->data);
+    buf.clear();
+    staged_.push_back(b);
+    return buf;
+  }
+
+  /// Seals `bytes` (typically a filled `checkout` buffer) into an immutable
+  /// payload with one reference.
+  [[nodiscard]] shared_payload seal(std::vector<std::byte> bytes) {
+    shared_payload::block* b;
+    if (!staged_.empty()) {
+      b = staged_.back();
+      staged_.pop_back();
+    } else {
+      b = new shared_payload::block();
+    }
+    b->data = std::move(bytes);
+    b->refs = 1;
+    b->owner = this;
+    b->prev = nullptr;
+    b->next = live_head_;
+    if (live_head_ != nullptr) live_head_->prev = b;
+    live_head_ = b;
+    ++live_;
+    return shared_payload(b);
+  }
+
+  /// Copies a raw span into a pooled payload (the copying-transport
+  /// fallback path).
+  [[nodiscard]] shared_payload copy(std::span<const std::byte> bytes) {
+    std::vector<std::byte> buf = checkout();
+    buf.assign(bytes.begin(), bytes.end());
+    return seal(std::move(buf));
+  }
+
+  /// Idle recycled buffers currently retained.
+  [[nodiscard]] std::size_t free_buffers() const { return free_.size(); }
+  /// Payloads sealed and not yet fully released.
+  [[nodiscard]] std::size_t live_payloads() const { return live_; }
+  [[nodiscard]] std::size_t max_free() const { return max_free_; }
+
+ private:
+  friend class shared_payload;
+  void put_back(shared_payload::block* b) {
+    if (b->prev != nullptr) b->prev->next = b->next;
+    if (b->next != nullptr) b->next->prev = b->prev;
+    if (live_head_ == b) live_head_ = b->next;
+    b->prev = b->next = nullptr;
+    --live_;
+    if (free_.size() < max_free_) {
+      b->data.clear();  // capacity retained for the next checkout
+      free_.push_back(b);
+    } else {
+      delete b;
+    }
+  }
+
+  std::size_t max_free_;
+  std::size_t live_ = 0;
+  std::vector<shared_payload::block*> free_;
+  /// Blocks whose vector is checked out but not yet sealed back.
+  std::vector<shared_payload::block*> staged_;
+  shared_payload::block* live_head_ = nullptr;
+};
+
+void shared_payload::release() {
+  if (b_ == nullptr) return;
+  if (--b_->refs == 0) {
+    if (b_->owner != nullptr) {
+      b_->owner->put_back(b_);
+    } else {
+      delete b_;
+    }
+  }
+  b_ = nullptr;
+}
+
+}  // namespace omega::net

@@ -14,6 +14,20 @@ class sim_network::endpoint_impl final : public transport {
     net_.on_send(self_, dst, payload);
   }
 
+  void send(node_id dst, shared_payload payload) override {
+    net_.on_send(self_, dst, std::move(payload));
+  }
+
+  void multicast(std::span<const node_id> dsts,
+                 shared_payload payload) override {
+    // Encode-once fan-out: every destination's delivery event references
+    // the same sealed buffer. Destination order matches the looping
+    // default, so event scheduling (and the trace) is unchanged.
+    for (node_id dst : dsts) net_.on_send(self_, dst, payload);
+  }
+
+  [[nodiscard]] payload_pool& pool() override { return net_.pool_; }
+
   [[nodiscard]] node_id local_node() const override { return self_; }
 
   void set_receive_handler(receive_handler handler) override {
@@ -33,7 +47,11 @@ class sim_network::endpoint_impl final : public transport {
 
 sim_network::sim_network(sim::simulator& sim, std::size_t node_count,
                          link_profile default_profile, rng seed)
-    : sim_(sim) {
+    : sim_(sim),
+      // Free-list sized by the steady-state working set: every node has a
+      // handful of distinct datagrams in flight (ALIVE fan-out shares one
+      // buffer across the whole roster), plus headroom for HELLO bursts.
+      pool_(node_count * 4 + 64) {
   if (node_count == 0) throw std::invalid_argument("sim_network: node_count == 0");
   endpoints_.reserve(node_count);
   for (std::size_t i = 0; i < node_count; ++i) {
@@ -46,14 +64,9 @@ sim_network::sim_network(sim::simulator& sim, std::size_t node_count,
   }
   alive_.assign(node_count, true);
   traffic_.assign(node_count, traffic_totals{});
-  link_flip_timers_.assign(node_count * node_count, no_timer);
 }
 
-sim_network::~sim_network() {
-  for (timer_id id : link_flip_timers_) {
-    if (id != no_timer) sim_.cancel(id);
-  }
-}
+sim_network::~sim_network() = default;
 
 transport& sim_network::endpoint(node_id node) {
   return *endpoints_.at(node.value());
@@ -78,30 +91,19 @@ void sim_network::set_link_profile(node_id from, node_id to, link_profile profil
 void sim_network::enable_link_crashes(link_crash_profile profile) {
   if (!profile.enabled) return;
   crash_profile_ = profile;
-  for (std::size_t idx = 0; idx < links_.size(); ++idx) {
-    const std::size_t n = endpoints_.size();
-    if (idx / n == idx % n) continue;  // no self-links
-    schedule_link_flip(idx);
-  }
-}
-
-void sim_network::schedule_link_flip(std::size_t link_idx) {
-  link_model& link = links_[link_idx];
-  const duration wait = link.up() ? link.draw_uptime(crash_profile_)
-                                  : link.draw_downtime(crash_profile_);
-  link_flip_timers_[link_idx] = sim_.schedule_after(wait, [this, link_idx] {
-    link_model& l = links_[link_idx];
-    l.set_up(!l.up());
-    schedule_link_flip(link_idx);
-  });
+  crash_anchor_ = sim_.now();
 }
 
 void sim_network::force_link_state(node_id from, node_id to, bool up) {
   links_.at(link_index(from, to)).set_up(up);
 }
 
-bool sim_network::link_up(node_id from, node_id to) const {
-  return links_.at(link_index(from, to)).up();
+bool sim_network::link_up(node_id from, node_id to) {
+  link_model& link = links_.at(link_index(from, to));
+  if (crash_profile_.enabled && from != to) {
+    link.advance_crashes(crash_profile_, crash_anchor_, sim_.now());
+  }
+  return link.up();
 }
 
 const traffic_totals& sim_network::traffic(node_id node) const {
@@ -110,58 +112,78 @@ const traffic_totals& sim_network::traffic(node_id node) const {
 
 void sim_network::reset_traffic() {
   traffic_.assign(traffic_.size(), traffic_totals{});
+  dropped_by_links_ = 0;
+  dropped_dead_node_ = 0;
 }
 
 std::size_t sim_network::link_index(node_id from, node_id to) const {
   const std::size_t n = endpoints_.size();
   const std::size_t f = from.value();
   const std::size_t t = to.value();
-  if (f >= n || t >= n) throw std::out_of_range("sim_network: bad node id");
+  assert(f < n && t < n && "sim_network: bad node id");
   return f * n + t;
 }
 
-void sim_network::on_send(node_id from, node_id to,
-                          std::span<const std::byte> payload) {
-  if (!alive_.at(from.value())) return;  // a dead host cannot transmit
-  auto& tx = traffic_.at(from.value());
+bool sim_network::admit(node_id from, node_id to,
+                        std::span<const std::byte> payload, duration& delay) {
+  assert(from.value() < alive_.size() && to.value() < alive_.size());
+  if (!alive_[from.value()]) return false;  // a dead host cannot transmit
+  auto& tx = traffic_[from.value()];
   ++tx.datagrams_sent;
   tx.bytes_sent += payload.size() + wire_overhead_bytes;
   if (tap_) tap_(from, to, payload);
 
   if (from == to) {
     // Loopback: immediate, lossless (matches kernel loopback behaviour).
-    deliver_later(from, to, std::vector<std::byte>(payload.begin(), payload.end()));
-    return;
+    delay = duration{0};
+    return true;
   }
-  auto delay = links_.at(link_index(from, to)).transit();
-  if (!delay.has_value()) {
+  link_model& link = links_[link_index(from, to)];
+  if (crash_profile_.enabled) {
+    link.advance_crashes(crash_profile_, crash_anchor_, sim_.now());
+  }
+  const auto transit = link.transit();
+  if (!transit.has_value()) {
     ++dropped_by_links_;
-    return;
+    return false;
   }
-  std::vector<std::byte> copy(payload.begin(), payload.end());
-  sim_.schedule_after(*delay, [this, from, to, data = std::move(copy)]() mutable {
-    deliver_now(from, to, std::move(data));
-  });
+  delay = *transit;
+  return true;
 }
 
-void sim_network::deliver_later(node_id from, node_id to,
-                                std::vector<std::byte> payload) {
-  sim_.schedule_after(duration{0},
-                      [this, from, to, data = std::move(payload)]() mutable {
-                        deliver_now(from, to, std::move(data));
+void sim_network::on_send(node_id from, node_id to,
+                          std::span<const std::byte> payload) {
+  duration delay{};
+  if (!admit(from, to, payload, delay)) return;
+  // Copying span path (raw callers): the bytes are only valid during this
+  // call, so they move into a pooled buffer for the flight.
+  schedule_delivery(from, to, delay, pool_.copy(payload));
+}
+
+void sim_network::on_send(node_id from, node_id to, shared_payload payload) {
+  duration delay{};
+  if (!admit(from, to, payload.bytes(), delay)) return;
+  schedule_delivery(from, to, delay, std::move(payload));
+}
+
+void sim_network::schedule_delivery(node_id from, node_id to, duration delay,
+                                    shared_payload payload) {
+  sim_.schedule_after(delay,
+                      [this, from, to, data = std::move(payload)] {
+                        deliver_now(from, to, data);
                       });
 }
 
 void sim_network::deliver_now(node_id from, node_id to,
-                              std::vector<std::byte> payload) {
-  if (!alive_.at(to.value())) {
+                              const shared_payload& payload) {
+  if (!alive_[to.value()]) {
     ++dropped_dead_node_;
     return;
   }
-  auto& rx = traffic_.at(to.value());
-  ++rx.datagrams_received;
+  auto& rx = traffic_[to.value()];
+  rx.datagrams_received += 1;
   rx.bytes_received += payload.size() + wire_overhead_bytes;
-  endpoints_[to.value()]->deliver(from, payload);
+  endpoints_[to.value()]->deliver(from, payload.bytes());
 }
 
 }  // namespace omega::net

@@ -2,10 +2,18 @@
 //
 // Owns one `link_model` per directed node pair, one transport endpoint per
 // node, and the per-node traffic accounting used by the overhead figures.
-// Messages are serialized byte vectors; delivery is an event on the
-// discrete-event simulator after the link-sampled delay. Node liveness is
-// controlled by the churn injector: datagrams to/from a crashed node are
-// dropped, exactly like UDP datagrams addressed to a powered-off host.
+// Delivery is an event on the discrete-event simulator after the
+// link-sampled delay. Node liveness is controlled by the churn injector:
+// datagrams to/from a crashed node are dropped, exactly like UDP datagrams
+// addressed to a powered-off host.
+//
+// Hot-path design (DESIGN.md §9): datagrams are refcounted immutable
+// `shared_payload` buffers drawn from one network-wide recycling pool — a
+// multicast to a 500-node roster encodes and allocates once, and every
+// delivery event holds a reference instead of a copy. Link crash/recovery
+// processes are drawn lazily per link on first touch (the eager design
+// armed O(n²) flip timers at enable time). Per-send bounds checks are
+// debug asserts: node ids come from the roster, not from the wire.
 #pragma once
 
 #include <cstddef>
@@ -17,6 +25,7 @@
 #include "common/ids.hpp"
 #include "common/random.hpp"
 #include "net/link_model.hpp"
+#include "net/shared_payload.hpp"
 #include "net/transport.hpp"
 #include "sim/simulator.hpp"
 
@@ -50,16 +59,24 @@ class sim_network {
 
   /// Enables the link crash/recovery process on every directed link
   /// (paper §6.1, "links prone to crashes"). Each link alternates
-  /// independently; the first crash is scheduled immediately.
+  /// independently; the first up-period starts now. Flip times are drawn
+  /// lazily from each link's own RNG stream when the link is next touched
+  /// (a message transits or `link_up` is queried) — no timers are armed.
   void enable_link_crashes(link_crash_profile profile);
 
   /// Forces one directed link up or down (tests and targeted experiments).
   void force_link_state(node_id from, node_id to, bool up);
-  [[nodiscard]] bool link_up(node_id from, node_id to) const;
+  [[nodiscard]] bool link_up(node_id from, node_id to);
 
   /// Traffic totals for one node since construction (or last reset).
   [[nodiscard]] const traffic_totals& traffic(node_id node) const;
+  /// Zeroes all per-node traffic totals *and* the cluster-wide drop
+  /// counters, so drop rates are measured over the same window as traffic.
   void reset_traffic();
+
+  /// Shared buffer pool of this network (also reachable via any endpoint's
+  /// `transport::pool()`). Exposed for white-box recycling tests.
+  [[nodiscard]] payload_pool& buffer_pool() { return pool_; }
 
   /// Observer of every datagram accepted for transmission (sender alive),
   /// invoked before loss/crash drops — the same population `traffic()`
@@ -79,19 +96,26 @@ class sim_network {
   friend class endpoint_impl;
 
   [[nodiscard]] std::size_t link_index(node_id from, node_id to) const;
+  /// Accounting + tap + link fate for one datagram of `size` bytes.
+  /// Returns false when the datagram dies before the wire (dead sender) or
+  /// on it (loss / crashed link); otherwise `delay` holds the transit time.
+  bool admit(node_id from, node_id to, std::span<const std::byte> payload,
+             duration& delay);
   void on_send(node_id from, node_id to, std::span<const std::byte> payload);
-  void deliver_later(node_id from, node_id to, std::vector<std::byte> payload);
-  void deliver_now(node_id from, node_id to, std::vector<std::byte> payload);
-  void schedule_link_flip(std::size_t link_idx);
+  void on_send(node_id from, node_id to, shared_payload payload);
+  void schedule_delivery(node_id from, node_id to, duration delay,
+                         shared_payload payload);
+  void deliver_now(node_id from, node_id to, const shared_payload& payload);
 
   sim::simulator& sim_;
   link_crash_profile crash_profile_;
+  time_point crash_anchor_{};
   std::vector<std::unique_ptr<endpoint_impl>> endpoints_;
   std::vector<link_model> links_;  // row-major [from][to]
   std::vector<bool> alive_;
   std::vector<traffic_totals> traffic_;
+  payload_pool pool_;
   send_tap tap_;
-  std::vector<timer_id> link_flip_timers_;
   std::uint64_t dropped_by_links_ = 0;
   std::uint64_t dropped_dead_node_ = 0;
 };

@@ -30,15 +30,15 @@ void encode_body(byte_writer& w, const alive_msg& m) {
   }
 }
 
-std::optional<alive_msg> decode_alive(byte_reader& r) {
-  alive_msg m;
+bool decode_body(byte_reader& r, alive_msg& m) {
   m.from = r.read_id<node_id>();
   m.inc = r.read_u32();
   m.seq = r.read_u64();
   m.send_time = r.read_time();
   m.eta = r.read_duration();
   const std::size_t n = r.read_u16();
-  if (n > max_repeated) return std::nullopt;
+  if (n > max_repeated) return false;
+  m.groups.clear();
   m.groups.reserve(n);
   for (std::size_t i = 0; i < n; ++i) {
     group_payload g;
@@ -52,8 +52,7 @@ std::optional<alive_msg> decode_alive(byte_reader& r) {
     g.local_leader_acc = r.read_time();
     m.groups.push_back(g);
   }
-  if (!r.exhausted()) return std::nullopt;
-  return m;
+  return r.exhausted();
 }
 
 void encode_body(byte_writer& w, const accuse_msg& m) {
@@ -66,8 +65,7 @@ void encode_body(byte_writer& w, const accuse_msg& m) {
   w.write_time(m.when);
 }
 
-std::optional<accuse_msg> decode_accuse(byte_reader& r) {
-  accuse_msg m;
+bool decode_body(byte_reader& r, accuse_msg& m) {
   m.from = r.read_id<node_id>();
   m.from_inc = r.read_u32();
   m.group = r.read_id<group_id>();
@@ -75,8 +73,7 @@ std::optional<accuse_msg> decode_accuse(byte_reader& r) {
   m.target_inc = r.read_u32();
   m.phase = r.read_u32();
   m.when = r.read_time();
-  if (!r.exhausted()) return std::nullopt;
-  return m;
+  return r.exhausted();
 }
 
 void encode_body(byte_writer& w, const hello_msg& m) {
@@ -91,13 +88,13 @@ void encode_body(byte_writer& w, const hello_msg& m) {
   }
 }
 
-std::optional<hello_msg> decode_hello(byte_reader& r) {
-  hello_msg m;
+bool decode_body(byte_reader& r, hello_msg& m) {
   m.from = r.read_id<node_id>();
   m.inc = r.read_u32();
   m.reply_requested = r.read_bool();
   const std::size_t n = r.read_u16();
-  if (n > max_repeated) return std::nullopt;
+  if (n > max_repeated) return false;
+  m.entries.clear();
   m.entries.reserve(n);
   for (std::size_t i = 0; i < n; ++i) {
     hello_msg::entry e;
@@ -106,8 +103,7 @@ std::optional<hello_msg> decode_hello(byte_reader& r) {
     e.candidate = r.read_bool();
     m.entries.push_back(e);
   }
-  if (!r.exhausted()) return std::nullopt;
-  return m;
+  return r.exhausted();
 }
 
 void encode_body(byte_writer& w, const hello_ack_msg& m) {
@@ -123,12 +119,12 @@ void encode_body(byte_writer& w, const hello_ack_msg& m) {
   }
 }
 
-std::optional<hello_ack_msg> decode_hello_ack(byte_reader& r) {
-  hello_ack_msg m;
+bool decode_body(byte_reader& r, hello_ack_msg& m) {
   m.from = r.read_id<node_id>();
   m.inc = r.read_u32();
   const std::size_t n = r.read_u16();
-  if (n > max_repeated) return std::nullopt;
+  if (n > max_repeated) return false;
+  m.entries.clear();
   m.entries.reserve(n);
   for (std::size_t i = 0; i < n; ++i) {
     hello_ack_msg::entry e;
@@ -139,8 +135,7 @@ std::optional<hello_ack_msg> decode_hello_ack(byte_reader& r) {
     e.candidate = r.read_bool();
     m.entries.push_back(e);
   }
-  if (!r.exhausted()) return std::nullopt;
-  return m;
+  return r.exhausted();
 }
 
 void encode_body(byte_writer& w, const leave_msg& m) {
@@ -150,14 +145,12 @@ void encode_body(byte_writer& w, const leave_msg& m) {
   w.write_id(m.pid);
 }
 
-std::optional<leave_msg> decode_leave(byte_reader& r) {
-  leave_msg m;
+bool decode_body(byte_reader& r, leave_msg& m) {
   m.from = r.read_id<node_id>();
   m.inc = r.read_u32();
   m.group = r.read_id<group_id>();
   m.pid = r.read_id<process_id>();
-  if (!r.exhausted()) return std::nullopt;
-  return m;
+  return r.exhausted();
 }
 
 void encode_body(byte_writer& w, const rate_request_msg& m) {
@@ -166,13 +159,11 @@ void encode_body(byte_writer& w, const rate_request_msg& m) {
   w.write_duration(m.desired_eta);
 }
 
-std::optional<rate_request_msg> decode_rate_request(byte_reader& r) {
-  rate_request_msg m;
+bool decode_body(byte_reader& r, rate_request_msg& m) {
   m.from = r.read_id<node_id>();
   m.inc = r.read_u32();
   m.desired_eta = r.read_duration();
-  if (!r.exhausted()) return std::nullopt;
-  return m;
+  return r.exhausted();
 }
 
 }  // namespace
@@ -197,32 +188,50 @@ std::vector<std::byte> encode(const wire_message& msg) {
   return w.take();
 }
 
-std::optional<wire_message> decode(std::span<const std::byte> bytes) {
+net::shared_payload encode_shared(const wire_message& msg,
+                                  net::payload_pool& pool) {
+  byte_writer w(pool.checkout());
+  w.write_u8(protocol_version);
+  w.write_u8(static_cast<std::uint8_t>(kind_of(msg)));
+  std::visit([&w](const auto& m) { encode_body(w, m); }, msg);
+  return pool.seal(w.take());
+}
+
+bool decode_into(wire_message& out, std::span<const std::byte> bytes) {
   byte_reader r(bytes);
   const std::uint8_t version = r.read_u8();
   const std::uint8_t type = r.read_u8();
-  if (!r.ok() || version != protocol_version) return std::nullopt;
+  if (!r.ok() || version != protocol_version) return false;
+  // Decode into the alternative `out` already holds when the kind matches
+  // (the steady-state case: a stream of ALIVEs into the same scratch), so
+  // the repeated-field vectors keep their capacity across datagrams.
+  const auto into = [&out, &r](auto tag) {
+    using T = decltype(tag);
+    T* slot = std::get_if<T>(&out);
+    if (slot == nullptr) slot = &out.emplace<T>();
+    return decode_body(r, *slot);
+  };
   switch (static_cast<msg_kind>(type)) {
     case msg_kind::alive:
-      if (auto m = decode_alive(r)) return wire_message{*std::move(m)};
-      return std::nullopt;
+      return into(alive_msg{});
     case msg_kind::accuse:
-      if (auto m = decode_accuse(r)) return wire_message{*std::move(m)};
-      return std::nullopt;
+      return into(accuse_msg{});
     case msg_kind::hello:
-      if (auto m = decode_hello(r)) return wire_message{*std::move(m)};
-      return std::nullopt;
+      return into(hello_msg{});
     case msg_kind::hello_ack:
-      if (auto m = decode_hello_ack(r)) return wire_message{*std::move(m)};
-      return std::nullopt;
+      return into(hello_ack_msg{});
     case msg_kind::leave:
-      if (auto m = decode_leave(r)) return wire_message{*std::move(m)};
-      return std::nullopt;
+      return into(leave_msg{});
     case msg_kind::rate_request:
-      if (auto m = decode_rate_request(r)) return wire_message{*std::move(m)};
-      return std::nullopt;
+      return into(rate_request_msg{});
   }
-  return std::nullopt;
+  return false;
+}
+
+std::optional<wire_message> decode(std::span<const std::byte> bytes) {
+  wire_message out;
+  if (!decode_into(out, bytes)) return std::nullopt;
+  return out;
 }
 
 std::optional<msg_kind> peek_kind(std::span<const std::byte> bytes) {

@@ -27,6 +27,7 @@
 #include "common/ids.hpp"
 #include "common/serialization.hpp"
 #include "common/time.hpp"
+#include "net/shared_payload.hpp"
 
 namespace omega::proto {
 
@@ -144,9 +145,22 @@ inline constexpr std::uint8_t protocol_version = 1;
 /// Serializes `msg` with a (version, type) envelope.
 [[nodiscard]] std::vector<std::byte> encode(const wire_message& msg);
 
+/// Serializes `msg` into a buffer recycled from `pool` and seals it into a
+/// refcounted payload — the steady-state send path. Byte-for-byte identical
+/// to `encode`.
+[[nodiscard]] net::shared_payload encode_shared(const wire_message& msg,
+                                                net::payload_pool& pool);
+
 /// Parses a datagram; returns nullopt on any malformed, truncated,
 /// over-long or wrong-version input.
 [[nodiscard]] std::optional<wire_message> decode(std::span<const std::byte> bytes);
+
+/// Parses a datagram into `out`, reusing its storage: when `out` already
+/// holds the incoming message kind — the steady-state case for a receive
+/// scratch fed a stream of ALIVEs — the repeated-field vectors keep their
+/// capacity, making the parse allocation-free. Accepts and rejects exactly
+/// the same inputs as `decode`; on false, `out` is valid but unspecified.
+[[nodiscard]] bool decode_into(wire_message& out, std::span<const std::byte> bytes);
 
 /// Reads just the (version, type) envelope without decoding the body —
 /// cheap enough for per-datagram traffic classification (bench taps).

@@ -15,7 +15,7 @@ time_point real_time_engine::now() const {
   return time_point{std::chrono::duration_cast<duration>(elapsed)};
 }
 
-timer_id real_time_engine::schedule_at(time_point when, std::function<void()> fn) {
+timer_id real_time_engine::schedule_at(time_point when, unique_task fn) {
   std::lock_guard lock(mu_);
   const timer_id id = next_id_++;
   timers_.emplace(when, entry{when, next_seq_++, id, std::move(fn)});
@@ -23,7 +23,7 @@ timer_id real_time_engine::schedule_at(time_point when, std::function<void()> fn
   return id;
 }
 
-timer_id real_time_engine::schedule_after(duration after, std::function<void()> fn) {
+timer_id real_time_engine::schedule_after(duration after, unique_task fn) {
   if (after < duration{0}) after = duration{0};
   return schedule_at(now() + after, std::move(fn));
 }

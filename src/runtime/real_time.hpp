@@ -32,8 +32,8 @@ class real_time_engine final : public clock_source, public timer_service {
   /// Monotonic time since engine start, on the service's virtual timeline.
   [[nodiscard]] time_point now() const override;
 
-  timer_id schedule_at(time_point when, std::function<void()> fn) override;
-  timer_id schedule_after(duration after, std::function<void()> fn) override;
+  timer_id schedule_at(time_point when, unique_task fn) override;
+  timer_id schedule_after(duration after, unique_task fn) override;
   void cancel(timer_id id) override;
 
   /// Runs `fn` on the loop thread as soon as possible. Thread-safe.
@@ -50,7 +50,7 @@ class real_time_engine final : public clock_source, public timer_service {
     time_point when;
     std::uint64_t seq;
     timer_id id;
-    std::function<void()> fn;
+    unique_task fn;
     bool operator<(const entry& other) const {
       if (when != other.when) return when < other.when;
       return seq < other.seq;

@@ -39,6 +39,11 @@ class udp_transport final : public net::transport {
   udp_transport& operator=(const udp_transport&) = delete;
 
   void send(node_id dst, std::span<const std::byte> payload) override;
+  // The span overload above would otherwise hide the base's shared_payload
+  // send/multicast (which forward here — right for real sockets, where the
+  // kernel copies the datagram immediately).
+  using net::transport::send;
+  using net::transport::multicast;
   [[nodiscard]] node_id local_node() const override { return self_; }
   void set_receive_handler(net::receive_handler handler) override;
 

@@ -82,7 +82,7 @@ leader_election_service::leader_election_service(clock_source& clock,
               // monitored (and may be the binding worst link) elsewhere.
               bool still_member = false;
               for (const auto& [g2, gs2] : groups_) {
-                for (const auto& mem : gm_.table(g2).members()) {
+                for (const auto& mem : gm_.table(g2).members_view()) {
                   if (mem.node == m.node) {
                     still_member = true;
                     break;
@@ -145,7 +145,10 @@ election::elector_context leader_election_service::make_context(group_id group,
   ctx.candidate = candidate;
   ctx.clock = &clock_;
   ctx.is_trusted = [this, group](node_id node) { return fd_.is_trusted(group, node); };
-  ctx.members = [this, group] { return gm_.table(group).members(); };
+  ctx.members = [this, group]() -> const std::vector<membership::member_info>& {
+    return gm_.table(group).members_view();
+  };
+  ctx.members_version = [this, group] { return gm_.table(group).version(); };
   ctx.send_accuse = [this](const proto::accuse_msg& msg, node_id dst) {
     if (config_.sink) {
       obs::trace_event ev;
@@ -305,12 +308,14 @@ void leader_election_service::set_leader_observer(leader_callback observer) {
 
 void leader_election_service::on_datagram(const net::datagram& dgram) {
   ++stats_.datagrams_received;
-  auto msg = proto::decode(dgram.payload);
-  if (!msg.has_value()) {
+  // Decode into the long-lived scratch: handlers take the message by const
+  // reference and copy what they keep, so its storage can be recycled for
+  // the next datagram (allocation-free once the capacities warm up).
+  if (!proto::decode_into(rx_scratch_, dgram.payload)) {
     ++stats_.malformed_received;
     return;
   }
-  std::visit([this](const auto& m) { handle(m); }, *msg);
+  std::visit([this](const auto& m) { handle(m); }, rx_scratch_);
 }
 
 void leader_election_service::note_unknown_group(group_id group, node_id from) {
@@ -500,7 +505,7 @@ void leader_election_service::send_alive_now(std::optional<group_id> extra_group
     proto::group_payload payload;
     gs.elector->fill_payload(payload);
     msg.groups.push_back(payload);
-    for (const auto& m : gm_.table(g).members()) {
+    for (const auto& m : gm_.table(g).members_view()) {
       if (m.node != config_.self) destinations.insert(m.node);
     }
   }
@@ -508,11 +513,14 @@ void leader_election_service::send_alive_now(std::optional<group_id> extra_group
 
   msg.seq = ++alive_seq_;
   last_alive_sent_ = clock_.now();
-  const auto bytes = proto::encode(proto::wire_message{msg});
   ++stats_.alive_sent;
-  for (node_id dst : destinations) {
-    transport_.send(dst, bytes);
-  }
+  // Flatten the set in its own iteration order (the order the per-dst send
+  // loop used to run in), encode once into a pool buffer, and fan out by
+  // reference: the 500-node roster costs one encode, zero copies.
+  dst_scratch_.assign(destinations.begin(), destinations.end());
+  transport_.multicast(dst_scratch_,
+                       proto::encode_shared(proto::wire_message{std::move(msg)},
+                                            transport_.pool()));
 }
 
 // ---- outbound helpers -------------------------------------------------------
@@ -543,19 +551,19 @@ void leader_election_service::count_hello_destinations(
 void leader_election_service::send_to(node_id dst, const proto::wire_message& msg) {
   count_sent(msg);
   count_hello_destinations(msg, 1);
-  transport_.send(dst, proto::encode(msg));
+  transport_.send(dst, proto::encode_shared(msg, transport_.pool()));
 }
 
 void leader_election_service::broadcast(const proto::wire_message& msg) {
   count_sent(msg);
-  const auto bytes = proto::encode(msg);
-  std::uint64_t fan_out = 0;
+  dst_scratch_.clear();
   for (node_id node : config_.roster) {
-    if (node == config_.self) continue;
-    transport_.send(node, bytes);
-    ++fan_out;
+    if (node != config_.self) dst_scratch_.push_back(node);
   }
-  count_hello_destinations(msg, fan_out);
+  count_hello_destinations(msg, dst_scratch_.size());
+  if (dst_scratch_.empty()) return;
+  transport_.multicast(dst_scratch_,
+                       proto::encode_shared(msg, transport_.pool()));
 }
 
 void leader_election_service::multicast(const std::vector<node_id>& dsts,
@@ -563,7 +571,7 @@ void leader_election_service::multicast(const std::vector<node_id>& dsts,
   if (dsts.empty()) return;
   count_sent(msg);
   count_hello_destinations(msg, dsts.size());
-  transport_.multicast(dsts, proto::encode(msg));
+  transport_.multicast(dsts, proto::encode_shared(msg, transport_.pool()));
 }
 
 void leader_election_service::set_hello_fanout(membership::hello_fanout fanout) {

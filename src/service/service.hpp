@@ -180,6 +180,14 @@ class leader_election_service {
   void count_hello_destinations(const proto::wire_message& msg,
                                 std::uint64_t destinations);
 
+  /// Reused destination buffer for the fan-out paths (no per-send vector).
+  std::vector<node_id> dst_scratch_;
+
+  /// Receive scratch for on_datagram: decode_into reuses its vectors, so a
+  /// steady stream of ALIVEs parses without allocating. Handlers only see
+  /// it as a const reference and must copy anything they keep.
+  proto::wire_message rx_scratch_;
+
   clock_source& clock_;
   timer_service& timers_;
   net::transport& transport_;

@@ -1,59 +1,105 @@
 #include "sim/simulator.hpp"
 
+#include <algorithm>
+#include <cassert>
 #include <utility>
 
 namespace omega::sim {
 
-timer_id simulator::schedule_at(time_point when, std::function<void()> fn) {
-  const timer_id id = next_id_++;
-  if (when < now_) when = now_;  // never schedule into the past
-  queue_.push(event{when, next_seq_++, id});
-  callbacks_.emplace(id, std::move(fn));
-  return id;
+namespace {
+
+constexpr timer_id make_id(std::uint32_t slot, std::uint32_t gen) {
+  // slot + 1 keeps 0 == no_timer; the generation disambiguates reuse, so a
+  // cancel of an already-fired id can never hit the slot's next tenant.
+  return (static_cast<timer_id>(gen) << 32) | (slot + 1);
 }
 
-timer_id simulator::schedule_after(duration after, std::function<void()> fn) {
+}  // namespace
+
+std::uint32_t simulator::acquire_slot() {
+  if (free_head_ != kNpos) {
+    const std::uint32_t idx = free_head_;
+    free_head_ = slots_[idx].next_free;
+    return idx;
+  }
+  slots_.emplace_back();
+  return static_cast<std::uint32_t>(slots_.size() - 1);
+}
+
+void simulator::release_slot(std::uint32_t idx) {
+  slot& s = slots_[idx];
+  s.fn.reset();
+  s.armed = false;
+  ++s.gen;  // invalidates the id and any stale heap record
+  s.next_free = free_head_;
+  free_head_ = idx;
+}
+
+timer_id simulator::schedule_at(time_point when, unique_task fn) {
+  if (when < now_) when = now_;  // never schedule into the past
+  const std::uint32_t idx = acquire_slot();
+  slot& s = slots_[idx];
+  s.fn = std::move(fn);
+  s.armed = true;
+  heap_.push_back(event{when, next_seq_++, idx, s.gen});
+  std::push_heap(heap_.begin(), heap_.end(), later);
+  return make_id(idx, s.gen);
+}
+
+timer_id simulator::schedule_after(duration after, unique_task fn) {
   if (after < duration{0}) after = duration{0};
   return schedule_at(now_ + after, std::move(fn));
 }
 
 void simulator::cancel(timer_id id) {
-  auto it = callbacks_.find(id);
-  if (it == callbacks_.end()) return;  // already fired or cancelled
-  callbacks_.erase(it);
-  cancelled_.insert(id);
+  const std::uint32_t idx = static_cast<std::uint32_t>(id & 0xffffffffu) - 1;
+  const std::uint32_t gen = static_cast<std::uint32_t>(id >> 32);
+  if (idx >= slots_.size()) return;  // no_timer or never-issued id
+  slot& s = slots_[idx];
+  if (!s.armed || s.gen != gen) return;  // already fired or cancelled
+  release_slot(idx);
+  ++stale_in_heap_;  // its heap record is purged lazily (or compacted now)
+  if (heap_.size() >= kCompactMin && stale_in_heap_ * 2 > heap_.size()) {
+    compact();
+  }
+}
+
+void simulator::compact() {
+  std::erase_if(heap_, [this](const event& ev) { return !live(ev); });
+  std::make_heap(heap_.begin(), heap_.end(), later);
+  stale_in_heap_ = 0;
+}
+
+void simulator::purge_top() {
+  while (!heap_.empty() && !live(heap_.front())) {
+    std::pop_heap(heap_.begin(), heap_.end(), later);
+    heap_.pop_back();
+    assert(stale_in_heap_ > 0);
+    --stale_in_heap_;
+  }
 }
 
 bool simulator::fire_next() {
-  while (!queue_.empty()) {
-    const event ev = queue_.top();
-    queue_.pop();
-    if (auto it = cancelled_.find(ev.id); it != cancelled_.end()) {
-      cancelled_.erase(it);
-      continue;  // purged lazily
-    }
-    auto cb_it = callbacks_.find(ev.id);
-    if (cb_it == callbacks_.end()) continue;  // defensive; should not happen
-    // Move the callback out before running: the callback may re-schedule or
-    // cancel other timers (including scheduling a timer that reuses no slot).
-    std::function<void()> fn = std::move(cb_it->second);
-    callbacks_.erase(cb_it);
-    now_ = ev.when;
-    ++executed_;
-    fn();
-    return true;
-  }
-  return false;
+  purge_top();
+  if (heap_.empty()) return false;
+  const event ev = heap_.front();
+  std::pop_heap(heap_.begin(), heap_.end(), later);
+  heap_.pop_back();
+  // Move the callback out before running: the callback may re-schedule or
+  // cancel other timers (including reusing this very slot).
+  unique_task fn = std::move(slots_[ev.slot].fn);
+  release_slot(ev.slot);
+  now_ = ev.when;
+  ++executed_;
+  fn();
+  return true;
 }
 
 void simulator::run_until(time_point deadline) {
-  while (!queue_.empty()) {
+  for (;;) {
     // Peek through cancelled entries to find the next live event time.
-    while (!queue_.empty() && cancelled_.count(queue_.top().id) > 0) {
-      cancelled_.erase(queue_.top().id);
-      queue_.pop();
-    }
-    if (queue_.empty() || queue_.top().when > deadline) break;
+    purge_top();
+    if (heap_.empty() || heap_.front().when > deadline) break;
     fire_next();
   }
   now_ = deadline;

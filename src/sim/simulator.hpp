@@ -7,13 +7,17 @@
 // against, so the entire leader-election service runs unmodified on top of
 // it. This kernel is the stand-in for the paper's 12-workstation LAN
 // testbed (see DESIGN.md §1).
+//
+// Hot-path layout (DESIGN.md §9): callbacks live in a slab of small-buffer
+// `unique_task` slots recycled through a free list; the binary heap stores
+// 24-byte (when, seq, slot, generation) records. A `timer_id` encodes
+// (generation << 32 | slot + 1), so `cancel` is an O(1) slot release with
+// no hash lookups — stale heap records are skipped lazily on pop and purged
+// eagerly once they outnumber the live ones. Scheduling, cancelling and
+// firing a timer are all allocation-free in steady state.
 #pragma once
 
 #include <cstdint>
-#include <functional>
-#include <queue>
-#include <unordered_map>
-#include <unordered_set>
 #include <vector>
 
 #include "common/executor.hpp"
@@ -29,8 +33,8 @@ class simulator final : public clock_source, public timer_service {
   [[nodiscard]] time_point now() const override { return now_; }
 
   // timer_service
-  timer_id schedule_at(time_point when, std::function<void()> fn) override;
-  timer_id schedule_after(duration after, std::function<void()> fn) override;
+  timer_id schedule_at(time_point when, unique_task fn) override;
+  timer_id schedule_after(duration after, unique_task fn) override;
   void cancel(timer_id id) override;
 
   /// Runs events until the queue is empty or virtual time would pass
@@ -50,37 +54,63 @@ class simulator final : public clock_source, public timer_service {
 
   /// Number of scheduled-but-not-cancelled events.
   [[nodiscard]] std::size_t live_events() const {
-    return queue_.size() - cancelled_.size();
+    return heap_.size() - stale_in_heap_;
   }
 
   /// Total events executed since construction (simulation cost measure).
   [[nodiscard]] std::uint64_t events_executed() const { return executed_; }
 
+  /// Heap records, cancelled-but-not-yet-purged ones included (white-box:
+  /// the compaction tests watch this against `live_events`).
+  [[nodiscard]] std::size_t heap_size() const { return heap_.size(); }
+  /// High-water mark of concurrently pending timers (slab slots ever built).
+  [[nodiscard]] std::size_t slab_slots() const { return slots_.size(); }
+
  private:
   struct event {
     time_point when;
-    std::uint64_t seq;  // tie-breaker: FIFO among equal times
-    timer_id id;
+    std::uint64_t seq;   // tie-breaker: FIFO among equal times
+    std::uint32_t slot;  // slab index of the callback
+    std::uint32_t gen;   // must match the slot's generation to be live
   };
-  struct event_order {
-    bool operator()(const event& a, const event& b) const {
-      if (a.when != b.when) return a.when > b.when;
-      return a.seq > b.seq;
-    }
-  };
+  /// std::push_heap-style comparator: "a fires after b" puts the earliest
+  /// (when, seq) at the front.
+  static bool later(const event& a, const event& b) {
+    if (a.when != b.when) return a.when > b.when;
+    return a.seq > b.seq;
+  }
 
+  struct slot {
+    unique_task fn;
+    std::uint32_t gen = 1;       // bumped on every release; 1:1 with heap use
+    std::uint32_t next_free = kNpos;
+    bool armed = false;
+  };
+  static constexpr std::uint32_t kNpos = 0xffffffffu;
+  /// Below this queue size lazy purge is cheap enough; no eager compaction.
+  static constexpr std::size_t kCompactMin = 64;
+
+  [[nodiscard]] bool live(const event& ev) const {
+    const slot& s = slots_[ev.slot];
+    return s.armed && s.gen == ev.gen;
+  }
   /// Pops and runs the next live event, if any.
   bool fire_next();
+  /// Pops stale records off the heap top (run_until peeks through them).
+  void purge_top();
+  std::uint32_t acquire_slot();
+  void release_slot(std::uint32_t idx);
+  /// Drops every stale record and re-heapifies; total (when, seq) order
+  /// makes the rebuilt heap equivalent, so delivery order is unchanged.
+  void compact();
 
   time_point now_{};
   std::uint64_t next_seq_ = 1;
-  timer_id next_id_ = 1;
   std::uint64_t executed_ = 0;
-  std::priority_queue<event, std::vector<event>, event_order> queue_;
-  // Callbacks are stored out-of-band so `event` stays cheap to copy in the
-  // heap; cancelled ids are purged when popped.
-  std::unordered_map<timer_id, std::function<void()>> callbacks_;
-  std::unordered_set<timer_id> cancelled_;
+  std::vector<event> heap_;
+  std::vector<slot> slots_;
+  std::uint32_t free_head_ = kNpos;
+  std::size_t stale_in_heap_ = 0;
 };
 
 }  // namespace omega::sim

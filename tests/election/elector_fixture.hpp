@@ -45,7 +45,9 @@ class elector_world {
     ctx.candidate = candidate;
     ctx.clock = &clock;
     ctx.is_trusted = [this](node_id n) { return trusted.count(n) > 0; };
-    ctx.members = [this] { return members; };
+    ctx.members = [this]() -> const std::vector<membership::member_info>& {
+      return members;
+    };
     ctx.send_accuse = [this](const proto::accuse_msg& m, node_id dst) {
       accusations.push_back({m, dst});
     };

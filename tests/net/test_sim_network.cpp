@@ -97,6 +97,23 @@ TEST_F(SimNetworkTest, ResetTrafficZeroes) {
   EXPECT_EQ(net.traffic(node_id{1}).datagrams_received, 0u);
 }
 
+TEST_F(SimNetworkTest, ResetTrafficZeroesDropCounters) {
+  // Drop one datagram on a downed link and one at a dead destination, then
+  // reset: the drop counters must restart with the per-node totals, so drop
+  // *rates* are computed over the same window as traffic.
+  net.force_link_state(node_id{0}, node_id{1}, false);
+  net.endpoint(node_id{0}).send(node_id{1}, bytes_of("a"));  // link drop
+  net.force_link_state(node_id{0}, node_id{1}, true);
+  net.set_node_alive(node_id{2}, false);
+  net.endpoint(node_id{0}).send(node_id{2}, bytes_of("b"));  // dead-node drop
+  sim.run_until(time_origin + sec(1));
+  EXPECT_EQ(net.dropped_by_links(), 1u);
+  EXPECT_EQ(net.dropped_dead_node(), 1u);
+  net.reset_traffic();
+  EXPECT_EQ(net.dropped_by_links(), 0u);
+  EXPECT_EQ(net.dropped_dead_node(), 0u);
+}
+
 TEST_F(SimNetworkTest, ForcedLinkDownDropsOneDirection) {
   int to1 = 0;
   int to0 = 0;

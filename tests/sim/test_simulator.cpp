@@ -126,6 +126,75 @@ TEST(Simulator, LiveEventsExcludesCancelled) {
   EXPECT_FALSE(s.idle());
 }
 
+TEST(Simulator, CancelledIdsNeverAliasNewTimers) {
+  // Slot reuse with generation tags: a stale id must not cancel the timer
+  // that recycled its slot.
+  simulator s;
+  const timer_id stale = s.schedule_at(time_origin + sec(1), [] {});
+  s.cancel(stale);
+  bool fired = false;
+  s.schedule_at(time_origin + sec(1), [&] { fired = true; });  // reuses slot
+  s.cancel(stale);  // stale generation: must be a no-op
+  s.run_all();
+  EXPECT_TRUE(fired);
+}
+
+TEST(Simulator, CompactionPurgesCancelledBacklog) {
+  // Cancel far more than half the queue: eager compaction must shrink the
+  // heap to the live set instead of letting stale records pile up until
+  // their (distant) deadlines.
+  simulator s;
+  std::vector<timer_id> victims;
+  for (int i = 0; i < 1000; ++i) {
+    victims.push_back(
+        s.schedule_at(time_origin + sec(3600) + sec(i), [] {}));
+  }
+  int fired = 0;
+  for (int i = 0; i < 10; ++i) {
+    s.schedule_at(time_origin + sec(1) + sec(i), [&] { ++fired; });
+  }
+  for (const timer_id id : victims) s.cancel(id);
+  EXPECT_EQ(s.live_events(), 10u);
+  // Stale records (1000) far exceed live ones (10): compaction has run.
+  // Below 64 records the queue is left to lazy purge (compaction there
+  // would cost more than it saves), so that's the resting bound.
+  EXPECT_LE(s.heap_size(), 64u);
+  s.run_all();
+  EXPECT_EQ(fired, 10);
+  EXPECT_TRUE(s.idle());
+}
+
+TEST(Simulator, CompactionPreservesFiringOrder) {
+  simulator s;
+  std::vector<int> order;
+  std::vector<timer_id> victims;
+  // Interleave keepers and victims at identical times so a naive rebuild
+  // that loses seq numbers would scramble FIFO order.
+  for (int i = 0; i < 200; ++i) {
+    s.schedule_at(time_origin + sec(1), [&order, i] { order.push_back(i); });
+    victims.push_back(s.schedule_at(time_origin + sec(1), [] {}));
+  }
+  for (const timer_id id : victims) s.cancel(id);
+  s.run_all();
+  ASSERT_EQ(order.size(), 200u);
+  for (int i = 0; i < 200; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(Simulator, SlabReusesSlotsInSteadyState) {
+  // A periodic timer re-arming itself must cycle through a bounded slab no
+  // matter how many times it fires.
+  simulator s;
+  int fires = 0;
+  std::function<void()> tick = [&] {
+    ++fires;
+    if (fires < 1000) s.schedule_after(sec(1), tick);
+  };
+  s.schedule_after(sec(1), tick);
+  s.run_all();
+  EXPECT_EQ(fires, 1000);
+  EXPECT_LE(s.slab_slots(), 4u);
+}
+
 TEST(Simulator, StepRunsExactlyOne) {
   simulator s;
   int count = 0;
