@@ -82,6 +82,10 @@ harness::scenario make_scenario(std::size_t nodes, policy p) {
   // event stream. Virtual-time traffic is unaffected — the CI overhead gate
   // (scripts/ci.sh) checks msgs/s against the pre-instrumentation baseline.
   sc.trace = true;
+  // Causal stamping on: the overhead gate measures the worst case — every
+  // causally potent datagram carries the 16-byte version-2 cause stamp.
+  // msgs/s must still stay within 3% of the pre-instrumentation baseline.
+  sc.causal = true;
   sc.warmup = sec(30);
   sc.seed = omega::bench::bench_seed() * 1000003u + nodes;  // same per roster
   return sc;

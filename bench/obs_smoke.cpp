@@ -5,7 +5,9 @@
 // trace ring dumps as well-formed JSONL. Exits non-zero on any mismatch.
 #include <algorithm>
 #include <cstdlib>
+#include <fstream>
 #include <iostream>
+#include <sstream>
 #include <string>
 
 #include "bench_support.hpp"
@@ -109,9 +111,43 @@ void traced_experiment_smoke() {
   check(lines == merged.size(), "JSONL has one line per event");
 }
 
+// File mode (scripts/ci.sh): re-parse a /metrics page scraped from a live
+// process through the same parser the unit tests use. The scrape is real
+// output of the embedded HTTP endpoint, so any malformed line is a render
+// (or server framing) bug.
+int reparse_scrape(const char* path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    std::cerr << "obs_smoke: cannot read " << path << "\n";
+    return 1;
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  const std::string text = buf.str();
+  check(!text.empty(), "scraped exposition is non-empty");
+  const auto samples = obs::parse_prometheus(text);
+  check(samples.has_value(), "scraped exposition re-parses cleanly");
+  if (samples.has_value()) {
+    check(!samples->empty(), "scraped exposition has samples");
+    const bool has_alive = std::any_of(
+        samples->begin(), samples->end(), [](const obs::parsed_sample& s) {
+          return s.name == "omega_messages_sent_total";
+        });
+    check(has_alive, "scrape contains the service traffic counters");
+  }
+  if (failures == 0) {
+    std::cout << "obs_smoke: scraped /metrics re-parsed ("
+              << (samples ? samples->size() : 0) << " samples)\n";
+    return 0;
+  }
+  std::cout << "obs_smoke: " << failures << " scrape check(s) failed\n";
+  return 1;
+}
+
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  if (argc > 1) return reparse_scrape(argv[1]);
   render_reparse_roundtrip();
   traced_experiment_smoke();
   if (failures == 0) {

@@ -6,19 +6,30 @@
 // real time, kills the leader's instance, and watches the survivors
 // re-elect within the FD detection bound.
 //
-// Each instance carries the observability plane: a metrics registry plus a
-// trace ring, rendered at the end as a Prometheus text snapshot and a JSONL
-// event dump — what a production daemon would serve from a /metrics
-// endpoint and write to its flight-recorder file.
+// Each instance carries the full observability plane: a metrics registry,
+// a trace ring with the causal plane on (wire-stamped cause ids + the
+// monotonic wall clock), and — when OMEGA_LIVE_HTTP_PORT is set — a live
+// /metrics + /trace HTTP endpoint that scripts/ci.sh scrapes mid-run.
+// At the end the merged rings are rebuilt into a causal DAG on the wall
+// timeline (no shared engine clock exists between the instances) and the
+// run fails unless >= 95% of the failover's events link back to
+// root-cause evidence about the victim — the same forensics gate the sim
+// harness enforces, on a real-UDP run.
 //
-// (Total wall-clock runtime: about 6 seconds.)
+// (Total wall-clock runtime: about 6 seconds, plus OMEGA_LIVE_LINGER_MS.)
+#include <algorithm>
 #include <chrono>
+#include <cstdlib>
 #include <iostream>
 #include <span>
+#include <string>
 #include <thread>
+#include <vector>
 
 #include "election/elector.hpp"
+#include "obs/causal_graph.hpp"
 #include "obs/exposition.hpp"
+#include "obs/http_endpoint.hpp"
 #include "obs/metrics.hpp"
 #include "obs/service_export.hpp"
 #include "obs/sink.hpp"
@@ -45,6 +56,39 @@ struct workstation {
   obs::sink sink{&metrics, &trace};
 };
 
+// Renders every live workstation's registry and trace on its own loop
+// thread (registries are loop-owned; reading them from main would race)
+// and publishes the combined pages. Concatenated expositions repeat
+// `# TYPE` headers; the parser and the endpoint contract both allow that.
+void publish_snapshots(obs::http_endpoint& http,
+                       std::vector<workstation>& cluster) {
+  std::string metrics_page;
+  std::vector<obs::trace_event> merged;
+  for (auto& ws : cluster) {
+    if (!ws.svc) continue;
+    std::string page;
+    std::vector<obs::trace_event> events;
+    ws.engine->post([&ws, &page, &events] {
+      obs::export_service_stats(ws.metrics, *ws.svc);
+      page = obs::render_prometheus(ws.metrics);
+      events = ws.trace.events();
+    });
+    ws.engine->drain(msec(20));
+    metrics_page += page;
+    merged.insert(merged.end(), events.begin(), events.end());
+  }
+  std::sort(merged.begin(), merged.end(),
+            [](const obs::trace_event& a, const obs::trace_event& b) {
+              if (a.wall_us != b.wall_us) return a.wall_us < b.wall_us;
+              if (a.node != b.node) return a.node < b.node;
+              return a.seq < b.seq;
+            });
+  http.publish("/metrics", std::move(metrics_page),
+               std::string(obs::http_endpoint::metrics_content_type));
+  http.publish("/trace", obs::render_jsonl(merged),
+               std::string(obs::http_endpoint::trace_content_type));
+}
+
 }  // namespace
 
 int main() {
@@ -64,12 +108,16 @@ int main() {
     ws.engine = std::make_unique<runtime::real_time_engine>();
     ws.transport = std::make_unique<runtime::udp_transport>(
         *ws.engine, node_id{i}, roster_map);
+    // Dual timestamps: every trace event carries the host's monotonic wall
+    // clock, the only timeline the three engines share.
+    ws.sink.set_wall_clock(&runtime::monotonic_wall_us);
 
     service::service_config cfg;
     cfg.self = node_id{i};
     cfg.roster = roster;
     cfg.alg = election::algorithm::omega_l;
     cfg.sink = &ws.sink;
+    cfg.causal_stamping = true;  // wire-stamp causally potent datagrams
 
     // Service construction and all API calls must happen on the engine's
     // loop thread (the protocol stack is single-threaded by design).
@@ -92,6 +140,18 @@ int main() {
     });
   }
 
+  // Live telemetry endpoint (opt-in): OMEGA_LIVE_HTTP_PORT=0 binds an
+  // ephemeral port and prints it, any other value binds that port.
+  obs::http_endpoint http;
+  if (const char* port_env = std::getenv("OMEGA_LIVE_HTTP_PORT")) {
+    if (!http.start(static_cast<std::uint16_t>(std::atoi(port_env)))) {
+      std::cerr << "failed to bind OMEGA_LIVE_HTTP_PORT=" << port_env << "\n";
+      return 1;
+    }
+    std::cout << "-- serving /metrics and /trace on 127.0.0.1:" << http.port()
+              << std::endl;
+  }
+
   std::cout << "-- 3 service instances up on 127.0.0.1:39400-39402; waiting "
                "3 s of real time\n";
   std::this_thread::sleep_for(std::chrono::seconds(3));
@@ -104,28 +164,55 @@ int main() {
     return 1;
   }
   std::cout << "-- elected leader: process " << leader->value() << "\n";
+  if (http.running()) publish_snapshots(http, cluster);
 
   const std::size_t victim = leader->value();
   std::cout << "-- killing node " << victim << "'s service instance\n";
+  const std::int64_t kill_wall_us = runtime::monotonic_wall_us();
   // Destroy on the victim's own loop thread, then stop the engine.
   cluster[victim].engine->post([&] { cluster[victim].svc.reset(); });
   cluster[victim].engine->drain(msec(50));
   cluster[victim].transport.reset();
   cluster[victim].engine->stop();
 
-  std::this_thread::sleep_for(std::chrono::seconds(3));
-
-  bool healed = true;
-  for (std::size_t i = 0; i < kNodes; ++i) {
-    if (i == victim) continue;
-    std::optional<process_id> now_leader;
-    cluster[i].engine->post([&, i] { now_leader = cluster[i].svc->leader(kGroup); });
-    cluster[i].engine->drain(msec(50));
-    std::cout << "-- node " << i << " follows: "
-              << (now_leader ? std::to_string(now_leader->value())
-                             : std::string("(none)"))
-              << "\n";
-    if (!now_leader || now_leader->value() == victim) healed = false;
+  // Poll for re-election instead of sleeping a fixed window: the heal
+  // instant bounds the causal-linkage window below, and a tight window
+  // keeps unrelated post-election events (a transient false suspicion of a
+  // live peer) out of the forensics denominator.
+  bool healed = false;
+  std::optional<process_id> new_leader;
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  while (!healed && std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    healed = true;
+    new_leader = std::nullopt;
+    for (std::size_t i = 0; i < kNodes; ++i) {
+      if (i == victim) continue;
+      std::optional<process_id> now_leader;
+      cluster[i].engine->post(
+          [&, i] { now_leader = cluster[i].svc->leader(kGroup); });
+      cluster[i].engine->drain(msec(20));
+      if (!now_leader || now_leader->value() == victim ||
+          (new_leader && *new_leader != *now_leader)) {
+        healed = false;
+        break;
+      }
+      new_leader = now_leader;
+    }
+  }
+  const std::int64_t heal_wall_us = runtime::monotonic_wall_us();
+  std::cout << "-- survivors agree on leader: "
+            << (new_leader ? std::to_string(new_leader->value())
+                           : std::string("(none)"))
+            << (healed ? "" : "  [TIMED OUT]") << "\n";
+  if (http.running()) {
+    publish_snapshots(http, cluster);
+    // Give out-of-process scrapers (scripts/ci.sh) a deterministic window
+    // to hit the post-failover snapshots before shutdown.
+    if (const char* linger = std::getenv("OMEGA_LIVE_LINGER_MS")) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(std::atoi(linger)));
+    }
   }
 
   // Orderly shutdown: services die on their loop threads first. Each
@@ -141,6 +228,7 @@ int main() {
     cluster[i].transport.reset();
     cluster[i].engine->stop();
   }
+  http.stop();
 
   // One survivor's observability, post-mortem: the Prometheus exposition
   // and the tail of the structured trace.
@@ -155,7 +243,42 @@ int main() {
             << obs::render_jsonl(
                    std::span<const obs::trace_event>(events).subspan(tail));
 
+  // Causal forensics on the wall timeline: all engines are stopped, so the
+  // rings are safe to merge from here. The three engines never shared a
+  // virtual clock — the DAG is rebuilt purely from cause ids, windowed by
+  // the monotonic wall clock.
+  std::vector<obs::trace_event> all_events;
+  for (auto& ws : cluster) {
+    const auto evs = ws.trace.events();
+    all_events.insert(all_events.end(), evs.begin(), evs.end());
+  }
+  const auto graph = obs::causal_graph::build(all_events);
+  const node_id victim_node{static_cast<std::uint32_t>(victim)};
+  const process_id victim_pid{static_cast<std::uint32_t>(victim)};
+  const auto report = graph.linkage(
+      victim_node, victim_pid, time_point{usec(kill_wall_us)},
+      time_point{usec(heal_wall_us)}, obs::causal_graph::timeline::wall);
+  std::cout << "\n-- causal DAG over " << graph.size() << " events: "
+            << report.linked << "/" << report.considered
+            << " failover events linked to victim evidence ("
+            << report.evidence_roots << " roots, " << report.dangling
+            << " dangling), wall-skew violations: "
+            << graph.wall_skew_violations() << "\n";
+  const auto budget = graph.attribute_outage(
+      victim_node, victim_pid, time_point{usec(kill_wall_us)},
+      time_point{usec(heal_wall_us)}, new_leader,
+      obs::causal_graph::timeline::wall);
+  std::cout << "-- outage attribution: detect " << budget.detection_s
+            << " s, disseminate " << budget.dissemination_s << " s, elect "
+            << budget.election_s << " s\n";
+
+  const bool linked_enough =
+      report.considered > 0 && report.fraction() >= 0.95;
+  if (!linked_enough) std::cout << "-- FAILED causal linkage gate (>= 95%)\n";
+  const bool skew_ok = graph.wall_skew_violations() == 0;
+  if (!skew_ok) std::cout << "-- FAILED wall-clock skew check\n";
+
   std::cout << (healed ? "-- re-election over real UDP succeeded\n"
                        : "-- FAILED to re-elect\n");
-  return healed ? 0 : 1;
+  return healed && linked_enough && skew_ok ? 0 : 1;
 }

@@ -41,6 +41,47 @@ OMEGA_BENCH_HOURS="${OMEGA_BENCH_HOURS:-0.2}" ./build/fig12_roster_scope
 # registry and re-parse it, plus a traced experiment's JSONL dump.
 ./build/obs_smoke
 
+# Live-scrape smoke: run the real-UDP example with its embedded HTTP
+# endpoint, scrape /metrics and /trace from the running process, and push
+# the scraped /metrics page back through the exposition parser (obs_smoke
+# file mode). The example itself enforces the real-UDP causal forensics
+# gate (>= 95% of failover events linked) via its exit code.
+if command -v python3 > /dev/null; then
+  rm -f ci_live_port.txt ci_live_metrics.txt ci_live_trace.jsonl
+  OMEGA_LIVE_HTTP_PORT=0 OMEGA_LIVE_LINGER_MS=4000 \
+    ./build/example_udp_live > ci_udp_live.log 2>&1 &
+  live_pid=$!
+  # The port line appears as soon as the endpoint binds; the post-failover
+  # snapshots are published ~6.5 s in, within the linger window.
+  for _ in $(seq 1 100); do
+    grep -oE 'serving /metrics and /trace on 127\.0\.0\.1:[0-9]+' \
+      ci_udp_live.log | grep -oE '[0-9]+$' > ci_live_port.txt && break
+    sleep 0.1
+  done
+  sleep 7
+  live_port="$(cat ci_live_port.txt)"
+  python3 - "$live_port" <<'PY'
+import sys, urllib.request
+port = sys.argv[1]
+for path, out in (("/metrics", "ci_live_metrics.txt"),
+                  ("/trace", "ci_live_trace.jsonl")):
+    with urllib.request.urlopen(f"http://127.0.0.1:{port}{path}", timeout=5) as r:
+        body = r.read()
+        assert r.status == 200 and body, (path, r.status, len(body))
+        open(out, "wb").write(body)
+lines = open("ci_live_trace.jsonl", "rb").read().splitlines()
+assert lines and all(l.startswith(b"{") and l.endswith(b"}") for l in lines), \
+    "scraped /trace is not JSONL"
+print(f"ci.sh: scraped live /metrics and /trace ({len(lines)} trace events)")
+PY
+  wait "$live_pid" \
+    || { echo "ci.sh: example_udp_live failed (see ci_udp_live.log)" >&2; exit 1; }
+  ./build/obs_smoke ci_live_metrics.txt
+  rm -f ci_live_port.txt ci_live_metrics.txt ci_live_trace.jsonl ci_udp_live.log
+else
+  echo "ci.sh: python3 unavailable, skipping the live-scrape smoke" >&2
+fi
+
 # Every emitted bench artifact must be parseable JSON: the figures are
 # consumed by tooling, so a truncated or malformed write fails here, not
 # downstream.
@@ -52,10 +93,11 @@ if command -v python3 > /dev/null; then
     echo "ci.sh: $f parses"
   done
   # Roster scoping must beat cluster-wide HELLO on total wire traffic at
-  # every 300+ roster of the 3-tier sweep; the observability plane must not
-  # perturb the protocol (msgs/s within 3% of the pre-instrumentation
-  # baseline on the stock smoke setting) and must attribute >= 95% of every
-  # measured re-election interval to a named phase.
+  # every 300+ roster of the 3-tier sweep; the observability plane — with
+  # causal wire stamping enabled — must not perturb the protocol (msgs/s
+  # within 3% of the pre-instrumentation baseline on the stock smoke
+  # setting) and must attribute >= 95% of every measured re-election
+  # interval to a named phase.
   OMEGA_BENCH_HOURS="${OMEGA_BENCH_HOURS:-0.2}" \
   OMEGA_BENCH_SEED="${OMEGA_BENCH_SEED:-42}" \
   python3 - <<'PY'

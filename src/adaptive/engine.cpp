@@ -115,6 +115,9 @@ std::uint64_t engine::total_retunes() const {
 }
 
 void engine::tick() {
+  // Periodic retune pass: a causal root (retune events are inert anyway,
+  // but rate renegotiations it triggers must not inherit a stale cause).
+  obs::sink::activation causal_scope(sink_);
   const time_point now = clock_.now();
   const fd::link_estimate binding = tracker_.aggregate(now);
   // The tracked estimate is per peer, not per (group, peer): blend each

@@ -1,0 +1,37 @@
+// Causal provenance of trace events (DESIGN.md §7).
+//
+// A `cause_id` names one trace event globally: the node that recorded it,
+// that node's service incarnation, and the recorder-assigned per-node
+// sequence number. Because every recorder numbers its events densely and
+// the harness keeps one recorder per node across crash/recovery cycles,
+// (origin, seq) is a unique key with no coordination and no global clock —
+// exactly what lets `obs::causal_graph` rebuild a failover DAG from
+// per-node rings alone, on the simulator or over real UDP.
+//
+// The id is small enough (16 bytes) to ride in the wire envelope of
+// causally potent datagrams (proto/wire.hpp, version-2 envelope): a
+// receiver handling a stamped ACCUSE or eager ALIVE records its own events
+// with `cause` pointing at the remote event that provoked the send.
+#pragma once
+
+#include <cstdint>
+
+#include "common/ids.hpp"
+
+namespace omega {
+
+struct cause_id {
+  /// Node whose recorder captured the provoking event.
+  node_id origin = node_id::invalid();
+  /// Service incarnation of `origin` at record time (diagnostic: a stamp
+  /// from a dead incarnation still resolves — seq alone is the key).
+  incarnation inc = 0;
+  /// Per-recorder sequence number of the provoking event on `origin`.
+  std::uint64_t seq = 0;
+
+  [[nodiscard]] bool valid() const { return origin.valid(); }
+
+  friend bool operator==(const cause_id&, const cause_id&) = default;
+};
+
+}  // namespace omega

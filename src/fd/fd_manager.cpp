@@ -80,6 +80,28 @@ void fd_manager::add_group(group_id group, const qos_spec& qos) {
   groups_[group] = qos;
 }
 
+void fd_manager::set_group_class(group_id group, std::string label) {
+  classes_[group] = std::move(label);
+  // Cached inter-arrival cells may now point at the wrong class series.
+  for (auto& [node, state] : remotes_) state->hot.clear();
+}
+
+obs::histogram* fd_manager::interarrival_cell(group_id group) {
+  if (sink_ == nullptr || sink_->metrics() == nullptr) return nullptr;
+  static const std::string default_class = "default";
+  auto it = classes_.find(group);
+  const std::string& label = it != classes_.end() ? it->second : default_class;
+  // Bounds span the experiments' heartbeat cadences: eta = detection/4
+  // puts interactive links around tens of ms and background links at
+  // multiple seconds.
+  // The node label disambiguates the series when many instances' registries
+  // are merged into one exposition page (harness / udp_live /metrics).
+  return &sink_->metrics()->get_histogram(
+      "omega_heartbeat_interarrival_seconds",
+      {{"class", label}, {"node", std::to_string(sink_->self().value())}},
+      {0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5});
+}
+
 void fd_manager::remove_group(group_id group) {
   groups_.erase(group);
   plans_.erase(group);
@@ -107,6 +129,11 @@ heartbeat_monitor& fd_manager::ensure_monitor(group_id group, node_id remote,
     }();
     auto monitor = std::make_unique<heartbeat_monitor>(
         clock_, timers_, params.delta, [this, group, remote](bool trusted) {
+          // Causal root when the edge fires from the monitor's own timeout
+          // (a suspicion is spontaneous evidence); a trust edge raised while
+          // handling an ALIVE is already inside the datagram's activation
+          // and keeps that cause.
+          obs::sink::activation causal_scope(sink_);
           // Mirror first: the transition handler re-enters is_trusted via
           // the elector re-evaluation.
           if (trusted) {
@@ -159,26 +186,49 @@ void fd_manager::on_alive(const proto::alive_msg& msg, time_point recv_time) {
     state.params.clear();
     state.hot.clear();
   }
+  // Node-level inter-arrival gap, taken before last_heard is overwritten;
+  // observed below once per distinct QoS class among the carried groups.
+  const bool have_gap = state.last_heard != time_point{};
+  const duration gap = have_gap ? recv_time - state.last_heard : duration{};
   state.last_heard = recv_time;
   state.lqe.on_heartbeat(msg.seq, msg.send_time, recv_time);
   if (on_link_sample_) on_link_sample_(msg.from, state.lqe.estimate(), recv_time);
 
+  // Distinct class cells already observed for this ALIVE (groups sharing a
+  // class share a cell, so pointer identity is the dedup key).
+  obs::histogram* observed[4] = {};
+  std::size_t observed_n = 0;
+
   for (const auto& payload : msg.groups) {
     // Hot path: one linear probe of the positive cache instead of two hash
     // lookups (groups_ + monitors) per carried payload.
-    heartbeat_monitor* mon = nullptr;
-    for (auto& [g, m] : state.hot) {
-      if (g == payload.group) {
-        mon = m;
+    const remote_state::hot_entry* entry = nullptr;
+    for (const auto& e : state.hot) {
+      if (e.group == payload.group) {
+        entry = &e;
         break;
       }
     }
-    if (mon == nullptr) {
+    if (entry == nullptr) {
       if (groups_.find(payload.group) == groups_.end()) continue;  // not ours
-      mon = &ensure_monitor(payload.group, msg.from, state);
-      state.hot.emplace_back(payload.group, mon);
+      heartbeat_monitor* mon = &ensure_monitor(payload.group, msg.from, state);
+      state.hot.push_back({payload.group, mon, interarrival_cell(payload.group)});
+      entry = &state.hot.back();
     }
-    mon->on_heartbeat(msg.send_time, msg.eta);
+    if (have_gap && entry->interarrival != nullptr && observed_n < 4) {
+      bool seen = false;
+      for (std::size_t i = 0; i < observed_n; ++i) {
+        if (observed[i] == entry->interarrival) {
+          seen = true;
+          break;
+        }
+      }
+      if (!seen) {
+        observed[observed_n++] = entry->interarrival;
+        entry->interarrival->observe(to_seconds(gap));
+      }
+    }
+    entry->monitor->on_heartbeat(msg.send_time, msg.eta);
   }
 }
 

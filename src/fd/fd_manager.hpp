@@ -80,6 +80,14 @@ class fd_manager {
   void add_group(group_id group, const qos_spec& qos);
   void remove_group(group_id group);
 
+  /// Labels the group's QoS service class ("interactive", "background"...)
+  /// for the continuous heartbeat inter-arrival histograms
+  /// (`omega_heartbeat_interarrival_seconds{class=...}`). Each received
+  /// ALIVE observes its node-level inter-arrival gap once per distinct
+  /// class among the carried groups this manager monitors. Unlabelled
+  /// groups fall under "default".
+  void set_group_class(group_id group, std::string label);
+
   /// Feeds one received ALIVE message: link statistics at node level, then
   /// freshness for every carried group payload (monitors are created
   /// lazily). Heartbeats from an unknown/old incarnation reset/discard
@@ -153,10 +161,17 @@ class fd_manager {
     std::unordered_map<group_id, std::unique_ptr<heartbeat_monitor>> monitors;
     std::unordered_map<group_id, fd_params> params;
     /// Positive-only lookup cache for the per-ALIVE hot path: (group,
-    /// monitor) pairs known to be registered and monitored, scanned
-    /// linearly (a node is in a handful of groups). Cleared whenever
-    /// `monitors` shrinks; pointer targets are stable (unique_ptr map).
-    std::vector<std::pair<group_id, heartbeat_monitor*>> hot;
+    /// monitor, inter-arrival cell) triples known to be registered and
+    /// monitored, scanned linearly (a node is in a handful of groups).
+    /// Cleared whenever `monitors` shrinks or a class label changes;
+    /// pointer targets are stable (unique_ptr map / registry cells).
+    struct hot_entry {
+      group_id group;
+      heartbeat_monitor* monitor;
+      /// The group's class histogram, or null without a metrics registry.
+      obs::histogram* interarrival;
+    };
+    std::vector<hot_entry> hot;
     duration last_requested_eta{0};
     time_point last_rate_sent{};
     time_point last_heard{};
@@ -191,8 +206,15 @@ class fd_manager {
   transition_handler on_transition_;
   rate_request_fn send_rate_request_;
   link_observer on_link_sample_;
+  /// Resolves the inter-arrival histogram cell for `group`'s class label
+  /// (null without a metrics registry). Cheap enough for hot-cache fills
+  /// only — the per-ALIVE path reads the cached cell.
+  [[nodiscard]] obs::histogram* interarrival_cell(group_id group);
+
   obs::sink* sink_ = nullptr;
   std::unordered_map<group_id, qos_spec> groups_;
+  /// QoS class labels per group (see set_group_class).
+  std::unordered_map<group_id, std::string> classes_;
   std::unordered_map<group_id, param_plan> plans_;
   std::unordered_map<node_id, std::unique_ptr<remote_state>> remotes_;
   /// Mirror of "monitor exists and trusts" per (group, remote), maintained

@@ -3,8 +3,10 @@
 #include <algorithm>
 #include <chrono>
 #include <stdexcept>
+#include <string>
 #include <utility>
 
+#include "obs/exposition.hpp"
 #include "obs/service_export.hpp"
 
 namespace omega::harness {
@@ -85,6 +87,10 @@ experiment::experiment(scenario sc) : sc_(std::move(sc)), root_rng_(sc_.seed) {
       obs_.push_back(std::make_unique<node_obs>(sc_.trace_capacity));
     }
   }
+  if (sc_.profile_sim) {
+    profiler_ = std::make_unique<obs::profiler>(&sim_metrics_);
+    net_->set_profiler(profiler_.get());
+  }
 
   nodes_.reserve(sc_.nodes);
   rng stagger = root_rng_.split();
@@ -132,7 +138,10 @@ void experiment::start_service(workstation& ws) {
   for (const auto& other : nodes_) cfg.roster.push_back(other.node);
   cfg.alg = sc_.alg;
   cfg.adaptive = sc_.adaptive;
-  if (!obs_.empty()) cfg.sink = &obs_[ws.node.value()]->sink;
+  if (!obs_.empty()) {
+    cfg.sink = &obs_[ws.node.value()]->sink;
+    cfg.causal_stamping = sc_.causal;
+  }
   ws.svc = std::make_unique<service::leader_election_service>(
       sim_, sim_, net_->endpoint(ws.node), cfg);
 
@@ -253,7 +262,58 @@ void experiment::export_metrics() {
     if (ws.svc) {
       obs::export_service_stats(obs_[ws.node.value()]->metrics, *ws.svc);
     }
+    // Ring health: how complete the forensic record is. `dropped > 0` means
+    // the window outgrew the ring and DAG linkage may report dangling ids.
+    node_obs& o = *obs_[ws.node.value()];
+    const obs::label_set labels = {{"node", std::to_string(ws.node.value())}};
+    o.metrics.get_counter("omega_trace_events_total", labels)
+        .advance_to(o.trace.recorded());
+    o.metrics.get_counter("omega_trace_dropped_total", labels)
+        .advance_to(o.trace.dropped());
   }
+}
+
+obs::causal_graph experiment::build_causal_graph() const {
+  return obs::causal_graph::build(merged_trace());
+}
+
+obs::outage_budget experiment::attribute_outage_dag(
+    node_id victim, time_point start, time_point end,
+    std::optional<process_id> resolved_leader) const {
+  // The harness runs pid i on node i; the sim clock is the shared timeline.
+  return build_causal_graph().attribute_outage(
+      victim, process_id{victim.value()}, start, end, resolved_leader,
+      obs::causal_graph::timeline::sim);
+}
+
+bool experiment::serve_http(std::uint16_t port, duration refresh) {
+  if (http_ && http_->running()) return true;
+  auto ep = std::make_unique<obs::http_endpoint>();
+  if (!ep->start(port)) return false;
+  http_ = std::move(ep);
+  publish_http();
+  if (refresh > duration{0}) schedule_http_refresh(refresh);
+  return true;
+}
+
+void experiment::schedule_http_refresh(duration refresh) {
+  sim_.schedule_after(refresh, [this, refresh] {
+    publish_http();
+    schedule_http_refresh(refresh);
+  });
+}
+
+void experiment::publish_http() {
+  if (!http_ || !http_->running()) return;
+  export_metrics();
+  std::vector<const obs::registry*> regs;
+  regs.reserve(obs_.size() + 1);
+  regs.push_back(&sim_metrics_);
+  for (const auto& o : obs_) regs.push_back(&o->metrics);
+  http_->publish("/metrics", obs::render_prometheus(regs),
+                 std::string(obs::http_endpoint::metrics_content_type));
+  http_->publish("/trace", obs::render_jsonl(merged_trace()),
+                 std::string(obs::http_endpoint::trace_content_type));
 }
 
 obs::outage_budget experiment::attribute_outage(

@@ -15,7 +15,10 @@
 #include "metrics/group_metrics.hpp"
 #include "metrics/hierarchy_metrics.hpp"
 #include "net/sim_network.hpp"
+#include "obs/causal_graph.hpp"
 #include "obs/forensics.hpp"
+#include "obs/http_endpoint.hpp"
+#include "obs/profiler.hpp"
 #include "obs/sink.hpp"
 #include "service/service.hpp"
 #include "sim/simulator.hpp"
@@ -136,6 +139,33 @@ class experiment {
       node_id victim, time_point start, time_point end,
       std::optional<process_id> resolved_leader = std::nullopt) const;
 
+  /// Harness-level registry: metrics that belong to the run rather than to
+  /// one node (the sim profiler's per-kind handler-time histograms).
+  [[nodiscard]] obs::registry& sim_registry() { return sim_metrics_; }
+
+  /// Rebuilds the causal DAG from the merged per-node rings (meaningful on
+  /// `scenario::causal` runs; without stamping every event is a root).
+  [[nodiscard]] obs::causal_graph build_causal_graph() const;
+  /// DAG-based outage attribution — same contract as `attribute_outage`,
+  /// but phase boundaries come from causal links instead of the time
+  /// window alone (obs::causal_graph::attribute_outage, sim timeline).
+  [[nodiscard]] obs::outage_budget attribute_outage_dag(
+      node_id victim, time_point start, time_point end,
+      std::optional<process_id> resolved_leader = std::nullopt) const;
+
+  /// Mounts the embedded HTTP endpoint on 127.0.0.1:`port` (0 = kernel
+  /// pick, see `http_port()`), publishes an initial /metrics + /trace
+  /// snapshot and re-publishes every `refresh` of *simulated* time while
+  /// the clock advances. Returns false if the socket could not be bound.
+  bool serve_http(std::uint16_t port, duration refresh = sec(5));
+  /// The endpoint's bound port, or 0 when not serving.
+  [[nodiscard]] std::uint16_t http_port() const {
+    return http_ ? http_->port() : 0;
+  }
+  /// Renders and publishes fresh /metrics and /trace snapshots (no-op
+  /// unless `serve_http` succeeded).
+  void publish_http();
+
  private:
   struct workstation {
     node_id node;
@@ -153,6 +183,8 @@ class experiment {
 
   void boot_node(workstation& ws, time_point join_at);
   void start_service(workstation& ws);
+  /// Self-rearming sim timer republishing the HTTP snapshots.
+  void schedule_http_refresh(duration refresh);
   void schedule_crash(workstation& ws);
   void schedule_recovery(workstation& ws);
 
@@ -170,6 +202,11 @@ class experiment {
   rng root_rng_;
   sim::simulator sim_;
   std::unique_ptr<net::sim_network> net_;
+  /// Run-scoped metrics + the sim profiler feeding them (scenario::profile_sim).
+  obs::registry sim_metrics_;
+  std::unique_ptr<obs::profiler> profiler_;
+  /// Live telemetry endpoint (serve_http), refreshed by a sim timer.
+  std::unique_ptr<obs::http_endpoint> http_;
   std::optional<hierarchy::topology> topo_;
   std::vector<std::unique_ptr<node_obs>> obs_;
   std::vector<workstation> nodes_;

@@ -140,6 +140,17 @@ struct scenario {
   bool trace = false;
   /// Ring capacity (events retained per node) when `trace` is on.
   std::size_t trace_capacity = 2048;
+  /// Causal tracing (DESIGN.md §7): activate every sink's causal plane and
+  /// stamp causally potent outbound datagrams with the provoking trace
+  /// event's cause id (wire envelope v2), so `experiment::build_causal_graph`
+  /// can rebuild a failover as a DAG. Needs `trace`; off by default — the
+  /// unstamped run is the byte-identity baseline the golden-trace guard and
+  /// the overhead gate protect.
+  bool causal = false;
+  /// Attach the per-event-kind host-time profiler to the simulated network:
+  /// `omega_sim_handler_seconds{kind}` histograms land in
+  /// `experiment::sim_registry()`. Never touches virtual time.
+  bool profile_sim = false;
 
   /// Simulated measurement window (after warm-up).
   duration measured = std::chrono::duration_cast<duration>(std::chrono::hours(2));

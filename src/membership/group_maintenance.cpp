@@ -213,6 +213,9 @@ void group_maintenance::stop() {
 }
 
 void group_maintenance::sweep() {
+  // Periodic anti-entropy is a spontaneous causal root: the HELLO goes out
+  // unstamped and evictions start their own chains.
+  obs::sink::activation causal_scope(sink_);
   broadcast_hello(/*reply_requested=*/false);
   const time_point cutoff = clock_.now() - opts_.eviction_after;
   // Iterate over a snapshot of the group ids: an eviction event may re-enter

@@ -4,6 +4,8 @@
 #include <stdexcept>
 #include <utility>
 
+#include "proto/wire.hpp"
+
 namespace omega::net {
 
 class sim_network::endpoint_impl final : public transport {
@@ -183,6 +185,15 @@ void sim_network::deliver_now(node_id from, node_id to,
   auto& rx = traffic_[to.value()];
   rx.datagrams_received += 1;
   rx.bytes_received += payload.size() + wire_overhead_bytes;
+  if (profiler_ != nullptr) {
+    // Host-time cost of the whole receive stack (decode + FD + membership
+    // + election reevaluation), labelled by wire kind.
+    const auto kind = proto::peek_kind(payload.bytes());
+    obs::profiler::scope timed(
+        profiler_, kind ? proto::to_string(*kind) : "malformed");
+    endpoints_[to.value()]->deliver(from, payload.bytes());
+    return;
+  }
   endpoints_[to.value()]->deliver(from, payload.bytes());
 }
 

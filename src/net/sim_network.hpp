@@ -27,6 +27,7 @@
 #include "net/link_model.hpp"
 #include "net/shared_payload.hpp"
 #include "net/transport.hpp"
+#include "obs/profiler.hpp"
 #include "sim/simulator.hpp"
 
 namespace omega::net {
@@ -86,6 +87,13 @@ class sim_network {
       std::function<void(node_id from, node_id to, std::span<const std::byte>)>;
   void set_send_tap(send_tap tap) { tap_ = std::move(tap); }
 
+  /// Attaches the scoped-timer profiler: every datagram delivery is timed
+  /// (host time, steady_clock) under the label of its wire message kind —
+  /// the per-event-kind execution-time histograms of the observability
+  /// plane. Null (default) disables; virtual time and event order are
+  /// never affected either way.
+  void set_profiler(obs::profiler* profiler) { profiler_ = profiler; }
+
   /// Cluster-wide totals of datagrams dropped by links (loss + crash) and
   /// dropped because the destination node was down.
   [[nodiscard]] std::uint64_t dropped_by_links() const { return dropped_by_links_; }
@@ -116,6 +124,7 @@ class sim_network {
   std::vector<traffic_totals> traffic_;
   payload_pool pool_;
   send_tap tap_;
+  obs::profiler* profiler_ = nullptr;
   std::uint64_t dropped_by_links_ = 0;
   std::uint64_t dropped_dead_node_ = 0;
 };

@@ -5,6 +5,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <limits>
+#include <map>
 
 #include "common/time.hpp"
 
@@ -78,73 +79,106 @@ std::string le_string(double bound) {
   return s;
 }
 
+void render_series(std::string& out, std::string_view name, metric_type type,
+                   const registry::series& s);
+
 }  // namespace
 
 std::string render_prometheus(const registry& reg) {
+  const registry* regs[] = {&reg};
+  return render_prometheus(std::span<const registry* const>(regs));
+}
+
+std::string render_prometheus(std::span<const registry* const> regs) {
+  // Union of family names across registries, in name order (map). Each
+  // family remembers the first registry's type; later registries whose
+  // homonymous family disagrees are dropped (instrumentation bug).
+  std::map<std::string_view,
+           std::pair<metric_type, std::vector<const registry::family*>>,
+           std::less<>>
+      merged;
+  for (const registry* reg : regs) {
+    if (reg == nullptr) continue;
+    for (const auto& [name, fam] : reg->families()) {
+      auto [it, inserted] =
+          merged.try_emplace(name, fam.type, std::vector<const registry::family*>{});
+      if (!inserted && it->second.first != fam.type) continue;
+      it->second.second.push_back(&fam);
+    }
+  }
   std::string out;
-  for (const auto& [name, fam] : reg.families()) {
+  for (const auto& [name, typed] : merged) {
     out += "# TYPE ";
     out += name;
     out += ' ';
-    out += to_string(fam.type);
+    out += to_string(typed.first);
     out += '\n';
-    for (const auto& s : fam.entries) {
-      switch (fam.type) {
-        case metric_type::counter: {
-          out += name;
-          append_labels(out, s->labels);
-          out += ' ';
-          append_u64(out, s->c ? s->c->value() : 0);
-          out += '\n';
-          break;
-        }
-        case metric_type::gauge: {
-          out += name;
-          append_labels(out, s->labels);
-          out += ' ';
-          append_double(out, s->g ? s->g->value() : 0.0);
-          out += '\n';
-          break;
-        }
-        case metric_type::histogram: {
-          if (!s->h) break;
-          const auto& bounds = s->h->bounds();
-          std::uint64_t cumulative = 0;
-          for (std::size_t i = 0; i < bounds.size(); ++i) {
-            cumulative += s->h->bucket_count(i);
-            out += name;
-            out += "_bucket";
-            append_labels_with(out, s->labels, "le", le_string(bounds[i]));
-            out += ' ';
-            append_u64(out, cumulative);
-            out += '\n';
-          }
-          cumulative += s->h->bucket_count(bounds.size());
-          out += name;
-          out += "_bucket";
-          append_labels_with(out, s->labels, "le", "+Inf");
-          out += ' ';
-          append_u64(out, cumulative);
-          out += '\n';
-          out += name;
-          out += "_sum";
-          append_labels(out, s->labels);
-          out += ' ';
-          append_double(out, s->h->sum());
-          out += '\n';
-          out += name;
-          out += "_count";
-          append_labels(out, s->labels);
-          out += ' ';
-          append_u64(out, s->h->count());
-          out += '\n';
-          break;
-        }
-      }
+    for (const registry::family* fam : typed.second) {
+      for (const auto& s : fam->entries) render_series(out, name, typed.first, *s);
     }
   }
   return out;
 }
+
+namespace {
+
+void render_series(std::string& out, std::string_view name, metric_type type,
+                   const registry::series& s) {
+  switch (type) {
+    case metric_type::counter: {
+      out += name;
+      append_labels(out, s.labels);
+      out += ' ';
+      append_u64(out, s.c ? s.c->value() : 0);
+      out += '\n';
+      break;
+    }
+    case metric_type::gauge: {
+      out += name;
+      append_labels(out, s.labels);
+      out += ' ';
+      append_double(out, s.g ? s.g->value() : 0.0);
+      out += '\n';
+      break;
+    }
+    case metric_type::histogram: {
+      if (!s.h) break;
+      const auto& bounds = s.h->bounds();
+      std::uint64_t cumulative = 0;
+      for (std::size_t i = 0; i < bounds.size(); ++i) {
+        cumulative += s.h->bucket_count(i);
+        out += name;
+        out += "_bucket";
+        append_labels_with(out, s.labels, "le", le_string(bounds[i]));
+        out += ' ';
+        append_u64(out, cumulative);
+        out += '\n';
+      }
+      cumulative += s.h->bucket_count(bounds.size());
+      out += name;
+      out += "_bucket";
+      append_labels_with(out, s.labels, "le", "+Inf");
+      out += ' ';
+      append_u64(out, cumulative);
+      out += '\n';
+      out += name;
+      out += "_sum";
+      append_labels(out, s.labels);
+      out += ' ';
+      append_double(out, s.h->sum());
+      out += '\n';
+      out += name;
+      out += "_count";
+      append_labels(out, s.labels);
+      out += ' ';
+      append_u64(out, s.h->count());
+      out += '\n';
+      break;
+    }
+  }
+}
+
+}  // namespace
 
 namespace {
 
@@ -270,6 +304,22 @@ std::string render_jsonl(std::span<const trace_event> events) {
     append_json_id(out, ev.peer.valid(), ev.peer.value());
     out += ",\"value\":";
     append_double(out, ev.value);
+    // Causal/wall fields are appended only when present, so runs without
+    // causal stamping or a wall clock stay byte-identical to the pre-causal
+    // format (the golden-trace guard pins that).
+    if (ev.cause.valid()) {
+      out += ",\"cause\":{\"node\":";
+      append_u64(out, ev.cause.origin.value());
+      out += ",\"inc\":";
+      append_u64(out, ev.cause.inc);
+      out += ",\"seq\":";
+      append_u64(out, ev.cause.seq);
+      out += '}';
+    }
+    if (ev.wall_us >= 0) {
+      out += ",\"wall_us\":";
+      append_u64(out, static_cast<std::uint64_t>(ev.wall_us));
+    }
     out += "}\n";
   }
   return out;

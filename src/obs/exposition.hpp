@@ -26,6 +26,16 @@ namespace omega::obs {
 
 [[nodiscard]] std::string render_prometheus(const registry& reg);
 
+/// Merged exposition of several registries — one per node when a single
+/// process hosts many instances (the sim harness, `udp_live`). Families
+/// sharing a name render once, with every registry's series under one
+/// `# TYPE` header. Instrumentation must disambiguate with labels
+/// (`node`, ...); null registry pointers are skipped, and a family whose
+/// type conflicts with an earlier registry's is dropped rather than
+/// rendered under the wrong header.
+[[nodiscard]] std::string render_prometheus(
+    std::span<const registry* const> regs);
+
 /// One sample line of the text format, after unescaping.
 struct parsed_sample {
   std::string name;

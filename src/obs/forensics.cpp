@@ -4,10 +4,8 @@
 
 namespace omega::obs {
 
-namespace {
-
-bool about_victim(const trace_event& ev, node_id victim_node,
-                  process_id victim_pid) {
+bool victim_evidence(const trace_event& ev, node_id victim_node,
+                     process_id victim_pid) {
   switch (ev.kind) {
     case event_kind::suspicion_raised:
       return ev.peer == victim_node;
@@ -21,9 +19,9 @@ bool about_victim(const trace_event& ev, node_id victim_node,
   }
 }
 
-bool is_engagement(const trace_event& ev, node_id victim_node,
-                   process_id victim_pid,
-                   const std::optional<process_id>& resolved_leader) {
+bool election_engagement(const trace_event& ev, node_id victim_node,
+                         process_id victim_pid,
+                         const std::optional<process_id>& resolved_leader) {
   if (ev.node == victim_node) return false;  // the corpse does not campaign
   switch (ev.kind) {
     case event_kind::promotion:
@@ -42,8 +40,6 @@ bool is_engagement(const trace_event& ev, node_id victim_node,
   }
 }
 
-}  // namespace
-
 outage_budget attribute_outage(std::span<const trace_event> events,
                                node_id victim_node, process_id victim_pid,
                                time_point start, time_point end,
@@ -58,7 +54,7 @@ outage_budget attribute_outage(std::span<const trace_event> events,
   std::optional<time_point> t_detect;
   for (const trace_event& ev : events) {
     if (ev.at <= start || ev.at > end) continue;
-    if (!about_victim(ev, victim_node, victim_pid)) continue;
+    if (!victim_evidence(ev, victim_node, victim_pid)) continue;
     if (!t_detect || ev.at < *t_detect) t_detect = ev.at;
   }
   if (!t_detect) return b;
@@ -69,7 +65,8 @@ outage_budget attribute_outage(std::span<const trace_event> events,
   std::optional<time_point> t_engage;
   for (const trace_event& ev : events) {
     if (ev.at < *t_detect || ev.at > end) continue;
-    if (!is_engagement(ev, victim_node, victim_pid, resolved_leader)) continue;
+    if (!election_engagement(ev, victim_node, victim_pid, resolved_leader))
+      continue;
     if (!t_engage || ev.at < *t_engage) t_engage = ev.at;
   }
   if (!t_engage) return b;

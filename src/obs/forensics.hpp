@@ -64,6 +64,21 @@ struct outage_budget {
     process_id victim_pid, time_point start, time_point end,
     std::optional<process_id> resolved_leader = std::nullopt);
 
+/// The two evidence predicates the attribution is built from, shared with
+/// the causal-DAG variant (obs/causal_graph.hpp) so both attribute with
+/// identical rules.
+///
+/// Detection evidence: the event is direct FD/eviction evidence about the
+/// victim (a suspicion of its node, an accusation naming it, its eviction).
+[[nodiscard]] bool victim_evidence(const trace_event& ev, node_id victim_node,
+                                   process_id victim_pid);
+/// Election engagement: a survivor observably enters the succession race
+/// (promotes, flips into candidacy, enters the competition, or locally
+/// elects a live replacement — restricted to `resolved_leader` when known).
+[[nodiscard]] bool election_engagement(
+    const trace_event& ev, node_id victim_node, process_id victim_pid,
+    const std::optional<process_id>& resolved_leader);
+
 /// Aggregates budgets across the re-elections of one run.
 struct forensics_summary {
   running_stats detection;

@@ -1,0 +1,90 @@
+// Minimal embedded HTTP server for live telemetry (DESIGN.md §7).
+//
+// Serves GET /metrics (Prometheus text exposition) and GET /trace (JSONL
+// tail of the trace rings) from a loopback TCP socket, so a running
+// deployment — `examples/udp_live`, the experiment harness, or anything
+// else that mounts it — can be scraped while in flight. scripts/ci.sh
+// scrapes a live udp_live process and re-parses the result through the
+// same parser the unit tests use.
+//
+// Scope is deliberately tiny: HTTP/1.0-style request/response on loopback,
+// GET only, one short-lived connection per request (Connection: close),
+// no TLS, no keep-alive, no chunking. That is all a scrape needs, and it
+// keeps the server at one accept thread with zero dependencies.
+//
+// Concurrency contract: the registry and trace rings are owned by their
+// event loops and are NOT safe to read from the accept thread. Content
+// therefore flows through one of two thread-safe paths:
+//   * `publish(path, body, type)` — the owning loop renders at its own
+//     cadence and hands the endpoint an immutable snapshot (mutex-guarded
+//     swap). GETs serve the latest snapshot. This is the default path.
+//   * `set_handler(fn)` — on-demand rendering; the callback runs on the
+//     accept thread and must do its own synchronization (e.g. post a
+//     render closure to the owning loop and wait). Returning nullopt falls
+//     back to the published snapshots.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <thread>
+
+namespace omega::obs {
+
+class http_endpoint {
+ public:
+  /// On-demand content: path ("/metrics") → body, or nullopt to fall back
+  /// to published snapshots. Runs on the accept thread.
+  using handler =
+      std::function<std::optional<std::string>(std::string_view path)>;
+
+  http_endpoint() = default;
+  ~http_endpoint();
+
+  http_endpoint(const http_endpoint&) = delete;
+  http_endpoint& operator=(const http_endpoint&) = delete;
+
+  /// Binds 127.0.0.1:`port` (0 = kernel-assigned, see `port()`) and starts
+  /// the accept thread. Returns false if the socket could not be set up.
+  bool start(std::uint16_t port);
+  /// Stops the accept thread and closes the socket. Idempotent; the
+  /// destructor calls it.
+  void stop();
+  [[nodiscard]] bool running() const { return listen_fd_ >= 0; }
+  /// The bound port (after start); 0 if not running.
+  [[nodiscard]] std::uint16_t port() const { return port_; }
+
+  void set_handler(handler h);
+
+  /// Publishes an immutable snapshot for `path`. Thread-safe; replaces any
+  /// previous snapshot atomically.
+  void publish(std::string path, std::string body, std::string content_type);
+
+  /// Snapshot content types used by the standard mounts.
+  static constexpr std::string_view metrics_content_type =
+      "text/plain; version=0.0.4; charset=utf-8";
+  static constexpr std::string_view trace_content_type =
+      "application/x-ndjson";
+
+ private:
+  void serve_loop();
+  void handle_connection(int fd);
+
+  int listen_fd_ = -1;
+  std::uint16_t port_ = 0;
+  std::thread thread_;
+
+  std::mutex mu_;
+  handler handler_;                        // guarded by mu_
+  struct snapshot {
+    std::string body;
+    std::string content_type;
+  };
+  std::map<std::string, snapshot, std::less<>> snapshots_;  // guarded by mu_
+};
+
+}  // namespace omega::obs

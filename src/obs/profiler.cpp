@@ -1,0 +1,26 @@
+#include "obs/profiler.hpp"
+
+namespace omega::obs {
+
+void profiler::observe(std::string_view label, double seconds) {
+  if (metrics_ == nullptr) return;
+  histogram* cell = nullptr;
+  for (const auto& [l, h] : cells_) {
+    if (l == label) {
+      cell = h;
+      break;
+    }
+  }
+  if (cell == nullptr) {
+    // Host-time buckets: datagram handlers run hundreds of nanoseconds to
+    // tens of microseconds; the top buckets catch allocation storms and
+    // scheduler preemption outliers.
+    cell = &metrics_->get_histogram(
+        "omega_sim_handler_seconds", {{"kind", std::string(label)}},
+        {1e-7, 5e-7, 1e-6, 5e-6, 2e-5, 1e-4, 1e-3, 1e-2});
+    cells_.emplace_back(std::string(label), cell);
+  }
+  cell->observe(seconds);
+}
+
+}  // namespace omega::obs

@@ -1,0 +1,63 @@
+// Scoped-timer profiler: real (host) execution time of simulator work,
+// bucketed per label into the metrics registry.
+//
+// The discrete-event kernel's virtual clock says nothing about how much
+// host CPU each event costs; this is the continuous answer. A `scope`
+// stamps std::chrono::steady_clock on entry and observes the elapsed
+// seconds into `omega_sim_handler_seconds{kind=<label>}` on exit. The
+// simulated network uses it around datagram delivery with the label from
+// `proto::peek_kind`, so a scrape shows where host time goes per message
+// kind (ALIVE floods vs. rare ACCUSE handling) while a run is in flight.
+//
+// Deliberately *outside* the virtual timeline: observing host time never
+// touches the sim clock or event order, so profiled runs stay bit-
+// deterministic (the golden-trace guard would catch a violation). Cells
+// are cached per label after the first observation; the steady-state cost
+// per scope is two clock reads, one short linear label probe and one
+// histogram observe.
+#pragma once
+
+#include <chrono>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "obs/metrics.hpp"
+
+namespace omega::obs {
+
+class profiler {
+ public:
+  explicit profiler(registry* metrics) : metrics_(metrics) {}
+
+  class scope {
+   public:
+    scope(profiler* p, std::string_view label) : profiler_(p), label_(label) {
+      if (profiler_ != nullptr) start_ = std::chrono::steady_clock::now();
+    }
+    ~scope() {
+      if (profiler_ == nullptr) return;
+      const auto elapsed = std::chrono::steady_clock::now() - start_;
+      profiler_->observe(label_,
+                         std::chrono::duration<double>(elapsed).count());
+    }
+    scope(const scope&) = delete;
+    scope& operator=(const scope&) = delete;
+
+   private:
+    profiler* profiler_;
+    std::string_view label_;
+    std::chrono::steady_clock::time_point start_;
+  };
+
+  void observe(std::string_view label, double seconds);
+
+ private:
+  registry* metrics_;
+  /// Label → cell cache; a handful of labels (the message kinds), probed
+  /// linearly. Cells are registry-owned and stable.
+  std::vector<std::pair<std::string, histogram*>> cells_;
+};
+
+}  // namespace omega::obs

@@ -1,0 +1,86 @@
+#include "obs/sink.hpp"
+
+namespace omega::obs {
+namespace {
+
+/// Sub-millisecond to multi-second: suspicion→accusation is near-instant
+/// on the accusation-time ranking path, election rounds span QoS detection
+/// windows. One shared bound set keeps the families re-parse friendly.
+constexpr double kPathBounds[] = {0.0005, 0.002, 0.01, 0.05,
+                                  0.25,   1.0,   5.0};
+
+}  // namespace
+
+void sink::record(trace_event ev) {
+  if (trace_ == nullptr) return;
+  if (!ev.node.valid()) ev.node = self_;
+  if (ev.tier < 0 && ev.group.valid()) ev.tier = tier_of(ev.group);
+  if (wall_ != nullptr) ev.wall_us = wall_();
+  if (causal_) {
+    if (!ev.cause.valid()) ev.cause = current_;
+    const std::uint64_t seq = trace_->record(ev);
+    // Inside an activation, a potent event becomes the cause of whatever
+    // the rest of the stack does — including the outbound stamp the
+    // service reads via current_cause(). Outside any activation the chain
+    // is left alone so harness-side bookkeeping can't pollute it.
+    if (depth_ > 0 && potent(ev.kind)) {
+      current_ = cause_id{ev.node, inc_, seq};
+    }
+  } else {
+    trace_->record(ev);
+  }
+  if (metrics_ != nullptr) observe_path_latencies(ev);
+}
+
+void sink::observe_path_latencies(const trace_event& ev) {
+  switch (ev.kind) {
+    case event_kind::suspicion_raised:
+      if (ev.peer.valid()) pending_suspicion_[ev.peer] = ev.at;
+      break;
+    case event_kind::suspicion_cleared:
+      if (ev.peer.valid()) pending_suspicion_.erase(ev.peer);
+      break;
+    case event_kind::accusation_sent: {
+      auto it = pending_suspicion_.find(ev.peer);
+      if (it == pending_suspicion_.end()) break;
+      metrics_
+          ->get_histogram("omega_suspicion_to_accusation_seconds",
+                          {{"node", std::to_string(ev.node.value())}},
+                          std::vector<double>(std::begin(kPathBounds),
+                                              std::end(kPathBounds)))
+          .observe(to_seconds(ev.at - it->second));
+      pending_suspicion_.erase(it);
+      break;
+    }
+    // A round opens at the first sign of local engagement in a group's
+    // election and closes at the next leader_change for that group. The
+    // paper's stability argument is precisely that these stay short and
+    // rare; the histogram makes the claim continuously observable.
+    case event_kind::competition_enter:
+    case event_kind::promotion:
+      if (ev.group.valid()) open_round_.try_emplace(ev.group, ev.at);
+      break;
+    case event_kind::candidacy_flip:
+      if (ev.group.valid() && ev.value > 0.5)
+        open_round_.try_emplace(ev.group, ev.at);
+      break;
+    case event_kind::leader_change: {
+      if (!ev.group.valid()) break;
+      auto it = open_round_.find(ev.group);
+      if (it == open_round_.end()) break;
+      metrics_
+          ->get_histogram("omega_election_round_seconds",
+                          {{"node", std::to_string(ev.node.value())},
+                           {"tier", std::to_string(ev.tier)}},
+                          std::vector<double>(std::begin(kPathBounds),
+                                              std::end(kPathBounds)))
+          .observe(to_seconds(ev.at - it->second));
+      open_round_.erase(it);
+      break;
+    }
+    default:
+      break;
+  }
+}
+
+}  // namespace omega::obs

@@ -11,10 +11,23 @@
 // scripts/ci.sh keeps it honest). The sink stamps each event with the
 // owning node and resolves the tier of the event's group — components
 // never need to know whether they sit in a hierarchy.
+//
+// Causal tracing (DESIGN.md §7): with `enable_causal` on, the sink keeps a
+// *current cause* — the id of the event the running activation is working
+// on behalf of. `activation` scopes bracket the stack's entry points (an
+// inbound datagram carries its wire stamp in; timers open an empty root),
+// and every recorded event (a) inherits the current cause and (b), when it
+// is itself causally potent, becomes the new current cause. The service's
+// outbound path reads `current_cause()` into the wire envelope of potent
+// messages, which is how chains cross nodes. The sink also derives the
+// continuous path-latency histograms (suspicion→accusation, election-round
+// duration) from the event stream as it passes through.
 #pragma once
 
+#include <cstdint>
 #include <map>
 
+#include "common/causality.hpp"
 #include "common/ids.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
@@ -42,20 +55,107 @@ class sink {
     return it == tiers_.end() ? -1 : it->second;
   }
 
-  /// Stamps node (if unset) and tier (if unset and annotated), then hands
-  /// the event to the recorder. No-op without a recorder.
-  void record(trace_event ev) {
-    if (!trace_) return;
-    if (!ev.node.valid()) ev.node = self_;
-    if (ev.tier < 0) ev.tier = tier_of(ev.group);
-    trace_->record(ev);
+  // ---- causal tracing ------------------------------------------------------
+
+  /// Turns on cause propagation; `inc` is the incarnation stamped into the
+  /// cause ids this sink mints (the service re-enables per incarnation).
+  void enable_causal(incarnation inc) {
+    causal_ = true;
+    inc_ = inc;
   }
+  [[nodiscard]] bool causal() const { return causal_; }
+
+  /// The cause the running activation currently works on behalf of —
+  /// what the service stamps into outbound potent datagrams. Invalid
+  /// outside any activation, with causal tracing off, or when the
+  /// activation is a spontaneous root (periodic timer).
+  [[nodiscard]] cause_id current_cause() const { return current_; }
+
+  /// Monotonic wall-clock source (microseconds); events get `wall_us`
+  /// stamped when set. Real-time runtimes install
+  /// `runtime::monotonic_wall_us`; sim runs leave it null.
+  using wall_clock_fn = std::int64_t (*)();
+  void set_wall_clock(wall_clock_fn fn) { wall_ = fn; }
+
+  /// RAII activation scope bracketing one unit of protocol work. Two
+  /// flavours:
+  ///   * datagram scope — `activation(sink, stamp)`: handling an inbound
+  ///     datagram, attributed to the (possibly invalid) wire stamp.
+  ///   * root scope — `activation(sink)`: a timer / periodic entry point.
+  ///     Only takes effect when no scope is active, so an FD transition
+  ///     fired from within datagram handling keeps the inbound cause while
+  ///     the same transition fired from its own timeout starts a root.
+  /// Both restore the previous cause on destruction; both are no-ops on a
+  /// null sink or with causal tracing off.
+  class activation {
+   public:
+    activation(sink* s, cause_id inbound) {
+      if (s == nullptr || !s->causal_) return;
+      sink_ = s;
+      saved_ = s->current_;
+      s->current_ = inbound;
+      ++s->depth_;
+    }
+    explicit activation(sink* s) {
+      if (s == nullptr || !s->causal_ || s->depth_ != 0) return;
+      sink_ = s;
+      saved_ = s->current_;
+      s->current_ = cause_id{};
+      ++s->depth_;
+    }
+    ~activation() {
+      if (sink_ == nullptr) return;
+      sink_->current_ = saved_;
+      --sink_->depth_;
+    }
+    activation(const activation&) = delete;
+    activation& operator=(const activation&) = delete;
+
+   private:
+    sink* sink_ = nullptr;
+    cause_id saved_{};
+  };
+
+  /// Stamps node (if unset), tier (if unset and annotated), wall clock and
+  /// causal provenance, derives the path-latency histograms, then hands
+  /// the event to the recorder. No-op without a recorder.
+  void record(trace_event ev);
 
  private:
+  /// Kinds that, once recorded, become the cause of whatever the stack
+  /// does next (still within the current activation): detection evidence,
+  /// election moves and membership churn — the edges a failover DAG is
+  /// made of. Retunes and drop accounting stay causally inert.
+  [[nodiscard]] static bool potent(event_kind kind) {
+    switch (kind) {
+      case event_kind::retune:
+      case event_kind::unknown_group_drop:
+        return false;
+      default:
+        return true;
+    }
+  }
+
+  void observe_path_latencies(const trace_event& ev);
+
   registry* metrics_ = nullptr;
   trace_recorder* trace_ = nullptr;
   node_id self_ = node_id::invalid();
   std::map<group_id, std::int32_t> tiers_;
+
+  bool causal_ = false;
+  incarnation inc_ = 0;
+  cause_id current_{};
+  /// Live activation scopes; chaining only happens inside one, so events
+  /// recorded outside any entry point (harness bookkeeping) never leak a
+  /// stale cause into the next datagram.
+  int depth_ = 0;
+  wall_clock_fn wall_ = nullptr;
+
+  /// Path-latency state, derived from the event stream (values are the
+  /// events' own `at` stamps, so sim and real runs measure identically).
+  std::map<node_id, time_point> pending_suspicion_;
+  std::map<group_id, time_point> open_round_;
 };
 
 }  // namespace omega::obs

@@ -28,7 +28,7 @@ ring_recorder::ring_recorder(std::size_t capacity)
   ring_.reserve(capacity_);
 }
 
-void ring_recorder::record(const trace_event& ev) {
+std::uint64_t ring_recorder::record(const trace_event& ev) {
   trace_event stamped = ev;
   stamped.seq = next_seq_++;
   if (ring_.size() < capacity_) {
@@ -38,6 +38,7 @@ void ring_recorder::record(const trace_event& ev) {
     write_pos_ = (write_pos_ + 1) % capacity_;
     ++dropped_;
   }
+  return stamped.seq;
 }
 
 std::vector<trace_event> ring_recorder::events() const {

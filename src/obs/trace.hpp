@@ -25,6 +25,7 @@
 #include <string_view>
 #include <vector>
 
+#include "common/causality.hpp"
 #include "common/ids.hpp"
 #include "common/time.hpp"
 
@@ -67,19 +68,32 @@ struct trace_event {
   /// Per-recorder sequence number (assigned by the recorder; total order
   /// of one node's events even across ring wraparound).
   std::uint64_t seq = 0;
+  /// Causal provenance (sink-stamped when causal tracing is enabled): the
+  /// local or remote event that provoked this one. Invalid for roots —
+  /// spontaneous activity like periodic timers — and whenever causal
+  /// tracing is off, in which case the JSONL exposition omits the field
+  /// entirely (the golden-trace guard depends on that).
+  cause_id cause{};
+  /// Monotonic wall-clock stamp in microseconds, when a real-time source
+  /// is active (sink::set_wall_clock); -1 = no wall source. Raw
+  /// CLOCK_MONOTONIC, comparable across engines/processes on one host —
+  /// the cross-node DAG edges sanity-check against it.
+  std::int64_t wall_us = -1;
 };
 
 class trace_recorder {
  public:
   virtual ~trace_recorder() = default;
-  virtual void record(const trace_event& ev) = 0;
+  /// Records the event and returns the sequence number it was assigned —
+  /// the number a `cause_id` naming this event must carry.
+  virtual std::uint64_t record(const trace_event& ev) = 0;
 };
 
 /// Swallows everything; for explicitly disabling tracing where a recorder
 /// reference is required.
 class null_recorder final : public trace_recorder {
  public:
-  void record(const trace_event&) override {}
+  std::uint64_t record(const trace_event&) override { return 0; }
 };
 
 /// Bounded ring buffer of the most recent `capacity` events.
@@ -87,7 +101,7 @@ class ring_recorder final : public trace_recorder {
  public:
   explicit ring_recorder(std::size_t capacity);
 
-  void record(const trace_event& ev) override;
+  std::uint64_t record(const trace_event& ev) override;
 
   /// Retained events, oldest to newest (seq ascending).
   [[nodiscard]] std::vector<trace_event> events() const;

@@ -166,6 +166,21 @@ bool decode_body(byte_reader& r, rate_request_msg& m) {
   return r.exhausted();
 }
 
+// The shared envelope prefix of both encode paths: version 1 when no
+// cause is attached, version 2 with the 16-byte stamp otherwise.
+void write_envelope(byte_writer& w, const wire_message& msg, cause_id cause) {
+  if (cause.valid()) {
+    w.write_u8(protocol_version_stamped);
+    w.write_u8(static_cast<std::uint8_t>(kind_of(msg)));
+    w.write_id(cause.origin);
+    w.write_u32(cause.inc);
+    w.write_u64(cause.seq);
+  } else {
+    w.write_u8(protocol_version);
+    w.write_u8(static_cast<std::uint8_t>(kind_of(msg)));
+  }
+}
+
 }  // namespace
 
 msg_kind kind_of(const wire_message& msg) {
@@ -180,28 +195,51 @@ msg_kind kind_of(const wire_message& msg) {
   return std::visit(visitor{}, msg);
 }
 
-std::vector<std::byte> encode(const wire_message& msg) {
+std::string_view to_string(msg_kind kind) {
+  switch (kind) {
+    case msg_kind::alive: return "alive";
+    case msg_kind::accuse: return "accuse";
+    case msg_kind::hello: return "hello";
+    case msg_kind::hello_ack: return "hello_ack";
+    case msg_kind::leave: return "leave";
+    case msg_kind::rate_request: return "rate_request";
+  }
+  return "unknown";
+}
+
+std::vector<std::byte> encode(const wire_message& msg, cause_id cause) {
   byte_writer w;
-  w.write_u8(protocol_version);
-  w.write_u8(static_cast<std::uint8_t>(kind_of(msg)));
+  write_envelope(w, msg, cause);
   std::visit([&w](const auto& m) { encode_body(w, m); }, msg);
   return w.take();
 }
 
 net::shared_payload encode_shared(const wire_message& msg,
-                                  net::payload_pool& pool) {
+                                  net::payload_pool& pool, cause_id cause) {
   byte_writer w(pool.checkout());
-  w.write_u8(protocol_version);
-  w.write_u8(static_cast<std::uint8_t>(kind_of(msg)));
+  write_envelope(w, msg, cause);
   std::visit([&w](const auto& m) { encode_body(w, m); }, msg);
   return pool.seal(w.take());
 }
 
-bool decode_into(wire_message& out, std::span<const std::byte> bytes) {
+bool decode_into(wire_message& out, std::span<const std::byte> bytes,
+                 cause_id* cause) {
   byte_reader r(bytes);
   const std::uint8_t version = r.read_u8();
   const std::uint8_t type = r.read_u8();
-  if (!r.ok() || version != protocol_version) return false;
+  if (cause != nullptr) *cause = cause_id{};
+  if (!r.ok() ||
+      (version != protocol_version && version != protocol_version_stamped)) {
+    return false;
+  }
+  if (version == protocol_version_stamped) {
+    cause_id stamp;
+    stamp.origin = r.read_id<node_id>();
+    stamp.inc = r.read_u32();
+    stamp.seq = r.read_u64();
+    if (!r.ok()) return false;
+    if (cause != nullptr) *cause = stamp;
+  }
   // Decode into the alternative `out` already holds when the kind matches
   // (the steady-state case: a stream of ALIVEs into the same scratch), so
   // the repeated-field vectors keep their capacity across datagrams.
@@ -228,9 +266,10 @@ bool decode_into(wire_message& out, std::span<const std::byte> bytes) {
   return false;
 }
 
-std::optional<wire_message> decode(std::span<const std::byte> bytes) {
+std::optional<wire_message> decode(std::span<const std::byte> bytes,
+                                   cause_id* cause) {
   wire_message out;
-  if (!decode_into(out, bytes)) return std::nullopt;
+  if (!decode_into(out, bytes, cause)) return std::nullopt;
   return out;
 }
 
@@ -238,7 +277,10 @@ std::optional<msg_kind> peek_kind(std::span<const std::byte> bytes) {
   byte_reader r(bytes);
   const std::uint8_t version = r.read_u8();
   const std::uint8_t type = r.read_u8();
-  if (!r.ok() || version != protocol_version) return std::nullopt;
+  if (!r.ok() ||
+      (version != protocol_version && version != protocol_version_stamped)) {
+    return std::nullopt;
+  }
   // Same exhaustive switch as decode(): a new message type added there
   // without a case here trips -Wswitch instead of silently classifying
   // as malformed.

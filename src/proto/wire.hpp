@@ -21,9 +21,11 @@
 
 #include <cstdint>
 #include <optional>
+#include <string_view>
 #include <variant>
 #include <vector>
 
+#include "common/causality.hpp"
 #include "common/ids.hpp"
 #include "common/serialization.hpp"
 #include "common/time.hpp"
@@ -139,28 +141,43 @@ enum class msg_kind : std::uint8_t {
   rate_request = 6,
 };
 
-/// Current protocol version; parsers reject other versions.
+/// Baseline protocol version: `[ver u8][type u8][body]`.
 inline constexpr std::uint8_t protocol_version = 1;
+/// Causally stamped envelope (DESIGN.md §7): the (version, type) pair is
+/// followed by a 16-byte cause id — `[origin u32][inc u32][seq u64]` —
+/// naming the trace event that provoked this datagram, before the
+/// unchanged body. Encoders emit it only for a valid cause, so a stack
+/// with causal tracing off (or a spontaneous periodic send) produces
+/// byte-identical version-1 datagrams; parsers accept both versions
+/// unconditionally, which makes stamped and unstamped nodes wire-
+/// compatible in either direction.
+inline constexpr std::uint8_t protocol_version_stamped = 2;
 
-/// Serializes `msg` with a (version, type) envelope.
-[[nodiscard]] std::vector<std::byte> encode(const wire_message& msg);
+/// Serializes `msg` with a (version, type) envelope; a valid `cause`
+/// selects the stamped version-2 envelope.
+[[nodiscard]] std::vector<std::byte> encode(const wire_message& msg,
+                                            cause_id cause = {});
 
 /// Serializes `msg` into a buffer recycled from `pool` and seals it into a
 /// refcounted payload — the steady-state send path. Byte-for-byte identical
 /// to `encode`.
 [[nodiscard]] net::shared_payload encode_shared(const wire_message& msg,
-                                                net::payload_pool& pool);
+                                                net::payload_pool& pool,
+                                                cause_id cause = {});
 
 /// Parses a datagram; returns nullopt on any malformed, truncated,
-/// over-long or wrong-version input.
-[[nodiscard]] std::optional<wire_message> decode(std::span<const std::byte> bytes);
+/// over-long or wrong-version input. A non-null `cause` receives the
+/// version-2 envelope stamp (invalid for version-1 datagrams).
+[[nodiscard]] std::optional<wire_message> decode(std::span<const std::byte> bytes,
+                                                 cause_id* cause = nullptr);
 
 /// Parses a datagram into `out`, reusing its storage: when `out` already
 /// holds the incoming message kind — the steady-state case for a receive
 /// scratch fed a stream of ALIVEs — the repeated-field vectors keep their
 /// capacity, making the parse allocation-free. Accepts and rejects exactly
 /// the same inputs as `decode`; on false, `out` is valid but unspecified.
-[[nodiscard]] bool decode_into(wire_message& out, std::span<const std::byte> bytes);
+[[nodiscard]] bool decode_into(wire_message& out, std::span<const std::byte> bytes,
+                               cause_id* cause = nullptr);
 
 /// Reads just the (version, type) envelope without decoding the body —
 /// cheap enough for per-datagram traffic classification (bench taps).
@@ -169,6 +186,10 @@ inline constexpr std::uint8_t protocol_version = 1;
 
 /// Envelope tag of a decoded message variant.
 [[nodiscard]] msg_kind kind_of(const wire_message& msg);
+
+/// Lower-case label of a message kind ("alive", "accuse", ...), for
+/// metrics labels and traffic breakdowns.
+[[nodiscard]] std::string_view to_string(msg_kind kind);
 
 /// Sender node of any message variant.
 [[nodiscard]] node_id sender_of(const wire_message& msg);

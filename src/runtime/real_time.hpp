@@ -21,6 +21,19 @@
 
 namespace omega::runtime {
 
+/// Raw monotonic wall clock in microseconds (std::chrono::steady_clock,
+/// no per-engine epoch). Engines' `now()` timelines each start at their
+/// own construction instant and are NOT comparable across engines; this
+/// is, for all engines and threads of one host. Deployments install it as
+/// the observability sink's wall-clock source (sink::set_wall_clock) so
+/// trace events carry the dual timestamp the causal DAG's cross-node
+/// skew check needs.
+[[nodiscard]] inline std::int64_t monotonic_wall_us() {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
 class real_time_engine final : public clock_source, public timer_service {
  public:
   real_time_engine();

@@ -47,6 +47,13 @@ struct service_config {
   /// instrumented sites then cost one pointer compare. The sink must
   /// outlive the service instance.
   obs::sink* sink = nullptr;
+  /// Causal tracing (DESIGN.md §7): propagate cause ids through the sink's
+  /// activation scopes and stamp them into the wire envelopes of causally
+  /// potent datagrams (version-2 envelope). Off by default — stamping off
+  /// is guaranteed byte-identical on the wire and in the trace JSONL to a
+  /// build without the feature (the golden-trace guard pins this). Needs
+  /// `sink` to do anything.
+  bool causal_stamping = false;
 };
 
 /// How a joined process wants to learn about leader changes (paper §4:

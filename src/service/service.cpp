@@ -37,6 +37,7 @@ leader_election_service::leader_election_service(clock_source& clock,
 
   if (config_.sink) {
     config_.sink->set_self(config_.self);
+    if (config_.causal_stamping) config_.sink->enable_causal(config_.inc);
     fd_.set_sink(config_.sink);
     gm_.set_sink(config_.sink);
   }
@@ -177,6 +178,7 @@ bool leader_election_service::join_group(process_id pid, group_id group,
   if (groups_.find(group) != groups_.end()) return false;
 
   fd_.add_group(group, options.qos);
+  fd_.set_group_class(group, std::string(adaptive::to_string(options.fd_class)));
   rate_.set_default_eta(std::min(rate_.default_eta(), options.qos.detection_time / 4));
 
   // Hand the group's operating point to the configured tuning policy.
@@ -311,10 +313,15 @@ void leader_election_service::on_datagram(const net::datagram& dgram) {
   // Decode into the long-lived scratch: handlers take the message by const
   // reference and copy what they keep, so its storage can be recycled for
   // the next datagram (allocation-free once the capacities warm up).
-  if (!proto::decode_into(rx_scratch_, dgram.payload)) {
+  cause_id inbound;
+  if (!proto::decode_into(rx_scratch_, dgram.payload, &inbound)) {
     ++stats_.malformed_received;
     return;
   }
+  // Everything this datagram provokes — FD transitions, election moves,
+  // eager ALIVEs — is attributed to the sender's wire stamp (or recorded
+  // as caused-by-nothing for unstamped version-1 traffic).
+  obs::sink::activation scope(config_.sink, inbound);
   std::visit([this](const auto& m) { handle(m); }, rx_scratch_);
 }
 
@@ -486,6 +493,9 @@ void leader_election_service::schedule_alive() {
 }
 
 void leader_election_service::alive_tick() {
+  // Periodic heartbeats are spontaneous: open a causal root so nothing
+  // stale gets stamped into them.
+  obs::sink::activation scope(config_.sink);
   send_alive_now();
   schedule_alive();
 }
@@ -514,13 +524,20 @@ void leader_election_service::send_alive_now(std::optional<group_id> extra_group
   msg.seq = ++alive_seq_;
   last_alive_sent_ = clock_.now();
   ++stats_.alive_sent;
+  // Eager ALIVEs fired from within an activation (competition entry, rank
+  // worsening) carry the provoking event's stamp; periodic ticks are roots
+  // and go out as plain version-1 datagrams.
+  const cause_id cause =
+      config_.causal_stamping && config_.sink != nullptr
+          ? config_.sink->current_cause()
+          : cause_id{};
   // Flatten the set in its own iteration order (the order the per-dst send
   // loop used to run in), encode once into a pool buffer, and fan out by
   // reference: the 500-node roster costs one encode, zero copies.
   dst_scratch_.assign(destinations.begin(), destinations.end());
   transport_.multicast(dst_scratch_,
                        proto::encode_shared(proto::wire_message{std::move(msg)},
-                                            transport_.pool()));
+                                            transport_.pool(), cause));
 }
 
 // ---- outbound helpers -------------------------------------------------------
@@ -548,10 +565,18 @@ void leader_election_service::count_hello_destinations(
   }
 }
 
+cause_id leader_election_service::outbound_cause(
+    const proto::wire_message& msg) const {
+  if (!config_.causal_stamping || config_.sink == nullptr) return {};
+  if (std::holds_alternative<proto::rate_request_msg>(msg)) return {};
+  return config_.sink->current_cause();
+}
+
 void leader_election_service::send_to(node_id dst, const proto::wire_message& msg) {
   count_sent(msg);
   count_hello_destinations(msg, 1);
-  transport_.send(dst, proto::encode_shared(msg, transport_.pool()));
+  transport_.send(dst,
+                  proto::encode_shared(msg, transport_.pool(), outbound_cause(msg)));
 }
 
 void leader_election_service::broadcast(const proto::wire_message& msg) {
@@ -563,7 +588,8 @@ void leader_election_service::broadcast(const proto::wire_message& msg) {
   count_hello_destinations(msg, dst_scratch_.size());
   if (dst_scratch_.empty()) return;
   transport_.multicast(dst_scratch_,
-                       proto::encode_shared(msg, transport_.pool()));
+                       proto::encode_shared(msg, transport_.pool(),
+                                            outbound_cause(msg)));
 }
 
 void leader_election_service::multicast(const std::vector<node_id>& dsts,
@@ -571,7 +597,8 @@ void leader_election_service::multicast(const std::vector<node_id>& dsts,
   if (dsts.empty()) return;
   count_sent(msg);
   count_hello_destinations(msg, dsts.size());
-  transport_.multicast(dsts, proto::encode_shared(msg, transport_.pool()));
+  transport_.multicast(dsts, proto::encode_shared(msg, transport_.pool(),
+                                                  outbound_cause(msg)));
 }
 
 void leader_election_service::set_hello_fanout(membership::hello_fanout fanout) {

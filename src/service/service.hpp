@@ -179,6 +179,10 @@ class leader_election_service {
   void count_sent(const proto::wire_message& msg);
   void count_hello_destinations(const proto::wire_message& msg,
                                 std::uint64_t destinations);
+  /// Cause to stamp into an outbound datagram's wire envelope: the sink's
+  /// current cause when causal stamping is on, except for RATE_REQ (FD rate
+  /// plumbing, causally inert). Invalid = plain version-1 envelope.
+  [[nodiscard]] cause_id outbound_cause(const proto::wire_message& msg) const;
 
   /// Reused destination buffer for the fan-out paths (no per-send vector).
   std::vector<node_id> dst_scratch_;

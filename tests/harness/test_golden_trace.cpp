@@ -55,9 +55,13 @@ scenario golden_scenario() {
 
 /// Runs the scenario deterministically: settle, crash the agreed global
 /// leader, wait for a successor, recover, settle again. Returns the full
-/// merged multi-node trace serialized as JSONL.
-std::string run_golden_trace() {
-  experiment exp(golden_scenario());
+/// merged multi-node trace serialized as JSONL. With `causal` the sinks
+/// chain causes and the wire carries stamps — same event stream, each
+/// line gaining its "cause" field.
+std::string run_golden_trace(bool causal = false) {
+  scenario sc = golden_scenario();
+  sc.causal = causal;
+  experiment exp(sc);
   auto& sim = exp.simulator();
   sim.run_until(time_origin + sec(40));
 
@@ -106,6 +110,27 @@ TEST(GoldenTrace, TwoRunsAreByteIdentical) {
   const std::string first = run_golden_trace();
   const std::string second = run_golden_trace();
   EXPECT_EQ(first, second);
+}
+
+// Second fingerprint: the same run with causal stamping on. Stamping must
+// not perturb the event timeline (stamps ride existing datagrams; the sim's
+// link delays are size-independent), so the JSONL differs from the golden
+// stream only by the added "cause" fields — pinned separately.
+constexpr std::uint64_t kGoldenStampedHash = 0x1b124e21fa904b04ull;
+constexpr std::size_t kGoldenStampedBytes = 9384167;
+
+TEST(GoldenTrace, StampedRunHasItsOwnPinnedFingerprint) {
+  const std::string jsonl = run_golden_trace(/*causal=*/true);
+  EXPECT_FALSE(jsonl.empty());
+  EXPECT_EQ(fnv1a(jsonl), kGoldenStampedHash)
+      << "stamped-trace fingerprint drifted\n"
+      << "  bytes: " << jsonl.size() << " (golden " << kGoldenStampedBytes
+      << ")\n  hash: 0x" << std::hex << fnv1a(jsonl) << " (golden 0x"
+      << kGoldenStampedHash << ")\nFirst lines:\n"
+      << jsonl.substr(0, 400);
+  EXPECT_EQ(jsonl.size(), kGoldenStampedBytes);
+  EXPECT_GT(jsonl.size(), kGoldenTraceBytes)
+      << "stamping on must add cause fields";
 }
 
 }  // namespace

@@ -1,0 +1,220 @@
+// Causal DAG reconstruction from per-node rings: cause resolution,
+// dangling detection, victim-evidence anchoring, windowed linkage on both
+// timelines, and the wall-clock skew check.
+#include <gtest/gtest.h>
+
+#include "obs/causal_graph.hpp"
+
+namespace omega::obs {
+namespace {
+
+struct event_builder {
+  trace_event ev;
+  event_builder(node_id node, std::uint64_t seq, event_kind kind,
+                std::int64_t at_ms) {
+    ev.node = node;
+    ev.seq = seq;
+    ev.kind = kind;
+    ev.at = time_origin + msec(at_ms);
+    ev.group = group_id{1};
+  }
+  event_builder& caused_by(node_id origin, std::uint64_t seq) {
+    ev.cause.origin = origin;
+    ev.cause.inc = 1;
+    ev.cause.seq = seq;
+    return *this;
+  }
+  event_builder& peer(node_id p) {
+    ev.peer = p;
+    return *this;
+  }
+  event_builder& subject(process_id p) {
+    ev.subject = p;
+    return *this;
+  }
+  event_builder& wall(std::int64_t us) {
+    ev.wall_us = us;
+    return *this;
+  }
+  operator trace_event() const { return ev; }  // NOLINT
+};
+
+const node_id kVictim{0};
+const process_id kVictimPid{0};
+
+// A minimal two-survivor failover: node 1 suspects the victim, accuses it,
+// node 2 receives the accusation (cross-node edge), both see leadership
+// move. Every non-root event names its provoking event.
+std::vector<trace_event> failover_events() {
+  return {
+      event_builder(node_id{1}, 10, event_kind::suspicion_raised, 1000)
+          .peer(kVictim),
+      event_builder(node_id{1}, 11, event_kind::accusation_sent, 1001)
+          .peer(kVictim)
+          .subject(kVictimPid)
+          .caused_by(node_id{1}, 10),
+      event_builder(node_id{2}, 20, event_kind::accusation_received, 1002)
+          .subject(kVictimPid)
+          .caused_by(node_id{1}, 11),
+      event_builder(node_id{1}, 12, event_kind::leader_change, 1005)
+          .subject(process_id{1})
+          .caused_by(node_id{1}, 11),
+      event_builder(node_id{2}, 21, event_kind::leader_change, 1006)
+          .subject(process_id{1})
+          .caused_by(node_id{2}, 20),
+  };
+}
+
+TEST(CausalGraph, ResolvesCrossNodeEdges) {
+  const auto events = failover_events();
+  const auto g = causal_graph::build(events);
+  ASSERT_EQ(g.size(), 5u);
+  EXPECT_EQ(g.cause_index(0), -1);  // root
+  EXPECT_EQ(g.cause_index(1), 0);
+  EXPECT_EQ(g.cause_index(2), 1);  // node 2's event points into node 1's ring
+  EXPECT_EQ(g.cause_index(3), 1);
+  EXPECT_EQ(g.cause_index(4), 2);
+  for (std::size_t i = 0; i < g.size(); ++i) EXPECT_FALSE(g.is_dangling(i));
+}
+
+TEST(CausalGraph, FullLinkageOnACleanFailover) {
+  const auto g = causal_graph::build(failover_events());
+  const auto r = g.linkage(kVictim, kVictimPid, time_origin + msec(500),
+                           time_origin + msec(2000));
+  EXPECT_EQ(r.considered, 5u);
+  EXPECT_EQ(r.linked, 5u);
+  // The suspicion, the sent accusation and the received accusation.
+  EXPECT_EQ(r.evidence_roots, 3u);
+  EXPECT_EQ(r.dangling, 0u);
+  EXPECT_DOUBLE_EQ(r.fraction(), 1.0);
+}
+
+TEST(CausalGraph, UnrelatedRootIsNotLinked) {
+  auto events = failover_events();
+  // A spontaneous suspicion of a *live* peer: potent, in-window, but not
+  // explained by the victim's failure.
+  events.push_back(event_builder(node_id{2}, 22, event_kind::suspicion_raised,
+                                 1500)
+                       .peer(node_id{1}));
+  const auto g = causal_graph::build(events);
+  const auto r = g.linkage(kVictim, kVictimPid, time_origin + msec(500),
+                           time_origin + msec(2000));
+  EXPECT_EQ(r.considered, 6u);
+  EXPECT_EQ(r.linked, 5u);
+}
+
+TEST(CausalGraph, WraparoundGapCountsAsDangling) {
+  auto events = failover_events();
+  events.erase(events.begin());  // the root suspicion fell off the ring
+  const auto g = causal_graph::build(events);
+  const auto r = g.linkage(kVictim, kVictimPid, time_origin + msec(500),
+                           time_origin + msec(2000));
+  EXPECT_EQ(r.dangling, 1u);  // the accusation's cause no longer resolves
+  // The accusation is itself victim evidence, so the chain re-anchors there
+  // and downstream events stay linked.
+  EXPECT_EQ(r.linked, 4u);
+}
+
+TEST(CausalGraph, SelfReferenceIsDanglingNotACycle) {
+  std::vector<trace_event> events = {
+      event_builder(node_id{1}, 10, event_kind::leader_change, 1000)
+          .caused_by(node_id{1}, 10),
+  };
+  const auto g = causal_graph::build(events);
+  EXPECT_EQ(g.cause_index(0), -1);
+  EXPECT_TRUE(g.is_dangling(0));
+}
+
+TEST(CausalGraph, CycleOfStampsDoesNotHangOrAnchor) {
+  // Corrupted rings could name each other in a loop; anchoring must
+  // terminate and refuse to link through the cycle.
+  std::vector<trace_event> events = {
+      event_builder(node_id{1}, 10, event_kind::leader_change, 1000)
+          .caused_by(node_id{2}, 20),
+      event_builder(node_id{2}, 20, event_kind::leader_change, 1001)
+          .caused_by(node_id{1}, 10),
+  };
+  const auto g = causal_graph::build(events);
+  const auto r = g.linkage(kVictim, kVictimPid, time_origin,
+                           time_origin + msec(2000));
+  EXPECT_EQ(r.considered, 2u);
+  EXPECT_EQ(r.linked, 0u);
+}
+
+TEST(CausalGraph, InertKindsExcludedFromLinkage) {
+  auto events = failover_events();
+  events.push_back(event_builder(node_id{1}, 13, event_kind::retune, 1500));
+  const auto g = causal_graph::build(events);
+  const auto r = g.linkage(kVictim, kVictimPid, time_origin + msec(500),
+                           time_origin + msec(2000));
+  EXPECT_EQ(r.considered, 5u);  // the retune is bookkeeping, not failover
+  EXPECT_DOUBLE_EQ(r.fraction(), 1.0);
+}
+
+TEST(CausalGraph, WallTimelineWindowsOnWallStamps) {
+  auto events = failover_events();
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    events[i].wall_us = 5'000'000 + static_cast<std::int64_t>(i) * 1000;
+  }
+  // One event without a wall stamp: excluded from wall-timeline queries.
+  events.push_back(event_builder(node_id{2}, 22, event_kind::leader_change,
+                                 1500)
+                       .subject(process_id{1})
+                       .caused_by(node_id{2}, 20));
+  const auto g = causal_graph::build(events);
+  const auto r =
+      g.linkage(kVictim, kVictimPid, time_point{usec(4'000'000)},
+                time_point{usec(6'000'000)}, causal_graph::timeline::wall);
+  EXPECT_EQ(r.considered, 5u);
+  EXPECT_EQ(r.linked, 5u);
+}
+
+TEST(CausalGraph, WallSkewViolationDetected) {
+  auto events = failover_events();
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    events[i].wall_us = 5'000'000 + static_cast<std::int64_t>(i) * 1000;
+  }
+  EXPECT_EQ(causal_graph::build(events).wall_skew_violations(), 0u);
+  events[4].wall_us = 1;  // child "before" its parent: impossible
+  EXPECT_EQ(causal_graph::build(events).wall_skew_violations(), 1u);
+}
+
+TEST(CausalGraph, AttributeOutagePhases) {
+  const auto g = causal_graph::build(failover_events());
+  const auto b = g.attribute_outage(kVictim, kVictimPid,
+                                    time_origin + msec(500),
+                                    time_origin + msec(2000), process_id{1});
+  EXPECT_TRUE(b.saw_detection);
+  EXPECT_TRUE(b.saw_engagement);
+  EXPECT_NEAR(b.detection_s, 0.5, 1e-9);  // kill at 500ms, suspicion at 1s
+  EXPECT_GT(b.attributed_fraction(), 0.99);
+}
+
+TEST(CausalGraph, AttributeOutagePrefersLinkedEngagement) {
+  auto events = failover_events();
+  // An *unlinked* leader_change before the real, causally-certified one:
+  // the windowed heuristic would pick it; the DAG must not.
+  events.push_back(event_builder(node_id{2}, 19, event_kind::leader_change,
+                                 1003)
+                       .subject(process_id{1}));
+  const auto g = causal_graph::build(events);
+  const auto b = g.attribute_outage(kVictim, kVictimPid,
+                                    time_origin + msec(500),
+                                    time_origin + msec(2000), process_id{1});
+  ASSERT_TRUE(b.saw_engagement);
+  // Engagement = first *linked* engagement at 1005 ms, not 1003 ms:
+  // dissemination spans detection (1000 ms) -> 1005 ms.
+  EXPECT_NEAR(b.dissemination_s, 0.005, 1e-9);
+}
+
+TEST(CausalGraph, EmptyWindowYieldsNoBudget) {
+  const auto g = causal_graph::build(failover_events());
+  const auto b = g.attribute_outage(kVictim, kVictimPid,
+                                    time_origin + msec(3000),
+                                    time_origin + msec(4000));
+  EXPECT_FALSE(b.saw_detection);
+  EXPECT_DOUBLE_EQ(b.attributed_fraction(), 0.0);
+}
+
+}  // namespace
+}  // namespace omega::obs

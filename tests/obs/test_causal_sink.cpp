@@ -1,0 +1,195 @@
+// The sink's causal plane: activation scopes, cause inheritance, potent
+// chaining, dual timestamps and the derived path-latency histograms.
+#include <gtest/gtest.h>
+
+#include "obs/metrics.hpp"
+#include "obs/sink.hpp"
+#include "obs/trace.hpp"
+
+namespace omega::obs {
+namespace {
+
+trace_event make_event(event_kind kind) {
+  trace_event ev;
+  ev.kind = kind;
+  ev.at = time_origin + sec(1);
+  ev.group = group_id{1};
+  return ev;
+}
+
+TEST(CausalSink, DatagramScopeAttributesAndChains) {
+  registry reg;
+  ring_recorder ring(16);
+  sink s(&reg, &ring, node_id{1});
+  s.enable_causal(3);
+
+  cause_id inbound;
+  inbound.origin = node_id{9};
+  inbound.inc = 2;
+  inbound.seq = 40;
+  {
+    sink::activation scope(&s, inbound);
+    // First event inherits the wire stamp...
+    s.record(make_event(event_kind::suspicion_raised));
+    // ...then, being potent, becomes the cause of the next one.
+    s.record(make_event(event_kind::accusation_sent));
+    // The outbound stamp the service would read now names the local event.
+    EXPECT_EQ(s.current_cause().origin, node_id{1});
+    EXPECT_EQ(s.current_cause().inc, 3u);
+  }
+  // The scope restores the idle state: no cause leaks past it.
+  EXPECT_FALSE(s.current_cause().valid());
+
+  const auto events = ring.events();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0].cause, inbound);
+  EXPECT_EQ(events[1].cause.origin, node_id{1});
+  EXPECT_EQ(events[1].cause.seq, events[0].seq);
+}
+
+TEST(CausalSink, RootScopeStartsUncausedChain) {
+  registry reg;
+  ring_recorder ring(16);
+  sink s(&reg, &ring, node_id{1});
+  s.enable_causal(1);
+  {
+    sink::activation scope(&s);  // timer entry point: spontaneous root
+    s.record(make_event(event_kind::suspicion_raised));
+    s.record(make_event(event_kind::accusation_sent));
+  }
+  const auto events = ring.events();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_FALSE(events[0].cause.valid());  // root has no cause
+  EXPECT_EQ(events[1].cause.origin, node_id{1});  // but starts a chain
+  EXPECT_EQ(events[1].cause.seq, events[0].seq);
+}
+
+TEST(CausalSink, NestedRootScopeKeepsOuterCause) {
+  // An FD transition fired from within datagram handling opens its own
+  // root-flavoured scope; it must NOT clobber the inbound attribution.
+  registry reg;
+  ring_recorder ring(16);
+  sink s(&reg, &ring, node_id{1});
+  s.enable_causal(1);
+  cause_id inbound;
+  inbound.origin = node_id{5};
+  inbound.seq = 7;
+  {
+    sink::activation outer(&s, inbound);
+    sink::activation inner(&s);  // no-op: already inside an activation
+    s.record(make_event(event_kind::suspicion_raised));
+  }
+  ASSERT_EQ(ring.events().size(), 1u);
+  EXPECT_EQ(ring.events()[0].cause, inbound);
+}
+
+TEST(CausalSink, InertKindsDoNotAdvanceTheChain) {
+  registry reg;
+  ring_recorder ring(16);
+  sink s(&reg, &ring, node_id{1});
+  s.enable_causal(1);
+  cause_id inbound;
+  inbound.origin = node_id{5};
+  inbound.seq = 7;
+  {
+    sink::activation scope(&s, inbound);
+    s.record(make_event(event_kind::retune));  // bookkeeping, not causality
+    s.record(make_event(event_kind::leader_change));
+  }
+  const auto events = ring.events();
+  ASSERT_EQ(events.size(), 2u);
+  // The leader_change is attributed to the datagram, not to the retune.
+  EXPECT_EQ(events[1].cause, inbound);
+}
+
+TEST(CausalSink, RecordingOutsideAnyScopeNeverChains) {
+  registry reg;
+  ring_recorder ring(16);
+  sink s(&reg, &ring, node_id{1});
+  s.enable_causal(1);
+  s.record(make_event(event_kind::leader_change));
+  EXPECT_FALSE(s.current_cause().valid());
+  EXPECT_FALSE(ring.events()[0].cause.valid());
+}
+
+TEST(CausalSink, CausalOffRecordsNoCauses) {
+  registry reg;
+  ring_recorder ring(16);
+  sink s(&reg, &ring, node_id{1});
+  cause_id inbound;
+  inbound.origin = node_id{5};
+  inbound.seq = 7;
+  {
+    sink::activation scope(&s, inbound);  // no-op with causal off
+    s.record(make_event(event_kind::suspicion_raised));
+  }
+  EXPECT_FALSE(ring.events()[0].cause.valid());
+}
+
+TEST(CausalSink, WallClockStampsWhenInstalled) {
+  registry reg;
+  ring_recorder ring(16);
+  sink s(&reg, &ring, node_id{1});
+  s.record(make_event(event_kind::leader_change));
+  EXPECT_EQ(ring.events()[0].wall_us, -1);  // sim runs: no wall clock
+
+  s.set_wall_clock(+[]() -> std::int64_t { return 123456; });
+  s.record(make_event(event_kind::leader_change));
+  EXPECT_EQ(ring.events()[1].wall_us, 123456);
+}
+
+TEST(CausalSink, SuspicionToAccusationHistogram) {
+  registry reg;
+  ring_recorder ring(16);
+  sink s(&reg, &ring, node_id{2});
+
+  trace_event susp = make_event(event_kind::suspicion_raised);
+  susp.peer = node_id{7};
+  susp.at = time_origin + msec(1000);
+  s.record(susp);
+
+  trace_event acc = make_event(event_kind::accusation_sent);
+  acc.peer = node_id{7};
+  acc.at = time_origin + msec(1003);
+  s.record(acc);
+
+  auto& h = reg.get_histogram("omega_suspicion_to_accusation_seconds",
+                              {{"node", "2"}}, {});
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_NEAR(h.sum(), 0.003, 1e-9);
+
+  // A cleared suspicion must not produce a sample for a later accusation.
+  susp.at = time_origin + msec(2000);
+  s.record(susp);
+  trace_event clear = make_event(event_kind::suspicion_cleared);
+  clear.peer = node_id{7};
+  s.record(clear);
+  s.record(acc);
+  EXPECT_EQ(h.count(), 1u);
+}
+
+TEST(CausalSink, ElectionRoundHistogramOpensOnEngagement) {
+  registry reg;
+  ring_recorder ring(16);
+  sink s(&reg, &ring, node_id{2});
+
+  trace_event enter = make_event(event_kind::competition_enter);
+  enter.at = time_origin + msec(1000);
+  s.record(enter);
+  trace_event change = make_event(event_kind::leader_change);
+  change.at = time_origin + msec(1250);
+  s.record(change);
+
+  auto& h = reg.get_histogram("omega_election_round_seconds",
+                              {{"node", "2"}, {"tier", "-1"}}, {});
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_NEAR(h.sum(), 0.25, 1e-9);
+
+  // A leader_change without a preceding engagement (steady-state refinement)
+  // does not close a round.
+  s.record(change);
+  EXPECT_EQ(h.count(), 1u);
+}
+
+}  // namespace
+}  // namespace omega::obs

@@ -145,5 +145,125 @@ TEST(Exposition, JsonlDumpsOneObjectPerEvent) {
   EXPECT_NE(out.find("\"subject\":null"), std::string::npos);
 }
 
+TEST(Exposition, ZeroObservationHistogramRendersEmptyButValid) {
+  // A histogram that exists (the family is registered) but never observed:
+  // all buckets 0, count 0, sum 0 — and the page must still re-parse.
+  registry reg;
+  reg.get_histogram("cold", {{"g", "1"}}, {0.1, 1.0});
+  auto samples = parse_prometheus(render_prometheus(reg));
+  ASSERT_TRUE(samples.has_value());
+  const auto* binf = find_sample(*samples, "cold_bucket",
+                                 {{"g", "1"}, {"le", "+Inf"}});
+  const auto* count = find_sample(*samples, "cold_count", {{"g", "1"}});
+  const auto* sum = find_sample(*samples, "cold_sum", {{"g", "1"}});
+  ASSERT_NE(binf, nullptr);
+  ASSERT_NE(count, nullptr);
+  ASSERT_NE(sum, nullptr);
+  EXPECT_DOUBLE_EQ(binf->value, 0.0);
+  EXPECT_DOUBLE_EQ(count->value, 0.0);
+  EXPECT_DOUBLE_EQ(sum->value, 0.0);
+}
+
+TEST(Exposition, HistogramReparseReconstructsDistribution) {
+  // Full re-parse round-trip: from the text alone, the non-cumulative
+  // per-bucket counts must be recoverable and match the live histogram.
+  registry reg;
+  histogram& h = reg.get_histogram("rt", {}, {0.1, 1.0, 10.0});
+  h.observe(0.05);
+  h.observe(0.5);
+  h.observe(0.6);
+  h.observe(5.0);
+  h.observe(100.0);
+  auto samples = parse_prometheus(render_prometheus(reg));
+  ASSERT_TRUE(samples.has_value());
+
+  const char* les[] = {"0.1", "1", "10", "+Inf"};
+  double cumulative_prev = 0.0;
+  const std::uint64_t expect_per_bucket[] = {1, 2, 1, 1};
+  for (std::size_t i = 0; i < 4; ++i) {
+    const auto* b = find_sample(*samples, "rt_bucket", {{"le", les[i]}});
+    ASSERT_NE(b, nullptr) << "le=" << les[i];
+    const double non_cumulative = b->value - cumulative_prev;
+    EXPECT_DOUBLE_EQ(non_cumulative,
+                     static_cast<double>(expect_per_bucket[i]))
+        << "le=" << les[i];
+    EXPECT_EQ(h.bucket_count(i), expect_per_bucket[i]);
+    cumulative_prev = b->value;
+  }
+  const auto* sum = find_sample(*samples, "rt_sum", {});
+  ASSERT_NE(sum, nullptr);
+  EXPECT_NEAR(sum->value, h.sum(), 1e-9);
+}
+
+TEST(Exposition, BackslashHeavyLabelSurvivesRoundTrip) {
+  // Pathological escaping: trailing backslash, backslash before quote,
+  // consecutive newlines — every case the escaper and parser must agree on.
+  const std::string hostile = "\\\\x\\\"\n\n\\";
+  registry reg;
+  reg.get_counter("esc_total", {{"v", hostile}}).inc(2);
+  auto samples = parse_prometheus(render_prometheus(reg));
+  ASSERT_TRUE(samples.has_value());
+  const auto* s = find_sample(*samples, "esc_total", {{"v", hostile}});
+  ASSERT_NE(s, nullptr);
+  EXPECT_DOUBLE_EQ(s->value, 2.0);
+}
+
+TEST(Exposition, MergedRegistriesRenderOneFamilyHeader) {
+  // Per-node registries merged into one page: one # TYPE line per family,
+  // every registry's series beneath it, and the page re-parses.
+  registry a;
+  registry b;
+  a.get_counter("omega_msgs_total", {{"node", "0"}}).inc(3);
+  b.get_counter("omega_msgs_total", {{"node", "1"}}).inc(5);
+  b.get_gauge("omega_only_b").set(1.5);
+  const registry* regs[] = {&a, &b, nullptr};  // nulls are skipped
+  const std::string text =
+      render_prometheus(std::span<const registry* const>(regs));
+
+  std::size_t headers = 0;
+  for (std::size_t pos = 0;
+       (pos = text.find("# TYPE omega_msgs_total", pos)) != std::string::npos;
+       ++pos) {
+    ++headers;
+  }
+  EXPECT_EQ(headers, 1u);
+  auto samples = parse_prometheus(text);
+  ASSERT_TRUE(samples.has_value());
+  const auto* s0 = find_sample(*samples, "omega_msgs_total", {{"node", "0"}});
+  const auto* s1 = find_sample(*samples, "omega_msgs_total", {{"node", "1"}});
+  const auto* only_b = find_sample(*samples, "omega_only_b", {});
+  ASSERT_NE(s0, nullptr);
+  ASSERT_NE(s1, nullptr);
+  ASSERT_NE(only_b, nullptr);
+  EXPECT_DOUBLE_EQ(s0->value, 3.0);
+  EXPECT_DOUBLE_EQ(s1->value, 5.0);
+}
+
+TEST(Exposition, JsonlEmitsCauseAndWallOnlyWhenPresent) {
+  trace_event plain;
+  plain.kind = event_kind::leader_change;
+  plain.at = time_origin + sec(1);
+  plain.node = node_id{1};
+
+  trace_event stamped = plain;
+  stamped.cause.origin = node_id{4};
+  stamped.cause.inc = 2;
+  stamped.cause.seq = 17;
+  stamped.wall_us = 987654321;
+
+  std::vector<trace_event> events{plain, stamped};
+  const std::string out = render_jsonl(events);
+  const std::size_t eol = out.find('\n');
+  const std::string line1 = out.substr(0, eol);
+  const std::string line2 = out.substr(eol + 1);
+
+  // The unstamped event renders byte-identically to the pre-causal format.
+  EXPECT_EQ(line1.find("cause"), std::string::npos);
+  EXPECT_EQ(line1.find("wall_us"), std::string::npos);
+  EXPECT_NE(line2.find("\"cause\":{\"node\":4,\"inc\":2,\"seq\":17}"),
+            std::string::npos);
+  EXPECT_NE(line2.find("\"wall_us\":987654321"), std::string::npos);
+}
+
 }  // namespace
 }  // namespace omega::obs

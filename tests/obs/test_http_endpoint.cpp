@@ -1,0 +1,123 @@
+// Embedded telemetry HTTP server: request routing, published snapshots,
+// on-demand handlers, error responses and lifecycle.
+#include <gtest/gtest.h>
+
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <string>
+
+#include "obs/http_endpoint.hpp"
+
+namespace omega::obs {
+namespace {
+
+/// One blocking HTTP exchange against 127.0.0.1:`port`; returns the full
+/// response (headers + body), or "" on connect failure.
+std::string http_get(std::uint16_t port, const std::string& request) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return "";
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    ::close(fd);
+    return "";
+  }
+  (void)!::send(fd, request.data(), request.size(), MSG_NOSIGNAL);
+  std::string response;
+  char buf[4096];
+  ssize_t n;
+  while ((n = ::recv(fd, buf, sizeof(buf), 0)) > 0) {
+    response.append(buf, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+  return response;
+}
+
+std::string get_path(std::uint16_t port, const std::string& path) {
+  return http_get(port, "GET " + path + " HTTP/1.0\r\nHost: x\r\n\r\n");
+}
+
+TEST(HttpEndpoint, ServesPublishedSnapshot) {
+  http_endpoint ep;
+  ASSERT_TRUE(ep.start(0));  // ephemeral port
+  ASSERT_GT(ep.port(), 0);
+  ep.publish("/metrics", "omega_up 1\n",
+             std::string(http_endpoint::metrics_content_type));
+
+  const std::string resp = get_path(ep.port(), "/metrics");
+  EXPECT_NE(resp.find("HTTP/1.0 200 OK"), std::string::npos);
+  EXPECT_NE(resp.find("Content-Type: text/plain; version=0.0.4"),
+            std::string::npos);
+  EXPECT_NE(resp.find("Content-Length: 11"), std::string::npos);
+  EXPECT_NE(resp.find("omega_up 1\n"), std::string::npos);
+}
+
+TEST(HttpEndpoint, RepublishReplacesSnapshot) {
+  http_endpoint ep;
+  ASSERT_TRUE(ep.start(0));
+  ep.publish("/metrics", "v1\n", "text/plain");
+  ep.publish("/metrics", "v2\n", "text/plain");
+  EXPECT_NE(get_path(ep.port(), "/metrics").find("v2"), std::string::npos);
+}
+
+TEST(HttpEndpoint, QueryStringIgnoredAndUnknownPath404s) {
+  http_endpoint ep;
+  ASSERT_TRUE(ep.start(0));
+  ep.publish("/metrics", "ok\n", "text/plain");
+  EXPECT_NE(get_path(ep.port(), "/metrics?scrape=1").find("200 OK"),
+            std::string::npos);
+  EXPECT_NE(get_path(ep.port(), "/nope").find("404 Not Found"),
+            std::string::npos);
+}
+
+TEST(HttpEndpoint, NonGetRejectedWith405) {
+  http_endpoint ep;
+  ASSERT_TRUE(ep.start(0));
+  const std::string resp =
+      http_get(ep.port(), "POST /metrics HTTP/1.0\r\n\r\n");
+  EXPECT_NE(resp.find("405 Method Not Allowed"), std::string::npos);
+}
+
+TEST(HttpEndpoint, HandlerTakesPrecedenceAndFallsBack) {
+  http_endpoint ep;
+  ASSERT_TRUE(ep.start(0));
+  ep.publish("/trace", "published\n", "application/x-ndjson");
+  ep.set_handler([](std::string_view path) -> std::optional<std::string> {
+    if (path == "/metrics") return "rendered on demand\n";
+    return std::nullopt;  // fall through to snapshots
+  });
+  EXPECT_NE(get_path(ep.port(), "/metrics").find("rendered on demand"),
+            std::string::npos);
+  EXPECT_NE(get_path(ep.port(), "/trace").find("published"),
+            std::string::npos);
+}
+
+TEST(HttpEndpoint, StopIsIdempotentAndRestartable) {
+  http_endpoint ep;
+  ASSERT_TRUE(ep.start(0));
+  const std::uint16_t old_port = ep.port();
+  ep.stop();
+  ep.stop();
+  EXPECT_FALSE(ep.running());
+  EXPECT_EQ(ep.port(), 0);
+  EXPECT_TRUE(get_path(old_port, "/metrics").empty());
+
+  ASSERT_TRUE(ep.start(0));
+  ep.publish("/metrics", "back\n", "text/plain");
+  EXPECT_NE(get_path(ep.port(), "/metrics").find("back"), std::string::npos);
+}
+
+TEST(HttpEndpoint, DoubleStartRefused) {
+  http_endpoint ep;
+  ASSERT_TRUE(ep.start(0));
+  EXPECT_FALSE(ep.start(0));
+}
+
+}  // namespace
+}  // namespace omega::obs

@@ -7,6 +7,7 @@
 #include <memory>
 
 #include "net/sim_network.hpp"
+#include "obs/causal_graph.hpp"
 #include "obs/exposition.hpp"
 #include "obs/metrics.hpp"
 #include "obs/service_export.hpp"
@@ -26,7 +27,8 @@ const group_id g2{2};
 /// registry + ring recorder through an obs::sink.
 struct observed_cluster {
   explicit observed_cluster(std::size_t n,
-                            election::algorithm alg = election::algorithm::omega_lc)
+                            election::algorithm alg = election::algorithm::omega_lc,
+                            bool causal = false)
       : net(sim, n, net::link_profile::lan(), rng{11}) {
     for (std::size_t i = 0; i < n; ++i) roster.push_back(node_id{i});
     for (std::size_t i = 0; i < n; ++i) {
@@ -36,6 +38,7 @@ struct observed_cluster {
       cfg.roster = roster;
       cfg.alg = alg;
       cfg.sink = &o->sink;
+      cfg.causal_stamping = causal;
       obs.push_back(std::move(o));
       services.push_back(std::make_unique<leader_election_service>(
           sim, sim, net.endpoint(node_id{i}), cfg));
@@ -220,6 +223,128 @@ TEST(ServiceObs, ExportPublishesServiceStats) {
   auto samples = obs::parse_prometheus(obs::render_prometheus(reg));
   ASSERT_TRUE(samples.has_value());
   EXPECT_FALSE(samples->empty());
+}
+
+TEST(ServiceObs, ExportPublishesDropAndHelloFamilies) {
+  observed_cluster c(2);
+  c.at(0).register_process(process_id{0});
+  c.at(0).join_group(process_id{0}, g1, {});
+  c.at(1).register_process(process_id{1});
+  c.at(1).join_group(process_id{1}, g1, {});
+  c.settle(sec(30));
+
+  // Provoke one unknown-group drop so the reason-labelled series is live.
+  proto::leave_msg leave;
+  leave.from = node_id{1};
+  leave.inc = 1;
+  leave.group = g2;
+  leave.pid = process_id{1};
+  c.net.endpoint(node_id{1}).send(node_id{0}, proto::encode(leave));
+  c.settle(sec(1));
+
+  auto& reg = c.obs[0]->reg;
+  obs::export_service_stats(reg, c.at(0));
+  EXPECT_EQ(reg.get_counter("omega_datagrams_dropped_total",
+                            {{"node", "0"}, {"reason", "unknown_group"}})
+                .value(),
+            c.at(0).stats().dropped_unknown_group);
+  EXPECT_EQ(reg.get_counter("omega_datagrams_dropped_total",
+                            {{"node", "0"}, {"reason", "unknown_group"}})
+                .value(),
+            1u);
+  const auto hellos = reg.get_counter("omega_hello_emissions_total",
+                                      {{"group", "1"}, {"node", "0"}})
+                          .value();
+  ASSERT_TRUE(c.at(0).stats().hello_by_group.contains(g1));
+  EXPECT_EQ(hellos, c.at(0).stats().hello_by_group.at(g1).hellos);
+  EXPECT_GT(hellos, 0u);
+  EXPECT_GT(reg.get_counter("omega_hello_destinations_total",
+                            {{"group", "1"}, {"node", "0"}})
+                .value(),
+            0u);
+}
+
+TEST(ServiceObs, HeartbeatInterarrivalHistogramPerClass) {
+  observed_cluster c(3);
+  for (std::size_t i = 0; i < 3; ++i) {
+    c.at(i).register_process(process_id{i});
+    c.at(i).join_group(process_id{i}, g1, {});  // default class: interactive
+  }
+  c.settle(sec(30));
+
+  // Node 0 heard many ALIVEs from its two peers; every gap after the first
+  // heartbeat of a remote lands one sample in the class-labelled histogram.
+  auto& h = c.obs[0]->reg.get_histogram(
+      "omega_heartbeat_interarrival_seconds",
+      {{"class", "interactive"}, {"node", "0"}}, {});
+  EXPECT_GT(h.count(), 10u);
+  // The paper's default QoS puts eta at detection/4 = 0.25 s; the mean
+  // inter-arrival must sit near it (lossless LAN, two senders).
+  const double mean = h.sum() / static_cast<double>(h.count());
+  EXPECT_GT(mean, 0.05);
+  EXPECT_LT(mean, 1.0);
+}
+
+TEST(ServiceObs, CausalChainsLinkAcrossNodes) {
+  // End-to-end causal plane at the service layer: stamping on, a crashed
+  // leader, and the survivors' merged rings must rebuild into a DAG that
+  // explains the failover (the same gate the harness and udp_live enforce).
+  observed_cluster c(3, election::algorithm::omega_lc, /*causal=*/true);
+  for (std::size_t i = 0; i < 3; ++i) {
+    c.at(i).register_process(process_id{i});
+    c.at(i).join_group(process_id{i}, g1, {});
+  }
+  c.settle(sec(10));
+  const auto leader = c.at(2).leader(g1);
+  ASSERT_TRUE(leader.has_value());
+  const std::size_t victim = leader->value();
+  ASSERT_NE(victim, 2u);
+
+  const time_point crash_at = c.sim.now();
+  c.services[victim].reset();
+  c.settle(sec(30));
+
+  std::vector<obs::trace_event> merged;
+  for (std::size_t i = 0; i < 3; ++i) {
+    const auto evs = c.events_of(i);
+    merged.insert(merged.end(), evs.begin(), evs.end());
+  }
+  const auto graph = obs::causal_graph::build(merged);
+  const auto report =
+      graph.linkage(node_id{victim}, process_id{victim}, crash_at, c.sim.now());
+  EXPECT_GT(report.considered, 0u);
+  EXPECT_GE(report.evidence_roots, 1u);
+  EXPECT_EQ(report.dangling, 0u);
+  EXPECT_GE(report.fraction(), 0.95)
+      << report.linked << "/" << report.considered << " linked";
+
+  // At least one resolved edge must cross nodes (an accusation received on
+  // a different node than it was sent from).
+  bool cross_node_edge = false;
+  for (std::size_t i = 0; i < graph.size(); ++i) {
+    const int parent = graph.cause_index(i);
+    if (parent >= 0 &&
+        graph.event(i).node != graph.event(static_cast<std::size_t>(parent)).node) {
+      cross_node_edge = true;
+      break;
+    }
+  }
+  EXPECT_TRUE(cross_node_edge);
+}
+
+TEST(ServiceObs, CausalOffLeavesWireAndTraceUnstamped) {
+  observed_cluster c(2);
+  for (std::size_t i = 0; i < 2; ++i) {
+    c.at(i).register_process(process_id{i});
+    c.at(i).join_group(process_id{i}, g1, {});
+  }
+  c.settle(sec(10));
+  for (std::size_t i = 0; i < 2; ++i) {
+    for (const auto& ev : c.events_of(i)) {
+      EXPECT_FALSE(ev.cause.valid());
+      EXPECT_EQ(ev.wall_us, -1);
+    }
+  }
 }
 
 }  // namespace
