@@ -1,0 +1,350 @@
+// Live scale-out runtime bench (not a paper figure; "fig14" extends the
+// figure sequence past the sim-only evaluation).
+//
+// Hosts N real leader-election services — real UDP sockets on localhost,
+// partitioned into groups of `g` — on a small pool of shared epoll loops,
+// and measures what the syscall-batched runtime (sendmmsg/recvmmsg + send
+// rings + encode-once payloads, DESIGN.md §10) buys over the per-datagram
+// baseline (one sendto/recvfrom per datagram) at identical protocol
+// traffic. Reported per cell:
+//
+//   msgs/s          datagrams delivered per wall second (both modes must
+//                   agree within noise: batching changes syscalls, not
+//                   protocol traffic);
+//   syscalls/msg    network-related syscalls per datagram moved — THE
+//                   figure of merit, gated >= 5x apart by scripts/ci.sh;
+//   cpu ms/node/s   process CPU per hosted service per wall second;
+//   leaders_ok      every group ends the window agreeing on one live
+//                   leader (the run is invalid otherwise).
+//
+// Env knobs:
+//   OMEGA_LIVE_SERVICES   comma list of N (default "32,128,256")
+//   OMEGA_LIVE_GROUP      services per election group   (default 8)
+//   OMEGA_LIVE_LOOPS      event loops in the pool       (default 4)
+//   OMEGA_LIVE_SECONDS    measured window per cell      (default 5)
+//   OMEGA_LIVE_WARMUP     settle time before measuring  (default 2)
+//   OMEGA_LIVE_DETECT_MS  per-group FD detection bound  (default 400)
+//   OMEGA_BENCH_JSON      output path (default BENCH_live.json)
+//
+// Machine readable: BENCH_live.json. When BENCH_roster.json (fig12) is
+// present its 120-node scoped-membership sim cell is embedded as
+// `sim_reference`, putting the live msgs/s next to the simulated ones.
+#include <sys/resource.h>
+
+#include <chrono>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <memory>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_support.hpp"
+#include "election/elector.hpp"
+#include "harness/report.hpp"
+#include "runtime/event_loop.hpp"
+#include "runtime/loop_transport.hpp"
+#include "service/service.hpp"
+
+using namespace omega;
+
+namespace {
+
+std::vector<std::size_t> env_sizes(const char* name,
+                                   std::vector<std::size_t> fallback) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return fallback;
+  std::vector<std::size_t> out;
+  std::stringstream ss(v);
+  std::string tok;
+  while (std::getline(ss, tok, ',')) {
+    const long n = std::strtol(tok.c_str(), nullptr, 10);
+    if (n > 0) out.push_back(static_cast<std::size_t>(n));
+  }
+  return out.empty() ? fallback : out;
+}
+
+double cpu_seconds() {
+  rusage ru{};
+  ::getrusage(RUSAGE_SELF, &ru);
+  const auto tv = [](const timeval& t) {
+    return static_cast<double>(t.tv_sec) +
+           static_cast<double>(t.tv_usec) * 1e-6;
+  };
+  return tv(ru.ru_utime) + tv(ru.ru_stime);
+}
+
+std::string pad(std::string s, std::size_t width) {
+  if (s.size() < width) s.append(width - s.size(), ' ');
+  return s;
+}
+
+node_id nid(std::size_t i) { return node_id{static_cast<std::uint32_t>(i)}; }
+process_id pid(std::size_t i) {
+  return process_id{static_cast<std::uint32_t>(i)};
+}
+
+struct cell_result {
+  std::size_t services = 0;
+  std::string mode;
+  double elapsed_s = 0;
+  double msgs_per_s = 0;
+  double syscalls_per_msg = 0;
+  double cpu_ms_per_node_per_s = 0;
+  bool leaders_ok = false;
+  runtime::loop_stats io;  // deltas over the measured window
+  std::uint64_t send_errors = 0;
+  std::uint64_t queue_drops = 0;
+};
+
+/// One hosted instance: a service and its socket, pinned to one loop.
+struct instance {
+  runtime::event_loop* loop = nullptr;
+  std::unique_ptr<runtime::loop_udp_transport> transport;
+  std::unique_ptr<service::leader_election_service> svc;
+};
+
+cell_result run_cell(std::size_t n_services, bool batching,
+                     std::size_t group_size, std::size_t n_loops,
+                     double warmup_s, double measured_s, duration detection) {
+  cell_result r;
+  r.services = n_services;
+  r.mode = batching ? "batched" : "per_datagram";
+
+  runtime::event_loop::options opts;
+  opts.batching = batching;
+  runtime::loop_pool pool(n_loops, opts);
+
+  // Bind every socket on port 0 first, then distribute the real address
+  // book per group (nobody talks across groups, so each transport only
+  // learns its group's endpoints — the scoped-membership deployment).
+  const std::size_t n_groups = (n_services + group_size - 1) / group_size;
+  std::vector<instance> cluster(n_services);
+  for (std::size_t i = 0; i < n_services; ++i) {
+    const std::size_t group = i / group_size;
+    runtime::udp_roster bind_roster;
+    const std::size_t lo = group * group_size;
+    const std::size_t hi = std::min(lo + group_size, n_services);
+    for (std::size_t j = lo; j < hi; ++j) {
+      bind_roster[nid(j)] = runtime::udp_endpoint{"127.0.0.1", 0};
+    }
+    // Whole groups share a loop: members tick in the same slack-clustered
+    // iteration, so a group's ALIVE fan-out goes out in one flush and
+    // lands on each member's socket as one recvmmsg burst. (Assigning
+    // round-robin by service instead scatters each group over every loop
+    // and caps the receive batch at services-per-loop-per-group.)
+    cluster[i].loop = &pool.at(group);
+    cluster[i].transport = std::make_unique<runtime::loop_udp_transport>(
+        *cluster[i].loop, nid(i), bind_roster);
+  }
+  for (std::size_t group = 0; group < n_groups; ++group) {
+    const std::size_t lo = group * group_size;
+    const std::size_t hi = std::min(lo + group_size, n_services);
+    runtime::udp_roster real_roster;
+    std::vector<node_id> members;
+    for (std::size_t j = lo; j < hi; ++j) {
+      real_roster[nid(j)] = runtime::udp_endpoint{
+          "127.0.0.1", cluster[j].transport->bound_port()};
+      members.push_back(nid(j));
+    }
+    for (std::size_t j = lo; j < hi; ++j) {
+      auto& inst = cluster[j];
+      inst.loop->sync([&] {
+        inst.transport->set_roster(real_roster);
+        service::service_config cfg;
+        cfg.self = nid(j);
+        cfg.roster = members;
+        cfg.alg = election::algorithm::omega_lc;
+        inst.svc = std::make_unique<service::leader_election_service>(
+            *inst.loop, *inst.loop, *inst.transport, cfg);
+        inst.svc->register_process(pid(j));
+        service::join_options jopts;
+        jopts.qos.detection_time = detection;
+        inst.svc->join_group(pid(j), group_id{static_cast<std::uint32_t>(group + 1)}, jopts);
+      });
+    }
+  }
+
+  std::this_thread::sleep_for(std::chrono::duration<double>(warmup_s));
+
+  const runtime::loop_stats before = pool.total_stats();
+  const double cpu_before = cpu_seconds();
+  const auto wall_before = std::chrono::steady_clock::now();
+
+  std::this_thread::sleep_for(std::chrono::duration<double>(measured_s));
+
+  const runtime::loop_stats after = pool.total_stats();
+  const double cpu_after = cpu_seconds();
+  r.elapsed_s = std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                              wall_before)
+                    .count();
+
+  // Deltas over the measured window only (warm-up joins, HELLO storms and
+  // the teardown below don't pollute the figure).
+  r.io = after;
+  r.io.epoll_waits -= before.epoll_waits;
+  r.io.eventfd_reads -= before.eventfd_reads;
+  r.io.sendmmsg_calls -= before.sendmmsg_calls;
+  r.io.sendto_calls -= before.sendto_calls;
+  r.io.recvmmsg_calls -= before.recvmmsg_calls;
+  r.io.recvfrom_calls -= before.recvfrom_calls;
+  r.io.datagrams_sent -= before.datagrams_sent;
+  r.io.datagrams_received -= before.datagrams_received;
+  r.io.bytes_sent -= before.bytes_sent;
+  r.io.bytes_received -= before.bytes_received;
+  r.io.timers_fired -= before.timers_fired;
+  r.io.tasks_run -= before.tasks_run;
+  r.io.iterations -= before.iterations;
+
+  const double moved = static_cast<double>(r.io.datagrams_sent +
+                                           r.io.datagrams_received);
+  r.msgs_per_s = static_cast<double>(r.io.datagrams_received) / r.elapsed_s;
+  r.syscalls_per_msg =
+      moved > 0 ? static_cast<double>(r.io.syscalls()) / moved : 0.0;
+  r.cpu_ms_per_node_per_s = (cpu_after - cpu_before) * 1000.0 /
+                            static_cast<double>(n_services) / r.elapsed_s;
+
+  // Every group must agree on one live leader, checked on each member's
+  // loop thread.
+  r.leaders_ok = true;
+  for (std::size_t group = 0; group < n_groups && r.leaders_ok; ++group) {
+    const std::size_t lo = group * group_size;
+    const std::size_t hi = std::min(lo + group_size, n_services);
+    std::optional<process_id> first;
+    for (std::size_t j = lo; j < hi && r.leaders_ok; ++j) {
+      auto& inst = cluster[j];
+      inst.loop->sync([&] {
+        const auto view = inst.svc->leader(group_id{static_cast<std::uint32_t>(group + 1)});
+        if (!view.has_value() || (first.has_value() && view != first)) {
+          r.leaders_ok = false;
+        }
+        if (!first.has_value()) first = view;
+      });
+    }
+  }
+
+  for (auto& inst : cluster) {
+    inst.loop->sync([&] {
+      r.send_errors += inst.transport->stats().send_errors();
+      r.queue_drops += inst.transport->stats().send_queue_drops;
+      inst.svc.reset();
+      inst.transport.reset();
+    });
+  }
+  pool.stop_all();
+  return r;
+}
+
+std::string json_cell(const cell_result& r) {
+  std::string s = "{";
+  s += "\"services\": " + std::to_string(r.services);
+  s += ", \"mode\": \"" + r.mode + "\"";
+  s += ", \"elapsed_s\": " + harness::fmt_double(r.elapsed_s, 3);
+  s += ", \"msgs_per_s\": " + harness::fmt_double(r.msgs_per_s, 1);
+  s += ", \"syscalls_per_msg\": " + harness::fmt_double(r.syscalls_per_msg, 4);
+  s += ", \"cpu_ms_per_node_per_s\": " +
+       harness::fmt_double(r.cpu_ms_per_node_per_s, 3);
+  s += ", \"leaders_ok\": " + std::string(r.leaders_ok ? "true" : "false");
+  s += ", \"datagrams_sent\": " + std::to_string(r.io.datagrams_sent);
+  s += ", \"datagrams_received\": " + std::to_string(r.io.datagrams_received);
+  s += ", \"bytes_sent\": " + std::to_string(r.io.bytes_sent);
+  s += ", \"syscalls\": " + std::to_string(r.io.syscalls());
+  s += ", \"sendmmsg_calls\": " + std::to_string(r.io.sendmmsg_calls);
+  s += ", \"sendto_calls\": " + std::to_string(r.io.sendto_calls);
+  s += ", \"recvmmsg_calls\": " + std::to_string(r.io.recvmmsg_calls);
+  s += ", \"recvfrom_calls\": " + std::to_string(r.io.recvfrom_calls);
+  s += ", \"epoll_waits\": " + std::to_string(r.io.epoll_waits);
+  s += ", \"send_errors\": " + std::to_string(r.send_errors);
+  s += ", \"queue_drops\": " + std::to_string(r.queue_drops);
+  s += "}";
+  return s;
+}
+
+/// Crude extraction of fig12's 120-node scoped3 sim cell, if the artifact
+/// exists: find "\"nodes\": 120", then the first "scoped3" object after
+/// it, then its messages_per_s value. Any miss returns empty.
+std::string sim_reference() {
+  std::ifstream in("BENCH_roster.json");
+  if (!in) return {};
+  std::string all((std::istreambuf_iterator<char>(in)),
+                  std::istreambuf_iterator<char>());
+  const auto row = all.find("\"nodes\": 120");
+  if (row == std::string::npos) return {};
+  const auto scoped = all.find("\"scoped3\"", row);
+  if (scoped == std::string::npos) return {};
+  const auto key = all.find("\"messages_per_s\": ", scoped);
+  if (key == std::string::npos) return {};
+  const auto start = key + std::string("\"messages_per_s\": ").size();
+  const auto end = all.find_first_of(",}", start);
+  if (end == std::string::npos) return {};
+  return "{\"bench\": \"fig12_roster_scope\", \"nodes\": 120, "
+         "\"membership\": \"scoped3\", \"messages_per_s\": " +
+         all.substr(start, end - start) + "}";
+}
+
+}  // namespace
+
+int main() {
+  const auto sizes = env_sizes("OMEGA_LIVE_SERVICES", {32, 128, 256});
+  const auto group_size = static_cast<std::size_t>(
+      bench::env_double("OMEGA_LIVE_GROUP", 8.0));
+  const auto n_loops = static_cast<std::size_t>(
+      bench::env_double("OMEGA_LIVE_LOOPS", 4.0));
+  const double measured_s = bench::env_double("OMEGA_LIVE_SECONDS", 5.0);
+  const double warmup_s = bench::env_double("OMEGA_LIVE_WARMUP", 2.0);
+  const auto detection =
+      msec(static_cast<std::int64_t>(bench::env_double("OMEGA_LIVE_DETECT_MS", 400.0)));
+
+  std::cout << "fig14_live: real-socket scale-out runtime — " << n_loops
+            << " shared epoll loop(s), groups of " << group_size << ", "
+            << measured_s << "s measured per cell\n\n";
+  std::cout << "services  mode          msgs/s    syscalls/msg  cpu ms/node/s"
+               "  leaders\n";
+
+  std::string rows;
+  std::vector<cell_result> results;
+  for (const std::size_t n : sizes) {
+    for (const bool batching : {true, false}) {
+      const cell_result r = run_cell(n, batching, group_size, n_loops,
+                                     warmup_s, measured_s, detection);
+      std::cout << pad(std::to_string(n), 8)
+                << "  " << pad(r.mode, 12) << "  "
+                << pad(harness::fmt_double(r.msgs_per_s, 1), 8)
+                << "  " << pad(harness::fmt_double(r.syscalls_per_msg, 4), 12)
+                << "  " << pad(harness::fmt_double(r.cpu_ms_per_node_per_s, 3), 13)
+                << "  " << (r.leaders_ok ? "ok" : "FAIL") << "\n";
+      if (!rows.empty()) rows += ",\n    ";
+      rows += json_cell(r);
+      results.push_back(r);
+    }
+    // Per-N batching win, the number ci.sh gates on.
+    const auto& batched = results[results.size() - 2];
+    const auto& base = results[results.size() - 1];
+    if (batched.syscalls_per_msg > 0) {
+      std::cout << "          -> syscall amortization: "
+                << harness::fmt_double(
+                       base.syscalls_per_msg / batched.syscalls_per_msg, 2)
+                << "x fewer syscalls/msg batched\n";
+    }
+  }
+
+  const std::string sim = sim_reference();
+  const char* out_path = std::getenv("OMEGA_BENCH_JSON");
+  std::ofstream out(out_path && *out_path ? out_path : "BENCH_live.json");
+  out << "{\n  \"bench\": \"fig14_live\""
+      << ",\n  \"group_size\": " << group_size
+      << ",\n  \"loops\": " << n_loops
+      << ",\n  \"measured_s\": " << harness::fmt_double(measured_s, 3)
+      << ",\n  \"detection_ms\": "
+      << std::chrono::duration_cast<std::chrono::milliseconds>(detection).count()
+      << ",\n  \"cells\": [\n    " << rows << "\n  ]"
+      << ",\n  \"sim_reference\": " << (sim.empty() ? "null" : sim)
+      << "\n}\n";
+
+  bool all_ok = true;
+  for (const auto& r : results) all_ok = all_ok && r.leaders_ok;
+  return all_ok ? 0 : 1;
+}

@@ -1,18 +1,23 @@
-// Live deployment example: the same service code over real UDP sockets.
+// Live deployment example: the same service code over real UDP sockets,
+// hosted on the shared scale-out runtime.
 //
 // The paper's implementation ran as a C daemon over UDP on a LAN. This
-// example runs three unmodified service instances on localhost — one
-// real_time_engine + udp_transport per "workstation" — elects a leader in
-// real time, kills the leader's instance, and watches the survivors
-// re-elect within the FD detection bound.
+// example runs three unmodified service instances on localhost — all
+// hosted on a two-loop `runtime::loop_pool`, each with its own batched
+// `loop_udp_transport` socket (DESIGN.md §10) instead of the historical
+// one-engine-plus-two-threads per workstation — elects a leader in real
+// time, kills the leader's instance on its live loop, and watches the
+// survivors re-elect within the FD detection bound.
 //
 // Each instance carries the full observability plane: a metrics registry,
 // a trace ring with the causal plane on (wire-stamped cause ids + the
 // monotonic wall clock), and — when OMEGA_LIVE_HTTP_PORT is set — a live
-// /metrics + /trace HTTP endpoint that scripts/ci.sh scrapes mid-run.
-// At the end the merged rings are rebuilt into a causal DAG on the wall
-// timeline (no shared engine clock exists between the instances) and the
-// run fails unless >= 95% of the failover's events link back to
+// /metrics + /trace HTTP endpoint that scripts/ci.sh scrapes mid-run. The
+// /metrics page now also carries the runtime families (send-error classes,
+// queue backpressure, per-loop syscall counters) next to the service
+// counters. At the end the merged rings are rebuilt into a causal DAG on
+// the wall timeline (no shared engine clock exists between the instances)
+// and the run fails unless >= 95% of the failover's events link back to
 // root-cause evidence about the victim — the same forensics gate the sim
 // harness enforces, on a real-UDP run.
 //
@@ -31,11 +36,13 @@
 #include "obs/exposition.hpp"
 #include "obs/http_endpoint.hpp"
 #include "obs/metrics.hpp"
+#include "obs/runtime_export.hpp"
 #include "obs/service_export.hpp"
 #include "obs/sink.hpp"
 #include "obs/trace.hpp"
+#include "runtime/event_loop.hpp"
+#include "runtime/loop_transport.hpp"
 #include "runtime/real_time.hpp"
-#include "runtime/udp_transport.hpp"
 #include "service/service.hpp"
 
 using namespace omega;
@@ -43,11 +50,14 @@ using namespace omega;
 namespace {
 
 constexpr std::size_t kNodes = 3;
+constexpr std::size_t kLoops = 2;
 const group_id kGroup{1};
 
+node_id nid(std::size_t i) { return node_id{static_cast<std::uint32_t>(i)}; }
+
 struct workstation {
-  std::unique_ptr<runtime::real_time_engine> engine;
-  std::unique_ptr<runtime::udp_transport> transport;
+  runtime::event_loop* loop = nullptr;  // shared; owned by the pool
+  std::unique_ptr<runtime::loop_udp_transport> transport;
   std::unique_ptr<service::leader_election_service> svc;
   // Observability outlives the service (the sink is registered in its
   // config); rendered after shutdown.
@@ -58,25 +68,31 @@ struct workstation {
 
 // Renders every live workstation's registry and trace on its own loop
 // thread (registries are loop-owned; reading them from main would race)
-// and publishes the combined pages. Concatenated expositions repeat
-// `# TYPE` headers; the parser and the endpoint contract both allow that.
+// and publishes the combined pages, appending the pool's per-loop syscall
+// counters. Concatenated expositions repeat `# TYPE` headers; the parser
+// and the endpoint contract both allow that.
 void publish_snapshots(obs::http_endpoint& http,
-                       std::vector<workstation>& cluster) {
+                       std::vector<workstation>& cluster,
+                       runtime::loop_pool& pool, obs::registry& pool_metrics) {
   std::string metrics_page;
   std::vector<obs::trace_event> merged;
   for (auto& ws : cluster) {
     if (!ws.svc) continue;
     std::string page;
     std::vector<obs::trace_event> events;
-    ws.engine->post([&ws, &page, &events] {
+    ws.loop->sync([&ws, &page, &events] {
       obs::export_service_stats(ws.metrics, *ws.svc);
+      obs::export_transport_stats(ws.metrics, *ws.transport);
       page = obs::render_prometheus(ws.metrics);
       events = ws.trace.events();
     });
-    ws.engine->drain(msec(20));
     metrics_page += page;
     merged.insert(merged.end(), events.begin(), events.end());
   }
+  for (std::size_t l = 0; l < pool.size(); ++l) {
+    obs::export_loop_stats(pool_metrics, l, pool.at(l).stats_snapshot());
+  }
+  metrics_page += obs::render_prometheus(pool_metrics);
   std::sort(merged.begin(), merged.end(),
             [](const obs::trace_event& a, const obs::trace_event& b) {
               if (a.wall_us != b.wall_us) return a.wall_us < b.wall_us;
@@ -97,34 +113,40 @@ int main() {
   runtime::udp_roster roster_map;
   std::vector<node_id> roster;
   for (std::size_t i = 0; i < kNodes; ++i) {
-    roster.push_back(node_id{i});
-    roster_map[node_id{i}] =
+    roster.push_back(nid(i));
+    roster_map[nid(i)] =
         runtime::udp_endpoint{"127.0.0.1", static_cast<std::uint16_t>(39400 + i)};
   }
 
+  // Two shared epoll loops host all three instances (round-robin) — the
+  // scale-out shape of bench/fig14_live at example size.
+  runtime::loop_pool pool(kLoops);
+  obs::registry pool_metrics;
   std::vector<workstation> cluster(kNodes);
   for (std::size_t i = 0; i < kNodes; ++i) {
     workstation& ws = cluster[i];
-    ws.engine = std::make_unique<runtime::real_time_engine>();
-    ws.transport = std::make_unique<runtime::udp_transport>(
-        *ws.engine, node_id{i}, roster_map);
+    ws.loop = &pool.at(i);
+    ws.transport = std::make_unique<runtime::loop_udp_transport>(
+        *ws.loop, nid(i), roster_map);
     // Dual timestamps: every trace event carries the host's monotonic wall
-    // clock, the only timeline the three engines share.
+    // clock, the only timeline the loops share.
     ws.sink.set_wall_clock(&runtime::monotonic_wall_us);
+    ws.sink.set_self(nid(i));
 
     service::service_config cfg;
-    cfg.self = node_id{i};
+    cfg.self = nid(i);
     cfg.roster = roster;
     cfg.alg = election::algorithm::omega_l;
     cfg.sink = &ws.sink;
     cfg.causal_stamping = true;  // wire-stamp causally potent datagrams
 
-    // Service construction and all API calls must happen on the engine's
-    // loop thread (the protocol stack is single-threaded by design).
-    ws.engine->post([&ws, cfg, i] {
+    // Service construction and all API calls must happen on the hosting
+    // loop's thread (the protocol stack is single-threaded by design).
+    ws.loop->sync([&ws, cfg, i] {
+      ws.transport->set_sink(&ws.sink);  // trace unknown-peer drops too
       ws.svc = std::make_unique<service::leader_election_service>(
-          *ws.engine, *ws.engine, *ws.transport, cfg);
-      const process_id pid{i};
+          *ws.loop, *ws.loop, *ws.transport, cfg);
+      const process_id pid{static_cast<std::uint32_t>(i)};
       ws.svc->register_process(pid);
       service::join_options opts;
       opts.candidate = true;
@@ -152,28 +174,29 @@ int main() {
               << std::endl;
   }
 
-  std::cout << "-- 3 service instances up on 127.0.0.1:39400-39402; waiting "
-               "3 s of real time\n";
+  std::cout << "-- 3 service instances up on 127.0.0.1:39400-39402 ("
+            << kLoops << " shared loops); waiting 3 s of real time\n";
   std::this_thread::sleep_for(std::chrono::seconds(3));
 
   std::optional<process_id> leader;
-  cluster[0].engine->post([&] { leader = cluster[0].svc->leader(kGroup); });
-  cluster[0].engine->drain(msec(50));
+  cluster[0].loop->sync([&] { leader = cluster[0].svc->leader(kGroup); });
   if (!leader) {
     std::cerr << "no leader elected\n";
     return 1;
   }
   std::cout << "-- elected leader: process " << leader->value() << "\n";
-  if (http.running()) publish_snapshots(http, cluster);
+  if (http.running()) publish_snapshots(http, cluster, pool, pool_metrics);
 
   const std::size_t victim = leader->value();
   std::cout << "-- killing node " << victim << "'s service instance\n";
   const std::int64_t kill_wall_us = runtime::monotonic_wall_us();
-  // Destroy on the victim's own loop thread, then stop the engine.
-  cluster[victim].engine->post([&] { cluster[victim].svc.reset(); });
-  cluster[victim].engine->drain(msec(50));
-  cluster[victim].transport.reset();
-  cluster[victim].engine->stop();
+  // Destroy service and socket on the victim's own loop thread; the loop
+  // itself keeps running — it is shared infrastructure, and tearing one
+  // tenant down mid-traffic is exactly what the runtime must survive.
+  cluster[victim].loop->sync([&] {
+    cluster[victim].svc.reset();
+    cluster[victim].transport.reset();
+  });
 
   // Poll for re-election instead of sleeping a fixed window: the heal
   // instant bounds the causal-linkage window below, and a tight window
@@ -190,9 +213,8 @@ int main() {
     for (std::size_t i = 0; i < kNodes; ++i) {
       if (i == victim) continue;
       std::optional<process_id> now_leader;
-      cluster[i].engine->post(
+      cluster[i].loop->sync(
           [&, i] { now_leader = cluster[i].svc->leader(kGroup); });
-      cluster[i].engine->drain(msec(20));
       if (!now_leader || now_leader->value() == victim ||
           (new_leader && *new_leader != *now_leader)) {
         healed = false;
@@ -207,7 +229,7 @@ int main() {
                            : std::string("(none)"))
             << (healed ? "" : "  [TIMED OUT]") << "\n";
   if (http.running()) {
-    publish_snapshots(http, cluster);
+    publish_snapshots(http, cluster, pool, pool_metrics);
     // Give out-of-process scrapers (scripts/ci.sh) a deterministic window
     // to hit the post-failover snapshots before shutdown.
     if (const char* linger = std::getenv("OMEGA_LIVE_LINGER_MS")) {
@@ -217,24 +239,30 @@ int main() {
 
   // Orderly shutdown: services die on their loop threads first. Each
   // survivor exports its counters on its own loop before dying (the same
-  // render a /metrics scrape would trigger).
+  // render a /metrics scrape would trigger), then the pool stops.
   for (std::size_t i = 0; i < kNodes; ++i) {
     if (i == victim) continue;
-    cluster[i].engine->post([&, i] {
+    cluster[i].loop->sync([&, i] {
       obs::export_service_stats(cluster[i].metrics, *cluster[i].svc);
+      obs::export_transport_stats(cluster[i].metrics, *cluster[i].transport);
       cluster[i].svc.reset();
+      cluster[i].transport.reset();
     });
-    cluster[i].engine->drain(msec(50));
-    cluster[i].transport.reset();
-    cluster[i].engine->stop();
   }
+  for (std::size_t l = 0; l < pool.size(); ++l) {
+    obs::export_loop_stats(pool_metrics, l, pool.at(l).stats_snapshot());
+  }
+  pool.stop_all();
   http.stop();
 
   // One survivor's observability, post-mortem: the Prometheus exposition
-  // and the tail of the structured trace.
+  // (service + transport families), the pool's runtime counters, and the
+  // tail of the structured trace.
   const std::size_t witness = victim == 0 ? 1 : 0;
   std::cout << "\n-- node " << witness << " /metrics snapshot:\n"
             << obs::render_prometheus(cluster[witness].metrics);
+  std::cout << "\n-- loop pool runtime counters:\n"
+            << obs::render_prometheus(pool_metrics);
   auto events = cluster[witness].trace.events();
   const std::size_t tail = events.size() > 8 ? events.size() - 8 : 0;
   std::cout << "\n-- node " << witness << " trace (last "
@@ -243,17 +271,17 @@ int main() {
             << obs::render_jsonl(
                    std::span<const obs::trace_event>(events).subspan(tail));
 
-  // Causal forensics on the wall timeline: all engines are stopped, so the
-  // rings are safe to merge from here. The three engines never shared a
-  // virtual clock — the DAG is rebuilt purely from cause ids, windowed by
-  // the monotonic wall clock.
+  // Causal forensics on the wall timeline: all loops are stopped, so the
+  // rings are safe to merge from here. The loops never shared a virtual
+  // clock — the DAG is rebuilt purely from cause ids, windowed by the
+  // monotonic wall clock.
   std::vector<obs::trace_event> all_events;
   for (auto& ws : cluster) {
     const auto evs = ws.trace.events();
     all_events.insert(all_events.end(), evs.begin(), evs.end());
   }
   const auto graph = obs::causal_graph::build(all_events);
-  const node_id victim_node{static_cast<std::uint32_t>(victim)};
+  const node_id victim_node = nid(victim);
   const process_id victim_pid{static_cast<std::uint32_t>(victim)};
   const auto report = graph.linkage(
       victim_node, victim_pid, time_point{usec(kill_wall_us)},

@@ -33,6 +33,16 @@ OMEGA_BENCH_HOURS="${OMEGA_BENCH_HOURS:-0.2}" ./build/fig12_roster_scope
 # multicast -> admit -> deliver path.
 ./build/sim_hotpath
 
+# Live scale-out runtime smoke (DESIGN.md §10): real UDP sockets on shared
+# epoll loops, batched vs per-datagram, at 32 and 128 hosted services.
+# Writes BENCH_live.json (validated and gated below); a non-zero exit means
+# some group failed to agree on a leader. Runs after fig12 so the sim
+# reference cell can be embedded.
+OMEGA_LIVE_SERVICES="${OMEGA_LIVE_SERVICES:-32,128}" \
+OMEGA_LIVE_SECONDS="${OMEGA_LIVE_SECONDS:-2}" \
+OMEGA_LIVE_WARMUP="${OMEGA_LIVE_WARMUP:-1.5}" \
+  ./build/fig14_live
+
 # The hierarchical-election example is a two-level failover demo with a
 # pass/fail exit code: run it as part of the smoke set.
 ./build/example_hierarchical_election > /dev/null
@@ -197,6 +207,54 @@ for row in data["rosters"]:
             print(f"ci.sh: forensics attributed only {frac * 100:.1f}% of "
                   f"the outage at {row['nodes']}/{cell}", file=sys.stderr)
             failed = True
+
+# Live-runtime gates (BENCH_live.json, DESIGN.md §10). Schema first: the
+# artifact is consumed by tooling, so every cell must carry the full set of
+# counters. Then the two semantic gates: every cell's groups agreed on a
+# leader, and at equal protocol traffic the batched runtime must move a
+# datagram in at least 5x fewer syscalls than the per-datagram baseline.
+with open("BENCH_live.json") as fh:
+    live = json.load(fh)
+CELL_KEYS = {"services", "mode", "elapsed_s", "msgs_per_s", "syscalls_per_msg",
+             "cpu_ms_per_node_per_s", "leaders_ok", "datagrams_sent",
+             "datagrams_received", "bytes_sent", "syscalls", "sendmmsg_calls",
+             "sendto_calls", "recvmmsg_calls", "recvfrom_calls", "epoll_waits",
+             "send_errors", "queue_drops"}
+cells = live.get("cells", [])
+if not cells:
+    print("ci.sh: BENCH_live.json has no cells", file=sys.stderr)
+    failed = True
+by_n = {}
+for cell in cells:
+    missing = CELL_KEYS - cell.keys()
+    if missing:
+        print(f"ci.sh: BENCH_live.json cell missing {sorted(missing)}",
+              file=sys.stderr)
+        failed = True
+        continue
+    if not cell["leaders_ok"]:
+        print(f"ci.sh: live run at {cell['services']} services "
+              f"({cell['mode']}) ended without leader agreement",
+              file=sys.stderr)
+        failed = True
+    by_n.setdefault(cell["services"], {})[cell["mode"]] = cell
+for n, modes in sorted(by_n.items()):
+    if "batched" not in modes or "per_datagram" not in modes:
+        print(f"ci.sh: BENCH_live.json lacks a batched/per_datagram pair "
+              f"at {n} services", file=sys.stderr)
+        failed = True
+        continue
+    batched = modes["batched"]["syscalls_per_msg"]
+    base = modes["per_datagram"]["syscalls_per_msg"]
+    ratio = base / max(batched, 1e-9)
+    if ratio < 5.0:
+        print(f"ci.sh: syscall batching gate: only {ratio:.2f}x fewer "
+              f"syscalls/msg at {n} services (need >= 5x)", file=sys.stderr)
+        failed = True
+    else:
+        print(f"ci.sh: syscall batching gate at {n} services: "
+              f"{base:.3f} -> {batched:.3f} syscalls/msg ({ratio:.1f}x), "
+              f"{modes['batched']['msgs_per_s']:.0f} msgs/s live")
 sys.exit(1 if failed else 0)
 PY
 else

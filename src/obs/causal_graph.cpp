@@ -17,7 +17,9 @@ std::uint64_t event_key(node_id node, std::uint64_t seq) {
 /// Kinds excluded from linkage accounting: operational bookkeeping with no
 /// causal role in a failover (mirrors sink::potent).
 bool causally_inert(event_kind kind) {
-  return kind == event_kind::retune || kind == event_kind::unknown_group_drop;
+  return kind == event_kind::retune ||
+         kind == event_kind::unknown_group_drop ||
+         kind == event_kind::unknown_peer_drop;
 }
 
 }  // namespace

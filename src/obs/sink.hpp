@@ -130,6 +130,7 @@ class sink {
     switch (kind) {
       case event_kind::retune:
       case event_kind::unknown_group_drop:
+      case event_kind::unknown_peer_drop:
         return false;
       default:
         return true;

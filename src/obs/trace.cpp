@@ -19,6 +19,7 @@ std::string_view to_string(event_kind kind) {
     case event_kind::demotion: return "demotion";
     case event_kind::retune: return "retune";
     case event_kind::unknown_group_drop: return "unknown_group_drop";
+    case event_kind::unknown_peer_drop: return "unknown_peer_drop";
   }
   return "unknown";
 }

@@ -50,6 +50,8 @@ enum class event_kind : std::uint8_t {
   retune,               // adaptive: new operating point (value = eta seconds;
                         // peer set = per-link refinement, unset = group default)
   unknown_group_drop,   // datagram for an unknown/stale group (peer = sender)
+  unknown_peer_drop,    // datagram from an address outside the roster
+                        // (transport-level; value = datagram bytes)
 };
 
 [[nodiscard]] std::string_view to_string(event_kind kind);

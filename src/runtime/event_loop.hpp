@@ -1,0 +1,210 @@
+// Shared epoll driver: one loop thread hosting many service instances.
+//
+// The original real-socket runtime paired every `udp_transport` with its own
+// blocking-recvfrom thread and every service with its own
+// `real_time_engine` loop thread — two threads per service instance, which
+// caps "hundreds of services on one box" long before the protocol does. An
+// `event_loop` collapses both onto one epoll-driven thread: it implements
+// the `clock_source`/`timer_service` pair the protocol stack is written
+// against *and* owns the UDP sockets of every `loop_udp_transport`
+// registered with it, so N services cost one thread, one epoll fd and one
+// timer wheel instead of 2N threads.
+//
+// Syscall batching (DESIGN.md §10): in batched mode (the default) outbound
+// datagrams are not written with one sendto(2) each. Every transport keeps
+// a send ring of (destination, refcounted payload) entries; the loop
+// flushes each ring once per iteration with a single sendmmsg(2), so a
+// multicast fan-out — already encoded exactly once into a pooled
+// `net::shared_payload` by the service layer — crosses the syscall boundary
+// as one encode + one syscall, zero per-destination copies. Inbound,
+// readiness is level-triggered and each ready socket is drained with
+// recvmmsg(2). Timers due within `timer_slack` of a wakeup run together,
+// which keeps the heartbeat ticks of co-scheduled services clustered and
+// their datagrams arriving in recvmmsg-sized bursts.
+//
+// Threading: everything protocol-visible (timers, receive handlers, sends,
+// the payload pool) runs on the loop thread, exactly like one
+// `real_time_engine` — services sharing a loop share its thread and are
+// never concurrent with each other. `post`/`sync` are the only
+// thread-safe entry points.
+#pragma once
+
+#include <netinet/in.h>
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "common/executor.hpp"
+#include "common/time.hpp"
+#include "net/shared_payload.hpp"
+
+namespace omega::runtime {
+
+class loop_udp_transport;
+
+/// Loop-wide I/O accounting, owned by the loop thread (read it via
+/// `stats_snapshot`). Syscall counters cover every network-related syscall
+/// the loop issues, so `syscalls() / datagrams moved` is an honest
+/// syscalls-per-datagram figure for the fig14 bench.
+struct loop_stats {
+  std::uint64_t epoll_waits = 0;
+  std::uint64_t eventfd_reads = 0;
+  std::uint64_t sendmmsg_calls = 0;
+  std::uint64_t sendto_calls = 0;
+  std::uint64_t recvmmsg_calls = 0;
+  std::uint64_t recvfrom_calls = 0;
+  std::uint64_t datagrams_sent = 0;
+  std::uint64_t datagrams_received = 0;
+  std::uint64_t bytes_sent = 0;
+  std::uint64_t bytes_received = 0;
+  std::uint64_t timers_fired = 0;
+  std::uint64_t tasks_run = 0;
+  std::uint64_t iterations = 0;
+
+  [[nodiscard]] std::uint64_t syscalls() const {
+    return epoll_waits + eventfd_reads + sendmmsg_calls + sendto_calls +
+           recvmmsg_calls + recvfrom_calls;
+  }
+
+  loop_stats& operator+=(const loop_stats& o);
+};
+
+class event_loop final : public clock_source, public timer_service {
+ public:
+  struct options {
+    /// Batched syscalls (sendmmsg/recvmmsg + per-tick send rings). Off =
+    /// the per-datagram baseline: every send is an immediate sendto(2),
+    /// every receive a single recvfrom(2) — today's one-syscall-per-
+    /// datagram model, kept as the measurable control in fig14_live.
+    bool batching = true;
+    /// Max datagrams per sendmmsg/recvmmsg call (and per rx buffer array).
+    std::size_t batch = 64;
+    /// Timers due within this much of a wakeup fire on it. Clusters the
+    /// heartbeat ticks of services sharing the loop so their fan-outs
+    /// coalesce; sub-millisecond, far inside any FD safety margin.
+    duration timer_slack = usec(500);
+  };
+
+  explicit event_loop(options opts);
+  event_loop() : event_loop(options{}) {}
+  ~event_loop() override;
+
+  event_loop(const event_loop&) = delete;
+  event_loop& operator=(const event_loop&) = delete;
+
+  /// Monotonic time since loop start (every service on the loop shares
+  /// this timeline, like siblings on one `real_time_engine`).
+  [[nodiscard]] time_point now() const override;
+
+  timer_id schedule_at(time_point when, unique_task fn) override;
+  timer_id schedule_after(duration after, unique_task fn) override;
+  void cancel(timer_id id) override;
+
+  /// Runs `fn` on the loop thread as soon as possible. Thread-safe.
+  void post(std::function<void()> fn);
+
+  /// Runs `fn` on the loop thread and blocks until it returned. Runs
+  /// inline when already on the loop thread (or after `stop`), so it is
+  /// safe from receive handlers and timers.
+  void sync(const std::function<void()>& fn);
+
+  /// Stops and joins the loop thread; pending timers/tasks are dropped.
+  /// Registered transports stay usable for teardown (their destructors
+  /// then mutate loop state directly, single-threaded).
+  void stop();
+
+  [[nodiscard]] bool running() const;
+  [[nodiscard]] bool on_loop_thread() const {
+    return std::this_thread::get_id() == thread_.get_id();
+  }
+
+  [[nodiscard]] const options& opts() const { return opts_; }
+
+  /// Shared payload pool of every transport on this loop (loop thread
+  /// only, like the encode paths that feed it).
+  [[nodiscard]] net::payload_pool& pool() { return pool_; }
+
+  /// Coherent copy of the I/O counters (syncs onto the loop thread while
+  /// it runs).
+  [[nodiscard]] loop_stats stats_snapshot();
+
+  /// Transports currently registered (diagnostics).
+  [[nodiscard]] std::size_t socket_count();
+
+ private:
+  friend class loop_udp_transport;
+
+  /// Socket registration, called by loop_udp_transport construction /
+  /// destruction (syncs onto the loop thread while the loop runs).
+  void add_socket(int fd, loop_udp_transport* t);
+  void remove_socket(int fd);
+
+  void loop();
+  void run_posted();
+  void run_due_timers();
+  void wake();
+
+  struct timer_entry {
+    timer_id id;
+    unique_task fn;
+  };
+
+  options opts_;
+  std::chrono::steady_clock::time_point epoch_;
+
+  int epoll_fd_ = -1;
+  int wake_fd_ = -1;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::multimap<time_point, timer_entry> timers_;
+  std::deque<std::function<void()>> posted_;
+  timer_id next_id_ = 1;
+  bool stopping_ = false;
+
+  // Loop-thread state (no locking): registered sockets, shared pool, and
+  // the recvmmsg scratch shared by every transport on the loop (drains are
+  // serial, so one batch x slot buffer array serves all sockets).
+  static constexpr std::size_t rx_slot_bytes = 16384;
+  std::unordered_map<int, loop_udp_transport*> sockets_;
+  net::payload_pool pool_{1024};
+  loop_stats stats_;
+  std::vector<std::byte> rx_buf_;
+  std::vector<sockaddr_in> rx_addrs_;
+
+  std::thread thread_;
+};
+
+/// A small shard of event loops: services are assigned round-robin, which
+/// is how the fig14 bench (and any deployment hosting hundreds of
+/// instances) spreads protocol work over a few cores without giving every
+/// service its own thread.
+class loop_pool {
+ public:
+  explicit loop_pool(std::size_t loops,
+                     event_loop::options opts = event_loop::options{});
+
+  [[nodiscard]] std::size_t size() const { return loops_.size(); }
+  /// Loop for shard `i` (round-robin: `i % size()`).
+  [[nodiscard]] event_loop& at(std::size_t i) {
+    return *loops_[i % loops_.size()];
+  }
+
+  /// Sum of every loop's counters.
+  [[nodiscard]] loop_stats total_stats();
+
+  void stop_all();
+
+ private:
+  std::vector<std::unique_ptr<event_loop>> loops_;
+};
+
+}  // namespace omega::runtime

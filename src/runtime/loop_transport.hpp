@@ -1,0 +1,135 @@
+// Batched UDP transport for services hosted on a shared `event_loop`.
+//
+// One non-blocking socket per service instance, registered with the loop's
+// epoll set — no receive thread, no per-send syscall. The transport is the
+// socket half of the scale-out runtime (DESIGN.md §10):
+//
+//   * Encode-once all the way down: the `shared_payload` overrides of
+//     `net::transport` are implemented natively instead of decaying to the
+//     span path. A multicast enqueues one (destination, payload-reference)
+//     entry per target on the send ring — the bytes the service encoded
+//     once into the loop's pool are never copied again, and the flush
+//     writes the whole fan-out with a single sendmmsg(2).
+//   * Batched receive: the loop drains readiness with recvmmsg(2) into a
+//     reusable buffer array and upcalls the handler per datagram, on the
+//     loop thread (which is the service's protocol thread — no cross-
+//     thread post, no per-datagram copy).
+//   * Honest failure accounting: send errors are classified per errno
+//     class, ring overflow under backpressure is counted and the ring
+//     depth high watermark kept, and datagrams from senders outside the
+//     roster are counted (and traced through an optional obs::sink)
+//     instead of vanishing.
+//
+// In per-datagram mode (`event_loop::options::batching == false`) the same
+// transport degrades to an immediate sendto(2) per datagram and single
+// recvfrom(2) reads — the measured baseline of bench/fig14_live.
+//
+// Threading: every method except the constructor/destructor must run on
+// the loop thread (services live there already). Construction/destruction
+// may happen on any thread; they synchronize with the loop internally.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/ids.hpp"
+#include "net/transport.hpp"
+#include "obs/sink.hpp"
+#include "runtime/endpoint.hpp"
+#include "runtime/event_loop.hpp"
+
+namespace omega::runtime {
+
+class loop_udp_transport final : public net::transport {
+ public:
+  /// Binds the socket at `roster.at(self)` (port 0 = ephemeral; read the
+  /// result back with `bound_port`). Throws std::system_error on
+  /// socket/bind failure.
+  loop_udp_transport(event_loop& loop, node_id self, udp_roster roster);
+  ~loop_udp_transport() override;
+
+  loop_udp_transport(const loop_udp_transport&) = delete;
+  loop_udp_transport& operator=(const loop_udp_transport&) = delete;
+
+  // ---- net::transport ------------------------------------------------------
+
+  void send(node_id dst, std::span<const std::byte> payload) override;
+  /// Zero-copy sends: the payload reference rides the send ring until the
+  /// flush syscall; fan-out shares one buffer across every destination.
+  void send(node_id dst, net::shared_payload payload) override;
+  void multicast(std::span<const node_id> dsts,
+                 net::shared_payload payload) override;
+  /// Raw-span multicast still copies only once (into a pooled payload),
+  /// then fans out by reference.
+  void multicast(std::span<const node_id> dsts,
+                 std::span<const std::byte> payload) override;
+
+  [[nodiscard]] net::payload_pool& pool() override { return loop_.pool(); }
+  [[nodiscard]] node_id local_node() const override { return self_; }
+  void set_receive_handler(net::receive_handler handler) override;
+
+  // ---- runtime surface -----------------------------------------------------
+
+  /// Local port actually bound (useful when the roster used port 0).
+  [[nodiscard]] std::uint16_t bound_port() const { return bound_port_; }
+
+  /// Replaces the peer address book (loop thread, or before any traffic).
+  /// Lets a deployment bind every instance on port 0 first and distribute
+  /// the bound ports afterwards.
+  void set_roster(udp_roster roster);
+
+  /// Optional trace sink for drop events (rx from unknown peers); must
+  /// outlive the transport. Loop thread only.
+  void set_sink(obs::sink* sink) { sink_ = sink; }
+
+  /// I/O counters (loop thread; a stopped loop may read directly).
+  [[nodiscard]] const transport_net_stats& stats() const { return stats_; }
+
+  /// Entries currently waiting on the send ring.
+  [[nodiscard]] std::size_t queue_depth() const { return queue_.size(); }
+
+  /// The loop this socket lives on.
+  [[nodiscard]] event_loop& loop() { return loop_; }
+
+ private:
+  friend class event_loop;
+
+  struct pending {
+    sockaddr_in to;
+    net::shared_payload payload;
+  };
+
+  /// Max entries the send ring holds before an inline flush; if the socket
+  /// is backpressured beyond it, further datagrams drop (UDP semantics,
+  /// but counted).
+  static constexpr std::size_t max_queue = 4096;
+
+  void enqueue(const sockaddr_in& to, net::shared_payload payload);
+  void send_now(const sockaddr_in& to, std::span<const std::byte> bytes);
+  /// Flushes the send ring with sendmmsg batches; called by the loop at
+  /// the end of every iteration (and inline when the ring fills).
+  void flush();
+  /// Drains the readable socket; called by the loop on EPOLLIN.
+  void drain_rx();
+  void deliver(const sockaddr_in& from, std::span<const std::byte> bytes,
+               bool truncated);
+  [[nodiscard]] node_id classify_sender(std::uint32_t addr,
+                                        std::uint16_t port) const;
+
+  event_loop& loop_;
+  node_id self_;
+  udp_roster roster_;
+  std::unordered_map<std::uint64_t, node_id> peers_;
+  std::unordered_map<node_id, sockaddr_in> peer_addrs_;
+  int fd_ = -1;
+  std::uint16_t bound_port_ = 0;
+
+  net::receive_handler handler_;
+  obs::sink* sink_ = nullptr;
+  transport_net_stats stats_;
+
+  std::vector<pending> queue_;
+};
+
+}  // namespace omega::runtime

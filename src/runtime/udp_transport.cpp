@@ -14,10 +14,6 @@ namespace omega::runtime {
 
 namespace {
 
-std::uint64_t peer_key(std::uint32_t addr, std::uint16_t port) {
-  return (static_cast<std::uint64_t>(addr) << 16) | port;
-}
-
 sockaddr_in to_sockaddr(const udp_endpoint& ep) {
   sockaddr_in sa{};
   sa.sin_family = AF_INET;
@@ -72,14 +68,41 @@ void udp_transport::send(node_id dst, std::span<const std::byte> payload) {
   auto it = roster_.find(dst);
   if (it == roster_.end()) return;  // unknown destination: drop (UDP-like)
   const sockaddr_in sa = to_sockaddr(it->second);
-  // Fire-and-forget; failures (e.g. ENETUNREACH) are indistinguishable from
-  // loss to the protocol and are deliberately ignored.
-  (void)::sendto(fd_, payload.data(), payload.size(), 0,
-                 reinterpret_cast<const sockaddr*>(&sa), sizeof(sa));
+  // Fire-and-forget: a failure is loss to the protocol either way, but it
+  // is *counted* — a saturated host (EAGAIN/ENOBUFS) must be tellable
+  // apart from a lossy network when reading the metrics.
+  const ssize_t n = ::sendto(fd_, payload.data(), payload.size(), 0,
+                             reinterpret_cast<const sockaddr*>(&sa), sizeof(sa));
+  if (n < 0) {
+    const int err = errno;
+    if (err == EAGAIN || err == EWOULDBLOCK) {
+      send_err_eagain_.fetch_add(1, std::memory_order_relaxed);
+    } else if (err == ENOBUFS) {
+      send_err_enobufs_.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      send_err_other_.fetch_add(1, std::memory_order_relaxed);
+    }
+    return;
+  }
+  datagrams_sent_.fetch_add(1, std::memory_order_relaxed);
+  bytes_sent_.fetch_add(payload.size(), std::memory_order_relaxed);
 }
 
 void udp_transport::set_receive_handler(net::receive_handler handler) {
   handler_ = std::move(handler);
+}
+
+transport_net_stats udp_transport::stats() const {
+  transport_net_stats s;
+  s.datagrams_sent = datagrams_sent_.load(std::memory_order_relaxed);
+  s.bytes_sent = bytes_sent_.load(std::memory_order_relaxed);
+  s.datagrams_received = datagrams_received_.load(std::memory_order_relaxed);
+  s.bytes_received = bytes_received_.load(std::memory_order_relaxed);
+  s.send_err_eagain = send_err_eagain_.load(std::memory_order_relaxed);
+  s.send_err_enobufs = send_err_enobufs_.load(std::memory_order_relaxed);
+  s.send_err_other = send_err_other_.load(std::memory_order_relaxed);
+  s.rx_unknown_peer = rx_unknown_peer_.load(std::memory_order_relaxed);
+  return s;
 }
 
 node_id udp_transport::classify_sender(std::uint32_t addr, std::uint16_t port) const {
@@ -99,8 +122,27 @@ void udp_transport::receive_loop() {
       if (errno == EINTR) continue;
       break;  // socket closed
     }
+    datagrams_received_.fetch_add(1, std::memory_order_relaxed);
+    bytes_received_.fetch_add(static_cast<std::uint64_t>(n),
+                              std::memory_order_relaxed);
     const node_id sender = classify_sender(from.sin_addr.s_addr, ntohs(from.sin_port));
-    if (!sender.valid()) continue;  // not a roster peer: drop
+    if (!sender.valid()) {
+      // Not a roster peer: drop, counted and (when a sink is attached)
+      // traced on the loop thread the sink lives on.
+      rx_unknown_peer_.fetch_add(1, std::memory_order_relaxed);
+      if (sink_ != nullptr) {
+        const double bytes = static_cast<double>(n);
+        engine_.post([this, bytes] {
+          obs::trace_event ev;
+          ev.kind = obs::event_kind::unknown_peer_drop;
+          ev.at = engine_.now();
+          ev.node = self_;
+          ev.value = bytes;
+          sink_->record(ev);
+        });
+      }
+      continue;
+    }
     std::vector<std::byte> payload(buf.begin(), buf.begin() + n);
     engine_.post([this, sender, data = std::move(payload)] {
       if (handler_) handler_(net::datagram{sender, data});

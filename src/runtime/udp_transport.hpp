@@ -1,4 +1,5 @@
-// UDP transport: the deployment-side implementation of `net::transport`.
+// UDP transport: the original one-thread-per-socket implementation of
+// `net::transport` over real sockets.
 //
 // Mirrors the paper's service, which ran over UDP on a LAN. Each node binds
 // one UDP socket; the cluster roster maps node ids to (host, port)
@@ -6,6 +7,12 @@
 // real-time engine's loop thread, so all protocol code stays
 // single-threaded. Sends go straight out with sendto(2) — fire-and-forget,
 // exactly the semantics the protocol expects.
+//
+// This is the per-datagram model: one rx thread and one syscall per
+// datagram per direction. It remains the right tool for a handful of
+// instances (and is the measured baseline the batched runtime is compared
+// against); deployments hosting many services per box use the shared
+// `event_loop` + `loop_udp_transport` driver instead (DESIGN.md §10).
 #pragma once
 
 #include <atomic>
@@ -17,16 +24,11 @@
 
 #include "common/ids.hpp"
 #include "net/transport.hpp"
+#include "obs/sink.hpp"
+#include "runtime/endpoint.hpp"
 #include "runtime/real_time.hpp"
 
 namespace omega::runtime {
-
-struct udp_endpoint {
-  std::string host = "127.0.0.1";
-  std::uint16_t port = 0;
-};
-
-using udp_roster = std::unordered_map<node_id, udp_endpoint>;
 
 class udp_transport final : public net::transport {
  public:
@@ -50,6 +52,14 @@ class udp_transport final : public net::transport {
   /// Local port actually bound (useful when the roster used port 0).
   [[nodiscard]] std::uint16_t bound_port() const { return bound_port_; }
 
+  /// Optional trace sink for drop events; recorded on the engine's loop
+  /// thread. Must outlive the transport. Set before traffic flows.
+  void set_sink(obs::sink* sink) { sink_ = sink; }
+
+  /// Coherent snapshot of the I/O and error counters (thread-safe; sends
+  /// and receives race the reader by design).
+  [[nodiscard]] transport_net_stats stats() const;
+
  private:
   void receive_loop();
   [[nodiscard]] node_id classify_sender(std::uint32_t addr, std::uint16_t port) const;
@@ -62,8 +72,20 @@ class udp_transport final : public net::transport {
   // (ipv4 addr, port) -> node, for classifying inbound datagrams.
   std::unordered_map<std::uint64_t, node_id> peers_;
   net::receive_handler handler_;  // touched only on the engine loop thread
+  obs::sink* sink_ = nullptr;     // ditto
   std::atomic<bool> stopping_{false};
   std::thread rx_thread_;
+
+  // Sends run on caller threads, receives on the rx thread: counters are
+  // atomics, snapshotted into a plain transport_net_stats by `stats()`.
+  std::atomic<std::uint64_t> datagrams_sent_{0};
+  std::atomic<std::uint64_t> bytes_sent_{0};
+  std::atomic<std::uint64_t> datagrams_received_{0};
+  std::atomic<std::uint64_t> bytes_received_{0};
+  std::atomic<std::uint64_t> send_err_eagain_{0};
+  std::atomic<std::uint64_t> send_err_enobufs_{0};
+  std::atomic<std::uint64_t> send_err_other_{0};
+  std::atomic<std::uint64_t> rx_unknown_peer_{0};
 };
 
 }  // namespace omega::runtime

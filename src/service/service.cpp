@@ -587,6 +587,13 @@ void leader_election_service::broadcast(const proto::wire_message& msg) {
   }
   count_hello_destinations(msg, dst_scratch_.size());
   if (dst_scratch_.empty()) return;
+  if (std::holds_alternative<proto::hello_msg>(msg)) {
+    // Steady-state anti-entropy: the same HELLO goes out every period until
+    // membership changes, so reuse the sealed bytes instead of re-encoding.
+    transport_.multicast(dst_scratch_, hello_cache_.get(msg, transport_.pool(),
+                                                        outbound_cause(msg)));
+    return;
+  }
   transport_.multicast(dst_scratch_,
                        proto::encode_shared(msg, transport_.pool(),
                                             outbound_cause(msg)));

@@ -187,6 +187,12 @@ class leader_election_service {
   /// Reused destination buffer for the fan-out paths (no per-send vector).
   std::vector<node_id> dst_scratch_;
 
+  /// Serialized-bytes cache for the periodic HELLO anti-entropy broadcast:
+  /// between membership changes the message is byte-identical, so the
+  /// re-broadcast reuses one sealed payload instead of re-encoding
+  /// (encode_cache re-encodes automatically on change or cause stamp).
+  proto::encode_cache hello_cache_;
+
   /// Receive scratch for on_datagram: decode_into reuses its vectors, so a
   /// steady stream of ALIVEs parses without allocating. Handlers only see
   /// it as a const reference and must copy anything they keep.

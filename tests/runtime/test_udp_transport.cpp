@@ -103,6 +103,25 @@ TEST(UdpTransport, SendToUnknownNodeIsNoop) {
   t.send(node_id{42}, payload);  // not in roster: silently dropped
 }
 
+TEST(UdpTransport, SendErrorsAreCounted) {
+  // A >64KB datagram fails at the socket (EMSGSIZE). The old transport
+  // void-cast the failure away; now it must land in the error counters.
+  const auto roster = make_roster(41250, 2);
+  real_time_engine eng;
+  udp_transport t(eng, node_id{0}, roster);
+  const std::vector<std::byte> oversized(70 * 1024, std::byte{1});
+  t.send(node_id{1}, oversized);
+  const auto stats = t.stats();
+  EXPECT_EQ(stats.send_err_other, 1u);
+  EXPECT_EQ(stats.datagrams_sent, 0u);
+  EXPECT_EQ(stats.send_errors(), 1u);
+
+  const std::vector<std::byte> small(8, std::byte{2});
+  t.send(node_id{1}, small);
+  EXPECT_EQ(t.stats().datagrams_sent, 1u);
+  EXPECT_EQ(t.stats().bytes_sent, 8u);
+}
+
 TEST(UdpTransport, BindConflictThrows) {
   const auto roster = make_roster(41300, 1);
   real_time_engine e1, e2;
