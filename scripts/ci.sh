@@ -27,6 +27,15 @@ OMEGA_BENCH_HOURS="${OMEGA_BENCH_HOURS:-0.2}" ./build/fig10_perlink
 OMEGA_BENCH_HOURS="${OMEGA_BENCH_HOURS:-0.2}" ./build/fig11_hierarchy
 OMEGA_BENCH_HOURS="${OMEGA_BENCH_HOURS:-0.2}" ./build/fig12_roster_scope
 
+# Adversarial network plane (DESIGN.md §11): price each fault class on the
+# 120-node three-tier roster (BENCH_adversary.json, gated below), and pin
+# the no-adversary golden fingerprints explicitly — an empty fault_script
+# must leave the simulated wire byte-identical. The adversary invariant
+# battery itself (tests/adversary/) runs 3 seeds in-process per test and is
+# part of both ctest passes above, including the ASan+UBSan one.
+OMEGA_BENCH_HOURS="${OMEGA_BENCH_HOURS:-0.2}" ./build/fig15_adversary
+(cd build && ctest -R harness_test_golden_trace --output-on-failure)
+
 # Hot-path microbench: pure datagram churn through the zero-copy simulated
 # network (DESIGN.md §9). Writes BENCH_sim_hotpath.json; the allocation gate
 # below fails CI the moment a steady-state allocation sneaks back into the
@@ -207,6 +216,60 @@ for row in data["rosters"]:
             print(f"ci.sh: forensics attributed only {frac * 100:.1f}% of "
                   f"the outage at {row['nodes']}/{cell}", file=sys.stderr)
             failed = True
+
+# Adversary-plane gates (BENCH_adversary.json, DESIGN.md §11). Schema
+# first: one cell per fault class with the full counter set. Then the
+# forensics gate the ISSUE pins: under EVERY fault class at least 95% of
+# global-leader outages must be attributed — to a tier failover or to the
+# injected fault via the harness's fault oracle. Each cell induces leader
+# crashes, so outages_total must be > 0 for the fraction to mean anything.
+with open("BENCH_adversary.json") as fh:
+    adv = json.load(fh)
+ADV_CLASSES = {"none", "cut", "partition", "flap", "dup_reorder", "skew"}
+ADV_KEYS = {"fault", "messages_per_s", "bytes_per_s", "reelection_mean_s",
+            "reelection_samples", "dropped_cut", "dropped_partition",
+            "dropped_flap", "duplicated", "reorder_delayed", "outages_total",
+            "outages_blamed_regional", "outages_blamed_global",
+            "outages_blamed_fault", "outages_unattributed",
+            "attribution_fraction", "wall_clock_s", "events_executed"}
+adv_cells = {c.get("fault"): c for c in adv.get("cells", [])}
+missing_classes = ADV_CLASSES - adv_cells.keys()
+if missing_classes:
+    print(f"ci.sh: BENCH_adversary.json lacks fault classes "
+          f"{sorted(missing_classes)}", file=sys.stderr)
+    failed = True
+for fault, c in sorted(adv_cells.items()):
+    missing = ADV_KEYS - c.keys()
+    if missing:
+        print(f"ci.sh: BENCH_adversary.json cell '{fault}' missing "
+              f"{sorted(missing)}", file=sys.stderr)
+        failed = True
+        continue
+    if c["outages_total"] == 0:
+        print(f"ci.sh: adversary cell '{fault}' measured no global-leader "
+              f"outage — the attribution gate would be vacuous",
+              file=sys.stderr)
+        failed = True
+    elif c["attribution_fraction"] < 0.95:
+        print(f"ci.sh: adversary forensics attributed only "
+              f"{c['attribution_fraction'] * 100:.1f}% of outages under "
+              f"'{fault}' (need >= 95%)", file=sys.stderr)
+        failed = True
+    else:
+        print(f"ci.sh: adversary gate '{fault}': "
+              f"{c['outages_total']} outages, "
+              f"{c['attribution_fraction'] * 100:.0f}% attributed, "
+              f"re-election {c['reelection_mean_s']:.2f}s, "
+              f"{c['messages_per_s']:.0f} msgs/s")
+none_cell = adv_cells.get("none")
+if none_cell is not None:
+    injected = sum(none_cell[k] for k in ("dropped_cut", "dropped_partition",
+                                          "dropped_flap", "duplicated",
+                                          "reorder_delayed"))
+    if injected != 0:
+        print(f"ci.sh: baseline adversary cell reports {injected} injected "
+              f"faults — no adversary should be installed", file=sys.stderr)
+        failed = True
 
 # Live-runtime gates (BENCH_live.json, DESIGN.md §10). Schema first: the
 # artifact is consumed by tooling, so every cell must carry the full set of

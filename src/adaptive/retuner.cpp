@@ -9,11 +9,14 @@ namespace omega::adaptive {
 namespace {
 
 /// The shared QoS-constraint predicate, with this solver's option plumbing.
+/// `effective_tail` honours `auto_tail`: with it on, the estimator's
+/// per-link tail verdict replaces the static model here too, so the
+/// adaptive engine's operating points stop mis-modeling heavy tails.
 bool feasible_point(const fd::qos_spec& qos, const fd::link_estimate& link,
                     const fd::configurator_options& copts, double eta_s,
                     double delta_s, double margin) {
-  return fd::qos_constraints_hold(qos, link, copts.tail, eta_s, delta_s,
-                                  margin);
+  return fd::qos_constraints_hold(qos, link, fd::effective_tail(link, copts),
+                                  eta_s, delta_s, margin);
 }
 
 fd::fd_params solve_min_detection(const fd::qos_spec& qos,

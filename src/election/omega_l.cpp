@@ -81,6 +81,14 @@ void omega_l::on_accuse(const proto::accuse_msg& msg) {
   // older phase and are ignored. (The ablation variant counts everything,
   // which punishes voluntary withdrawal — see options::phase_guard.)
   if (opts_.phase_guard && (!competing_ || msg.phase != phase_)) return;
+  // Idempotency under at-least-once delivery: a suspicion is identified by
+  // (accuser, accuser's suspicion time); replays and reordered older
+  // suspicions from the same accuser must not demote us a second time.
+  auto [it, first] = accuse_processed_.try_emplace(msg.from, msg.when);
+  if (!first) {
+    if (msg.when <= it->second) return;
+    it->second = msg.when;
+  }
   const time_point now = ctx_.clock ? ctx_.clock->now() : time_point{};
   if (now > self_acc_) {
     self_acc_ = now;

@@ -89,6 +89,9 @@ class omega_l final : public elector {
   std::uint32_t phase_ = 0;
   bool competing_ = false;
   std::unordered_map<process_id, contender_state> contenders_;
+  /// Newest suspicion timestamp processed per accuser — the dedup that
+  /// makes on_accuse idempotent under message duplication (ISSUE 10).
+  std::unordered_map<node_id, time_point> accuse_processed_;
 
   /// Candidate members by pid (value = incarnation), so the per-contender
   /// eligibility check is a hash probe instead of a roster scan. Keyed by

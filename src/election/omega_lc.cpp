@@ -110,6 +110,16 @@ void omega_lc::recheck_pending_accusations() {
 
 void omega_lc::on_accuse(const proto::accuse_msg& msg) {
   if (msg.target != ctx_.self_pid || msg.target_inc != ctx_.self_inc) return;
+  // Idempotency under at-least-once delivery: a suspicion is identified by
+  // (accuser, accuser's suspicion time). Replays carry the same `when`, and
+  // a reordered older suspicion from the same accuser is subsumed by the
+  // newer one already processed — neither may demote us again, or a
+  // duplicating network would keep a healthy leader demoted forever.
+  auto [it, first] = accuse_processed_.try_emplace(msg.from, msg.when);
+  if (!first) {
+    if (msg.when <= it->second) return;
+    it->second = msg.when;
+  }
   const time_point now = ctx_.clock ? ctx_.clock->now() : time_point{};
   if (now > self_acc_) {
     self_acc_ = now;

@@ -126,6 +126,9 @@ class omega_lc final : public elector {
   /// Directly-suspected candidates whose accusation is suppressed by
   /// forwarding evidence.
   std::unordered_set<process_id> pending_accuse_;
+  /// Newest suspicion timestamp processed per accuser — the dedup that
+  /// makes on_accuse idempotent under message duplication (ISSUE 10).
+  std::unordered_map<node_id, time_point> accuse_processed_;
 
   /// Candidate members by pid, keyed by roster version (same contract as
   /// omega_l's index): candidate-flag changes bump the version, timestamp

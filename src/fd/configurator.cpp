@@ -83,6 +83,7 @@ fd_params configure(const qos_spec& qos, const link_estimate& link,
                     const configurator_options& opts) {
   if (link.samples < opts.min_samples) return cold_start_params(qos);
 
+  const delay_tail_model tail = effective_tail(link, opts);
   const double total = to_seconds(qos.detection_time);
   const int steps = std::max(opts.grid_steps, 4);
 
@@ -95,7 +96,7 @@ fd_params configure(const qos_spec& qos, const link_estimate& link,
   for (int i = steps - 1; i >= 1; --i) {
     const double eta = total * static_cast<double>(i) / static_cast<double>(steps);
     const double delta = total - eta;
-    const double q0 = mistake_probability(link, opts.tail, eta, delta);
+    const double q0 = mistake_probability(link, tail, eta, delta);
     const double recurrence = q0 > 0.0 ? eta / q0 : std::numeric_limits<double>::infinity();
 
     if (qos_constraints_hold_q0(qos, link.loss_probability, eta, q0)) {

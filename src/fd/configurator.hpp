@@ -35,10 +35,23 @@ struct configurator_options {
   int grid_steps = 100;
   /// Tail bound used for Pr(D > x).
   delay_tail_model tail = delay_tail_model::exponential;
+  /// Per-link tail selection: use the estimator's online tail-shape
+  /// verdict (`link_estimate::tail`) instead of the static `tail` above.
+  /// This is how the adaptive engine stops mis-modeling Pareto WAN links
+  /// with an exponential tail (and vice versa): the retuner's
+  /// `configurator_options` flows through here, so flipping this flag in
+  /// `retuner_options::configurator` makes every link self-select.
+  bool auto_tail = false;
   /// Below this many link samples the estimator output is not trusted and
   /// a conservative default operating point is returned instead.
   std::size_t min_samples = 16;
 };
+
+/// The tail model `configure` will actually use for `link` under `opts`.
+[[nodiscard]] inline delay_tail_model effective_tail(
+    const link_estimate& link, const configurator_options& opts) {
+  return opts.auto_tail ? link.tail : opts.tail;
+}
 
 /// Pr(D > x) under the given tail model and link estimate.
 [[nodiscard]] double delay_tail(const link_estimate& link, delay_tail_model tail,

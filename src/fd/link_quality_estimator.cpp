@@ -73,6 +73,17 @@ link_estimate link_quality_estimator::estimate() const {
     return est;
   }
 
+  // Tail-shape verdict from the active window's excess kurtosis; kurtosis
+  // is shift-invariant, so the skew-polluted raw differences classify the
+  // tail exactly as well as absolute delays do.
+  if (opts_.estimate_tail && est.samples >= opts_.tail_min_samples) {
+    const windowed_stats& window =
+        opts_.synchronized_clocks ? delay_seconds_ : raw_diff_seconds_;
+    if (window.excess_kurtosis() > opts_.pareto_kurtosis_threshold) {
+      est.tail = delay_tail_model::pareto;
+    }
+  }
+
   if (opts_.synchronized_clocks) {
     est.delay_mean = from_seconds(delay_seconds_.mean());
     est.delay_stddev = from_seconds(delay_seconds_.stddev());

@@ -44,6 +44,19 @@ class link_quality_estimator {
     /// are measured absolutely. False: skew-tolerant mode — delays are
     /// measured relative to the window's minimum difference (see header).
     bool synchronized_clocks = true;
+    /// Online tail-shape estimation (ISSUE 10 satellite): classify the
+    /// delay tail from the window's excess kurtosis instead of hardwiring
+    /// the exponential assumption. An exponential's excess kurtosis is 6;
+    /// windows decisively above `pareto_kurtosis_threshold` are flagged
+    /// `delay_tail_model::pareto` in the estimate (a Pareto tail with
+    /// alpha <= 4 has a divergent fourth moment, so its empirical kurtosis
+    /// runs away as the window fills). The verdict is a *hint*: it only
+    /// changes FD behaviour when `configurator_options::auto_tail` is on.
+    bool estimate_tail = true;
+    double pareto_kurtosis_threshold = 12.0;
+    /// Below this many delay samples the kurtosis is too noisy to call
+    /// anything non-exponential.
+    std::size_t tail_min_samples = 64;
   };
 
   link_quality_estimator() : link_quality_estimator(options{}) {}

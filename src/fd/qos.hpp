@@ -46,17 +46,6 @@ struct fd_params {
   friend bool operator==(const fd_params&, const fd_params&) = default;
 };
 
-/// Current estimate of one directed link's behaviour, produced by the
-/// link-quality estimator from the received heartbeat stream.
-struct link_estimate {
-  double loss_probability = 0.01;  // p_L
-  duration delay_mean = msec(1);   // E[D]
-  duration delay_stddev = msec(1); // sqrt(V[D])
-  std::size_t samples = 0;         // heartbeats the estimate is based on
-
-  friend bool operator==(const link_estimate&, const link_estimate&) = default;
-};
-
 /// Tail model used by the configurator for Pr(D > x).
 enum class delay_tail_model {
   /// Exponential tail exp(-x / E[D]) — matches the evaluation's
@@ -71,6 +60,22 @@ enum class delay_tail_model {
   /// x > x_m. Polynomial decay: far out in the tail it is much more
   /// conservative than the exponential model.
   pareto,
+};
+
+/// Current estimate of one directed link's behaviour, produced by the
+/// link-quality estimator from the received heartbeat stream.
+struct link_estimate {
+  double loss_probability = 0.01;  // p_L
+  duration delay_mean = msec(1);   // E[D]
+  duration delay_stddev = msec(1); // sqrt(V[D])
+  std::size_t samples = 0;         // heartbeats the estimate is based on
+  /// Online tail-shape verdict of the estimator (excess kurtosis over the
+  /// delay window): exponential until the window proves a heavier tail.
+  /// Consumed only when `configurator_options::auto_tail` is on — with it
+  /// off the configurator's static `tail` choice applies, as before.
+  delay_tail_model tail = delay_tail_model::exponential;
+
+  friend bool operator==(const link_estimate&, const link_estimate&) = default;
 };
 
 }  // namespace omega::fd

@@ -5,6 +5,7 @@
 #include <stdexcept>
 #include <string>
 #include <utility>
+#include <variant>
 
 #include "obs/exposition.hpp"
 #include "obs/service_export.hpp"
@@ -115,6 +116,64 @@ experiment::experiment(scenario sc) : sc_(std::move(sc)), root_rng_(sc_.seed) {
     const time_point join_at = time_origin + stagger.exponential(msec(500));
     boot_node(ws, join_at);
   }
+
+  // Adversarial fault script (DESIGN.md §11). The adversary's stream is the
+  // *last* split off the root: base streams (network, stagger, churn) keep
+  // the exact draw sequence of a script-free run, and a run with an empty
+  // script takes no split at all — byte-identical to the pre-adversary
+  // harness, as the golden-trace guard checks.
+  if (!sc_.fault_script.empty()) {
+    for (const fault_step& step : sc_.fault_script) {
+      if (const auto* skew = std::get_if<fault_skew>(&step.action)) {
+        // Pre-create the wrapper (zero skew = pass-through) so the service
+        // can be bound to it before the fault fires; services start only
+        // once the simulator runs.
+        auto& ws = nodes_.at(skew->node.value());
+        if (!ws.clock) {
+          ws.clock = std::make_unique<skewed_clock>(sim_);
+          ws.timers = std::make_unique<skewed_timer_service>(sim_, *ws.clock);
+        }
+      }
+    }
+    adversary_ = std::make_unique<net::adversary>(root_rng_.split());
+    net_->install_adversary(adversary_.get());
+    for (const fault_step& step : sc_.fault_script) schedule_fault_step(step);
+
+    if (hier_metrics_) {
+      // Forensics oracle: the fault script is fully declarative, so every
+      // fault episode window is known up front. Each window is extended by
+      // a slack tail covering not just detection + re-election but the
+      // adaptive plane's memory: the link-quality estimators keep ~256
+      // samples per link, so an episode's loss/delay pollution mis-tunes
+      // the FD operating point for up to a couple of minutes after the
+      // revert, and the delayed mistakes it causes are still the fault's.
+      const duration slack =
+          5 * std::max(sc_.qos.detection_time,
+                       sc_.hierarchy.global_qos.detection_time) +
+          sec(120);
+      std::vector<std::pair<time_point, time_point>> windows;
+      for (const fault_step& step : sc_.fault_script) {
+        const std::size_t firings =
+            step.repeat_every > duration{0} ? step.repeat_count + 1 : 1;
+        for (std::size_t k = 0; k < firings; ++k) {
+          const time_point from =
+              time_origin + step.at +
+              step.repeat_every * static_cast<std::int64_t>(k);
+          const time_point until = step.lasts > duration{0}
+                                       ? from + step.lasts + slack
+                                       : time_point::max();
+          windows.emplace_back(from, until);
+        }
+      }
+      hier_metrics_->set_fault_oracle(
+          [windows = std::move(windows)](time_point start, time_point end) {
+            for (const auto& [from, until] : windows) {
+              if (start <= until && end >= from) return true;
+            }
+            return false;
+          });
+    }
+  }
 }
 
 experiment::~experiment() {
@@ -142,8 +201,17 @@ void experiment::start_service(workstation& ws) {
     cfg.sink = &obs_[ws.node.value()]->sink;
     cfg.causal_stamping = sc_.causal;
   }
+  // Nodes targeted by a fault_skew step read their skewed wrapper — clock
+  // AND timers, since protocol code derives absolute timer deadlines from
+  // the clock it reads (see skewed_clock.hpp). All other nodes bind the
+  // simulator directly (identical object identity to the script-free
+  // harness).
+  clock_source& clock = ws.clock ? static_cast<clock_source&>(*ws.clock)
+                                 : static_cast<clock_source&>(sim_);
+  timer_service& timers = ws.timers ? static_cast<timer_service&>(*ws.timers)
+                                    : static_cast<timer_service&>(sim_);
   ws.svc = std::make_unique<service::leader_election_service>(
-      sim_, sim_, net_->endpoint(ws.node), cfg);
+      clock, timers, net_->endpoint(ws.node), cfg);
 
   const process_id pid = ws.pid;
   ws.svc->register_process(pid);
@@ -217,6 +285,101 @@ void experiment::recover_node(node_id node) {
   start_service(ws);
 }
 
+void experiment::schedule_fault_step(const fault_step& step) {
+  const std::size_t firings =
+      step.repeat_every > duration{0} ? step.repeat_count + 1 : 1;
+  for (std::size_t k = 0; k < firings; ++k) {
+    const time_point at =
+        time_origin + step.at +
+        step.repeat_every * static_cast<std::int64_t>(k);
+    sim_.schedule_at(at, [this, action = step.action] { apply_fault(action); });
+    if (step.lasts > duration{0}) {
+      sim_.schedule_at(at + step.lasts,
+                       [this, action = step.action] { revert_fault(action); });
+    }
+  }
+}
+
+std::vector<node_id> experiment::resolve_partition_members(
+    const fault_partition& spec) const {
+  std::vector<node_id> members = spec.members;
+  if (topo_) {
+    for (const std::size_t region : spec.regions) {
+      for (std::size_t i = 0; i < sc_.nodes; ++i) {
+        const node_id n{static_cast<std::uint32_t>(i)};
+        if (topo_->region_of(n) == region) members.push_back(n);
+      }
+    }
+  }
+  return members;
+}
+
+template <typename Fn>
+void experiment::for_each_wan_link(Fn&& fn) const {
+  for (std::size_t i = 0; i < sc_.nodes; ++i) {
+    for (std::size_t j = 0; j < sc_.nodes; ++j) {
+      if (i == j) continue;
+      const node_id a{static_cast<std::uint32_t>(i)};
+      const node_id b{static_cast<std::uint32_t>(j)};
+      if (topo_ && topo_->same_region(a, b)) continue;
+      fn(a, b);
+    }
+  }
+}
+
+void experiment::apply_fault(const fault_action& action) {
+  std::visit(
+      [this](const auto& f) {
+        using T = std::decay_t<decltype(f)>;
+        if constexpr (std::is_same_v<T, fault_cut>) {
+          adversary_->cut_link(f.from, f.to);
+        } else if constexpr (std::is_same_v<T, fault_partition>) {
+          adversary_->partition(f.name, resolve_partition_members(f));
+        } else if constexpr (std::is_same_v<T, fault_flap>) {
+          adversary_->flap_link(f.from, f.to, f.spec);
+        } else if constexpr (std::is_same_v<T, fault_flap_wan>) {
+          for_each_wan_link(
+              [&](node_id a, node_id b) { adversary_->flap_link(a, b, f.spec); });
+        } else if constexpr (std::is_same_v<T, fault_duplicate>) {
+          adversary_->set_duplication(f.spec);
+        } else if constexpr (std::is_same_v<T, fault_reorder>) {
+          adversary_->set_reorder(f.spec);
+        } else if constexpr (std::is_same_v<T, fault_kind_delay>) {
+          adversary_->set_kind_delay(f.kind, f.extra);
+        } else if constexpr (std::is_same_v<T, fault_skew>) {
+          nodes_.at(f.node.value())
+              .clock->set_skew(f.offset, f.drift, sim_.now());
+        }
+      },
+      action);
+}
+
+void experiment::revert_fault(const fault_action& action) {
+  std::visit(
+      [this](const auto& f) {
+        using T = std::decay_t<decltype(f)>;
+        if constexpr (std::is_same_v<T, fault_cut>) {
+          adversary_->heal_link(f.from, f.to);
+        } else if constexpr (std::is_same_v<T, fault_partition>) {
+          adversary_->heal_partition(f.name);
+        } else if constexpr (std::is_same_v<T, fault_flap>) {
+          adversary_->stop_flap(f.from, f.to);
+        } else if constexpr (std::is_same_v<T, fault_flap_wan>) {
+          for_each_wan_link(
+              [&](node_id a, node_id b) { adversary_->stop_flap(a, b); });
+        } else if constexpr (std::is_same_v<T, fault_duplicate>) {
+          adversary_->clear_duplication();
+        } else if constexpr (std::is_same_v<T, fault_reorder>) {
+          adversary_->clear_reorder();
+        } else if constexpr (std::is_same_v<T, fault_kind_delay>) {
+          adversary_->clear_kind_delay(f.kind);
+        } else if constexpr (std::is_same_v<T, fault_skew>) {
+          nodes_.at(f.node.value()).clock->clear_skew();
+        }
+      },
+      action);
+}
+
 void experiment::schedule_crash(workstation& ws) {
   const duration wait = ws.churn_rng.exponential(ws.churn.mean_uptime);
   ws.churn_timer = sim_.schedule_after(wait, [this, &ws] {
@@ -257,6 +420,25 @@ std::vector<obs::trace_event> experiment::merged_trace() const {
 }
 
 void experiment::export_metrics() {
+  if (adversary_) {
+    // Fault-plane counters land in the run-scoped registry so forensics
+    // can correlate drops/dups with injected faults even when per-node
+    // tracing is off.
+    const net::adversary::counters& c = adversary_->totals();
+    const auto dropped = [&](const char* fault) -> obs::counter& {
+      return sim_metrics_.get_counter("omega_adversary_dropped_total",
+                                      {{"fault", fault}});
+    };
+    dropped("cut").advance_to(c.dropped_cut);
+    dropped("partition").advance_to(c.dropped_partition);
+    dropped("flap").advance_to(c.dropped_flap);
+    sim_metrics_.get_counter("omega_adversary_duplicated_total")
+        .advance_to(c.duplicated);
+    sim_metrics_.get_counter("omega_adversary_reorder_delayed_total")
+        .advance_to(c.reorder_delayed);
+    sim_metrics_.get_counter("omega_adversary_kind_delayed_total")
+        .advance_to(c.kind_delayed);
+  }
   if (obs_.empty()) return;
   for (const auto& ws : nodes_) {
     if (ws.svc) {
@@ -396,6 +578,7 @@ experiment_result experiment::run() {
     }
     res.outages_blamed_regional = hier_metrics_->outages_blamed_regional();
     res.outages_blamed_global = hier_metrics_->outages_blamed_global();
+    res.outages_blamed_fault = hier_metrics_->outages_blamed_fault();
   }
 
   double cpu = 0.0;

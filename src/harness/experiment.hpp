@@ -10,7 +10,9 @@
 
 #include "common/random.hpp"
 #include "harness/scenario.hpp"
+#include "harness/skewed_clock.hpp"
 #include "hierarchy/coordinator.hpp"
+#include "net/adversary.hpp"
 #include "metrics/cost_model.hpp"
 #include "metrics/group_metrics.hpp"
 #include "metrics/hierarchy_metrics.hpp"
@@ -62,6 +64,9 @@ struct experiment_result {
   /// candidates.
   std::uint64_t outages_blamed_regional = 0;
   std::uint64_t outages_blamed_global = 0;
+  /// Healthy-leader demotions attributed to injected network faults (only
+  /// populated when the scenario runs a fault_script — see DESIGN.md §11).
+  std::uint64_t outages_blamed_fault = 0;
 
   // Run bookkeeping.
   double simulated_hours = 0.0;
@@ -103,6 +108,14 @@ class experiment {
   /// The hierarchy shape, or nullptr for flat scenarios.
   [[nodiscard]] const hierarchy::topology* topo() const {
     return topo_ ? &*topo_ : nullptr;
+  }
+  /// The scripted fault plane, or nullptr when `scenario::fault_script` is
+  /// empty (no adversary is installed at all on such runs).
+  [[nodiscard]] net::adversary* fault_plane() { return adversary_.get(); }
+  /// The node's skewed-clock wrapper, or nullptr when no `fault_skew` step
+  /// targets it (such nodes read the simulator clock directly).
+  [[nodiscard]] skewed_clock* node_clock(node_id node) {
+    return nodes_.at(node.value()).clock.get();
   }
   /// True ground truth: is the workstation currently up?
   [[nodiscard]] bool node_up(node_id node) const;
@@ -172,6 +185,13 @@ class experiment {
     process_id pid;
     incarnation next_inc = 1;
     bool up = false;
+    /// Clock + timer wrappers for nodes targeted by a `fault_skew` step
+    /// (created at construction as zero-skew pass-throughs; null for all
+    /// other nodes, which bind the simulator directly). Declared before
+    /// `svc`, which holds references into both — the service's destructor
+    /// cancels its timers through the wrapper.
+    std::unique_ptr<skewed_clock> clock;
+    std::unique_ptr<skewed_timer_service> timers;
     std::unique_ptr<service::leader_election_service> svc;
     /// Joined after svc, destroyed before it (holds a reference into it).
     std::unique_ptr<hierarchy::hierarchy_coordinator> coord;
@@ -183,6 +203,17 @@ class experiment {
 
   void boot_node(workstation& ws, time_point join_at);
   void start_service(workstation& ws);
+  /// Translates one fault_step into simulator timers (apply + revert).
+  void schedule_fault_step(const fault_step& step);
+  void apply_fault(const fault_action& action);
+  void revert_fault(const fault_action& action);
+  /// Explicit members plus the nodes of the named tier-0 regions.
+  [[nodiscard]] std::vector<node_id> resolve_partition_members(
+      const fault_partition& spec) const;
+  /// Every directed inter-region link (hierarchy runs) or every directed
+  /// non-loopback link (flat runs).
+  template <typename Fn>
+  void for_each_wan_link(Fn&& fn) const;
   /// Self-rearming sim timer republishing the HTTP snapshots.
   void schedule_http_refresh(duration refresh);
   void schedule_crash(workstation& ws);
@@ -202,6 +233,10 @@ class experiment {
   rng root_rng_;
   sim::simulator sim_;
   std::unique_ptr<net::sim_network> net_;
+  /// Scripted fault plane (scenario::fault_script); null when the script is
+  /// empty. Destroyed after net_ would be wrong — declared after net_ so it
+  /// dies first, and net_ never touches it during destruction.
+  std::unique_ptr<net::adversary> adversary_;
   /// Run-scoped metrics + the sim profiler feeding them (scenario::profile_sim).
   obs::registry sim_metrics_;
   std::unique_ptr<obs::profiler> profiler_;

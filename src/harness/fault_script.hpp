@@ -1,0 +1,104 @@
+// Declarative fault scripting for scenarios (ISSUE 10; DESIGN.md §11).
+//
+// A `fault_script` is a list of `fault_step`s carried by `scenario`: each
+// step names one fault action, when it fires (offset from simulation
+// start), optionally how long it lasts (the experiment schedules the
+// inverse action at `at + lasts`), and an optional repeat schedule. The
+// experiment translates steps into simulator timers at construction and
+// drives the `net::adversary` installed on the simulated network — plus
+// the per-node `skewed_clock` wrappers for the clock-fault class, which
+// lives in the nodes rather than in the network.
+//
+// Determinism contract: same scenario seed + same script => same merged
+// trace, byte for byte. Every stochastic fault choice draws from the
+// adversary's private RNG stream (split from the scenario root *after* all
+// base streams), so adding a script never perturbs the base scenario's
+// draws, and an empty script is byte-identical to the pre-adversary
+// harness.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "common/ids.hpp"
+#include "common/time.hpp"
+#include "net/adversary.hpp"
+#include "proto/wire.hpp"
+
+namespace omega::harness {
+
+/// One-way cut: datagrams `from -> to` die, the reverse direction flows.
+struct fault_cut {
+  node_id from;
+  node_id to;
+};
+
+/// Named partition: the union of `members` and the nodes of the listed
+/// tier-0 `regions` (hierarchy runs; ignored in flat scenarios) is severed
+/// from the rest of the cluster in both directions. Reverted (or healed by
+/// a later step) by name.
+struct fault_partition {
+  std::string name;
+  std::vector<node_id> members;
+  std::vector<std::size_t> regions;
+};
+
+/// Flap one directed link on a duty cycle.
+struct fault_flap {
+  node_id from;
+  node_id to;
+  net::flap_spec spec;
+};
+
+/// Flap every inter-region (WAN) link on one duty cycle. In a flat
+/// scenario (no hierarchy) this flaps every non-loopback link.
+struct fault_flap_wan {
+  net::flap_spec spec;
+};
+
+/// Cluster-wide bounded duplication of admitted datagrams.
+struct fault_duplicate {
+  net::duplicate_spec spec;
+};
+
+/// Cluster-wide deterministic permutation-window reordering.
+struct fault_reorder {
+  net::reorder_spec spec;
+};
+
+/// Delay inflation for one wire message kind (proto::peek_kind).
+struct fault_kind_delay {
+  proto::msg_kind kind = proto::msg_kind::alive;
+  duration extra{};
+};
+
+/// Clock skew/drift of one node, injected through the clock_source seam:
+/// the node's service reads base + offset + drift * elapsed. Reverting
+/// restores the base clock.
+struct fault_skew {
+  node_id node;
+  duration offset{};
+  /// Dimensionless rate error (200e-6 = 200 ppm fast; negative = slow).
+  double drift = 0.0;
+};
+
+using fault_action =
+    std::variant<fault_cut, fault_partition, fault_flap, fault_flap_wan,
+                 fault_duplicate, fault_reorder, fault_kind_delay, fault_skew>;
+
+struct fault_step {
+  /// Offset from simulation start (not from the end of warm-up).
+  duration at{};
+  /// 0 = permanent (until a later step heals it); otherwise the inverse
+  /// action runs at `at + lasts`.
+  duration lasts{};
+  /// Repeat the whole step (apply + revert) every `repeat_every`; 0 = once.
+  duration repeat_every{};
+  /// Number of *extra* firings when repeating (total = repeat_count + 1).
+  std::size_t repeat_count = 0;
+  fault_action action;
+};
+
+}  // namespace omega::harness

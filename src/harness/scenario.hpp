@@ -17,6 +17,7 @@
 #include "common/time.hpp"
 #include "election/elector.hpp"
 #include "fd/qos.hpp"
+#include "harness/fault_script.hpp"
 #include "net/link_model.hpp"
 
 namespace omega::harness {
@@ -133,6 +134,13 @@ struct scenario {
 
   /// Hierarchical (two-tier) election instead of the single flat group.
   hierarchy_profile hierarchy = hierarchy_profile::none();
+
+  /// Adversarial fault script (DESIGN.md §11): declarative at-time /
+  /// for-duration / repeat steps driving the `net::adversary` fault plane
+  /// and the per-node skewed clocks. Empty (default) installs no adversary
+  /// at all — that run is byte-identical to the pre-adversary harness (the
+  /// golden-trace guard proves it).
+  std::vector<fault_step> fault_script;
 
   /// Attach a per-node observability sink (metrics registry + bounded
   /// trace ring) to every service instance. Off by default: the un-traced

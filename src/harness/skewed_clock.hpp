@@ -1,0 +1,123 @@
+// Per-node clock fault: a clock_source decorator reading
+//   now() = base + offset + drift * (base - anchor),
+// plus the matching timer_service decorator.
+//
+// The harness hands these wrappers (instead of the simulator clock/timers)
+// to the service instances of nodes targeted by a `fault_skew` step, so
+// every timestamp the node *reads* — ALIVE send times, accusation times,
+// FD freshness arithmetic, obs wall stamps — diverges from its peers
+// exactly like a bad oscillator would. The timer decorator is load-bearing,
+// not cosmetic: protocol code computes *absolute* deadlines from its local
+// clock ("fire at last_send + eta") and arms them via `schedule_at`. On a
+// real host such a deadline is interpreted against the same skewed
+// CLOCK_REALTIME that produced it; armed raw on the shared simulated
+// timeline instead, a clock-behind node's deadlines all land in the past
+// and its periodic timers degenerate into an infinite same-instant re-arm
+// loop. `skewed_timer_service` applies the inverse skew map so a deadline
+// derived from the local clock fires at the base instant where the local
+// clock actually reads that value. With zero skew installed both wrappers
+// are exact pass-throughs, so pre-creating them for a node that is skewed
+// only later does not change behaviour before the fault fires.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+
+#include "common/executor.hpp"
+#include "common/time.hpp"
+
+namespace omega::harness {
+
+class skewed_clock final : public clock_source {
+ public:
+  explicit skewed_clock(const clock_source& base) : base_(&base) {}
+
+  /// Installs a skew: constant `offset` plus `drift` (dimensionless rate
+  /// error, e.g. 500e-6 = 500 ppm fast) accumulating from `anchor`.
+  void set_skew(duration offset, double drift, time_point anchor) {
+    offset_ = offset;
+    drift_ = drift;
+    anchor_ = anchor;
+  }
+  /// Reverts to an exact pass-through. Note: like a real clock being
+  /// step-corrected, this may move the node's perceived time backwards.
+  void clear_skew() {
+    offset_ = duration{0};
+    drift_ = 0.0;
+  }
+
+  [[nodiscard]] duration offset() const { return offset_; }
+  [[nodiscard]] double drift() const { return drift_; }
+
+  [[nodiscard]] time_point now() const override { return project(base_->now()); }
+
+  /// The forward map for an arbitrary base instant (now() = project(base
+  /// now)). Exposed so the inverse can verify itself against the exact
+  /// integer arithmetic the clock performs.
+  [[nodiscard]] time_point project(time_point base) const {
+    duration skew = offset_;
+    if (drift_ != 0.0) {
+      skew += duration{static_cast<std::int64_t>(
+          drift_ * static_cast<double>((base - anchor_).count()))};
+    }
+    return base + skew;
+  }
+
+  /// Inverse map: the earliest base instant at which this clock reads at
+  /// least `local`. (local = b + offset + drift * (b - anchor)  =>
+  ///  b = anchor + (local - offset - anchor) / (1 + drift).)
+  /// The "at least" matters: a deadline mapped one microsecond early would
+  /// fire while the local clock still reads deadline-1, and deadline-
+  /// rechecking callers (the heartbeat monitor) would re-arm at the same
+  /// base instant forever. Rounding is corrected against the exact forward
+  /// map, never trusted to floating point alone.
+  [[nodiscard]] time_point to_base(time_point local) const {
+    if (drift_ == 0.0) return local - offset_;
+    const double num =
+        static_cast<double>((local - offset_ - anchor_).count());
+    time_point b =
+        anchor_ + duration{static_cast<std::int64_t>(num / (1.0 + drift_))};
+    while (project(b) < local) b += duration{1};
+    while (b > anchor_ && project(b - duration{1}) >= local) b -= duration{1};
+    return b;
+  }
+
+  /// A local-clock-relative delay expressed in base time (the constant
+  /// offset cancels in differences; only drift rescales). Rounded up so a
+  /// delay never elapses early on the local clock.
+  [[nodiscard]] duration unscale(duration local) const {
+    if (drift_ == 0.0) return local;
+    return duration{static_cast<std::int64_t>(std::ceil(
+        static_cast<double>(local.count()) / (1.0 + drift_)))};
+  }
+
+ private:
+  const clock_source* base_;
+  duration offset_{};
+  double drift_ = 0.0;
+  time_point anchor_{};
+};
+
+/// Timer decorator paired with a node's `skewed_clock`: absolute deadlines
+/// (computed by protocol code from the skewed clock) are mapped back onto
+/// the shared base timeline before arming; relative delays are de-drifted.
+/// Pass-through when no skew is installed.
+class skewed_timer_service final : public timer_service {
+ public:
+  skewed_timer_service(timer_service& base, const skewed_clock& clock)
+      : base_(&base), clock_(&clock) {}
+
+  timer_id schedule_at(time_point when, unique_task fn) override {
+    return base_->schedule_at(clock_->to_base(when), std::move(fn));
+  }
+  timer_id schedule_after(duration after, unique_task fn) override {
+    return base_->schedule_after(clock_->unscale(after), std::move(fn));
+  }
+  void cancel(timer_id id) override { base_->cancel(id); }
+
+ private:
+  timer_service* base_;
+  const skewed_clock* clock_;
+};
+
+}  // namespace omega::harness

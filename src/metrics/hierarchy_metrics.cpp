@@ -67,9 +67,14 @@ void hierarchy_metrics::classify(time_point now, process_id old_leader,
                                  process_id new_leader, duration outage) {
   if (!accounting_) return;
   if (!outage_victim_departed_ && !recently_departed(old_leader, now)) {
-    // The old leader is still healthy: an agreement blip or a voluntary
-    // demotion, not a failover either tier can be blamed for.
-    ++unattributed_;
+    // The old leader is still healthy: a failover neither tier can be
+    // blamed for. If an injected network fault overlapped the outage
+    // window, blame the fault; otherwise it is an unattributed blip.
+    if (fault_oracle_ && fault_oracle_(now - outage, now)) {
+      ++blamed_fault_;
+    } else {
+      ++unattributed_;
+    }
     return;
   }
   if (region_of_(new_leader) == region_of_(old_leader)) {

@@ -24,7 +24,10 @@
 //     spans a concurrent regional failover, the bucket is "global" if an
 //     established foreign candidate ended it first. Outages whose old
 //     leader did not crash or leave (agreement blips, voluntary demotions)
-//     land in neither bucket and are counted separately.
+//     land in neither bucket: if the owner installed a fault oracle (the
+//     harness does when a `fault_script` runs — see DESIGN.md §11) and the
+//     oracle says an injected network fault overlapped the outage window,
+//     the outage is blamed on the fault; otherwise it is unattributed.
 //
 // The tracker is deliberately topology-agnostic: the owner supplies a
 // pid -> region mapping (the harness derives it from `hierarchy::topology`)
@@ -37,6 +40,7 @@
 #include <functional>
 #include <optional>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "common/ids.hpp"
@@ -76,6 +80,17 @@ class hierarchy_metrics {
   /// `group_metrics::set_agreement_observer`).
   void on_global_agreement(time_point now, std::optional<process_id> agreed);
 
+  /// Forensics hook for injected network faults: `oracle(start, end)`
+  /// answers "was an injected fault plausibly responsible for an agreement
+  /// loss spanning [start, end]" (the harness derives it from the scenario's
+  /// fault_script episode windows plus detection slack). When installed,
+  /// demotions of a still-healthy leader inside a fault window are blamed
+  /// on the fault instead of landing in the unattributed bucket.
+  using fault_oracle_fn = std::function<bool(time_point, time_point)>;
+  void set_fault_oracle(fault_oracle_fn oracle) {
+    fault_oracle_ = std::move(oracle);
+  }
+
   // ---- results ------------------------------------------------------------
   [[nodiscard]] std::size_t regions() const { return regions_.size(); }
   [[nodiscard]] const group_metrics& region(std::size_t r) const {
@@ -92,8 +107,13 @@ class hierarchy_metrics {
   [[nodiscard]] std::uint64_t outages_blamed_global() const {
     return blamed_global_;
   }
-  /// Agreement losses whose old leader neither crashed nor left (blips,
-  /// voluntary demotions): in neither blame bucket by construction.
+  /// Global-leader outages of a still-healthy leader that the fault oracle
+  /// attributed to an injected network fault (0 without an oracle).
+  [[nodiscard]] std::uint64_t outages_blamed_fault() const {
+    return blamed_fault_;
+  }
+  /// Agreement losses whose old leader neither crashed nor left and that no
+  /// installed fault oracle claimed: in no blame bucket by construction.
   [[nodiscard]] std::uint64_t outages_unattributed() const {
     return unattributed_;
   }
@@ -127,9 +147,11 @@ class hierarchy_metrics {
 
   std::uint64_t blamed_regional_ = 0;
   std::uint64_t blamed_global_ = 0;
+  std::uint64_t blamed_fault_ = 0;
   std::uint64_t unattributed_ = 0;
   running_stats regional_durations_;
   running_stats global_durations_;
+  fault_oracle_fn fault_oracle_;
 };
 
 }  // namespace omega::metrics

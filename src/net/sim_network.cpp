@@ -4,6 +4,7 @@
 #include <stdexcept>
 #include <utility>
 
+#include "net/adversary.hpp"
 #include "proto/wire.hpp"
 
 namespace omega::net {
@@ -116,6 +117,7 @@ void sim_network::reset_traffic() {
   traffic_.assign(traffic_.size(), traffic_totals{});
   dropped_by_links_ = 0;
   dropped_dead_node_ = 0;
+  dropped_by_adversary_ = 0;
 }
 
 std::size_t sim_network::link_index(node_id from, node_id to) const {
@@ -140,6 +142,14 @@ bool sim_network::admit(node_id from, node_id to,
     delay = duration{0};
     return true;
   }
+  // Adversary verdict before the link draw: a cut/partitioned/flapped-down
+  // link behaves like a severed wire, and skipping the base link's transit
+  // draw keeps its RNG stream aligned with the fault-free schedule of the
+  // surviving traffic.
+  if (adversary_ != nullptr && adversary_->should_drop(from, to, sim_.now())) {
+    ++dropped_by_adversary_;
+    return false;
+  }
   link_model& link = links_[link_index(from, to)];
   if (crash_profile_.enabled) {
     link.advance_crashes(crash_profile_, crash_anchor_, sim_.now());
@@ -150,6 +160,7 @@ bool sim_network::admit(node_id from, node_id to,
     return false;
   }
   delay = *transit;
+  if (adversary_ != nullptr) delay += adversary_->extra_delay(from, to, payload);
   return true;
 }
 
@@ -159,12 +170,25 @@ void sim_network::on_send(node_id from, node_id to,
   if (!admit(from, to, payload, delay)) return;
   // Copying span path (raw callers): the bytes are only valid during this
   // call, so they move into a pooled buffer for the flight.
-  schedule_delivery(from, to, delay, pool_.copy(payload));
+  dispatch(from, to, delay, pool_.copy(payload));
 }
 
 void sim_network::on_send(node_id from, node_id to, shared_payload payload) {
   duration delay{};
   if (!admit(from, to, payload.bytes(), delay)) return;
+  dispatch(from, to, delay, std::move(payload));
+}
+
+void sim_network::dispatch(node_id from, node_id to, duration delay,
+                           shared_payload payload) {
+  if (adversary_ != nullptr && from != to) {
+    duration extras[adversary::max_duplicate_copies];
+    const std::size_t copies = adversary_->plan_duplicates(extras);
+    for (std::size_t i = 0; i < copies; ++i) {
+      // Each duplicate holds a reference to the same sealed buffer.
+      schedule_delivery(from, to, delay + extras[i], payload);
+    }
+  }
   schedule_delivery(from, to, delay, std::move(payload));
 }
 

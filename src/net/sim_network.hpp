@@ -32,6 +32,8 @@
 
 namespace omega::net {
 
+class adversary;
+
 class sim_network {
  public:
   /// Builds a fully connected network of `node_count` nodes where every
@@ -94,10 +96,21 @@ class sim_network {
   /// never affected either way.
   void set_profiler(obs::profiler* profiler) { profiler_ = profiler; }
 
+  /// Installs (or removes, with nullptr) the scriptable fault plane. With
+  /// no adversary installed the hot path is byte-identical to the
+  /// pre-adversary simulator — the golden-trace fingerprints guard this.
+  /// The adversary must outlive the network or be removed first.
+  void install_adversary(adversary* adv) { adversary_ = adv; }
+  [[nodiscard]] adversary* fault_plane() { return adversary_; }
+
   /// Cluster-wide totals of datagrams dropped by links (loss + crash) and
   /// dropped because the destination node was down.
   [[nodiscard]] std::uint64_t dropped_by_links() const { return dropped_by_links_; }
   [[nodiscard]] std::uint64_t dropped_dead_node() const { return dropped_dead_node_; }
+  /// Datagrams dropped by the installed adversary (all fault classes).
+  [[nodiscard]] std::uint64_t dropped_by_adversary() const {
+    return dropped_by_adversary_;
+  }
 
  private:
   class endpoint_impl;
@@ -111,6 +124,10 @@ class sim_network {
              duration& delay);
   void on_send(node_id from, node_id to, std::span<const std::byte> payload);
   void on_send(node_id from, node_id to, shared_payload payload);
+  /// Schedules one admitted datagram plus any adversary-planned duplicates
+  /// (every extra delivery shares the same refcounted buffer).
+  void dispatch(node_id from, node_id to, duration delay,
+                shared_payload payload);
   void schedule_delivery(node_id from, node_id to, duration delay,
                          shared_payload payload);
   void deliver_now(node_id from, node_id to, const shared_payload& payload);
@@ -125,8 +142,10 @@ class sim_network {
   payload_pool pool_;
   send_tap tap_;
   obs::profiler* profiler_ = nullptr;
+  adversary* adversary_ = nullptr;
   std::uint64_t dropped_by_links_ = 0;
   std::uint64_t dropped_dead_node_ = 0;
+  std::uint64_t dropped_by_adversary_ = 0;
 };
 
 }  // namespace omega::net

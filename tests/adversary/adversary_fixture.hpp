@@ -1,0 +1,92 @@
+// Shared fixture for the adversarial-network invariant battery (ISSUE 10).
+//
+// Every test in tests/adversary/ runs its body once per seed in
+// `battery_seeds` — three distinct RNG streams inside one ctest invocation,
+// the in-process flaky guard: an invariant that only holds on one lucky
+// stream fails loudly here instead of intermittently in CI.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "harness/experiment.hpp"
+
+namespace omega::harness::adversary_testing {
+
+inline constexpr std::array<std::uint64_t, 3> battery_seeds{11, 4242, 900019};
+
+/// Runs `fn(seed)` once per battery seed with a SCOPED_TRACE naming the
+/// stream, so a failure reports which seed broke the invariant.
+template <typename Fn>
+void for_each_seed(Fn&& fn) {
+  for (const std::uint64_t seed : battery_seeds) {
+    SCOPED_TRACE(::testing::Message() << "seed=" << seed);
+    fn(seed);
+  }
+}
+
+/// Advances the experiment's virtual clock to `at` past the time origin.
+inline void run_to(experiment& exp, duration at) {
+  exp.simulator().run_until(time_origin + at);
+}
+
+/// Polls the ground-truth agreement oracle until every up node reports the
+/// same leader (or the deadline passes). Returns the agreed pid, if any.
+inline std::optional<process_id> settle_leader(experiment& exp,
+                                               duration deadline) {
+  std::optional<process_id> leader = exp.group().agreed_leader();
+  while (!leader.has_value() &&
+         exp.simulator().now() < time_origin + deadline) {
+    exp.simulator().run_until(exp.simulator().now() + msec(100));
+    leader = exp.group().agreed_leader();
+  }
+  return leader;
+}
+
+/// Number of leader_change events recorded (any node) strictly after `t`
+/// for `group` — zero over a window proves no node's leader view moved,
+/// i.e. no two simultaneous leaders existed anywhere in that window.
+inline std::size_t leader_changes_after(const std::vector<obs::trace_event>& tr,
+                                        time_point t, group_id group) {
+  std::size_t n = 0;
+  for (const auto& ev : tr) {
+    if (ev.kind == obs::event_kind::leader_change && ev.group == group &&
+        ev.at > t) {
+      ++n;
+    }
+  }
+  return n;
+}
+
+/// True when some node adopted `pid` as its leader strictly after `t`
+/// (any group) — the resurrection probe for stale-incarnation checks.
+inline bool adopted_after(const std::vector<obs::trace_event>& tr,
+                          process_id pid, time_point t) {
+  for (const auto& ev : tr) {
+    if (ev.kind == obs::event_kind::leader_change && ev.at > t &&
+        ev.subject == pid) {
+      return true;
+    }
+  }
+  return false;
+}
+
+/// Each node's final leader view for `group` from the merged trace
+/// (index = node id; invalid process_id when the node never recorded one).
+inline std::vector<process_id> final_views(const std::vector<obs::trace_event>& tr,
+                                           std::size_t nodes, group_id group) {
+  std::vector<process_id> views(nodes, process_id::invalid());
+  for (const auto& ev : tr) {  // merged trace is time-ordered
+    if (ev.kind == obs::event_kind::leader_change && ev.group == group) {
+      const std::size_t n = ev.node.value();
+      if (n < nodes) views[n] = ev.subject;
+    }
+  }
+  return views;
+}
+
+}  // namespace omega::harness::adversary_testing

@@ -1,0 +1,274 @@
+// Unit mechanics of the net::adversary fault plane (ISSUE 10 tentpole):
+// each fault class exercised directly against a raw sim_network, with the
+// per-class counters checked against observed deliveries.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstddef>
+#include <vector>
+
+#include "adversary/adversary_fixture.hpp"
+#include "net/adversary.hpp"
+#include "net/sim_network.hpp"
+#include "proto/wire.hpp"
+#include "sim/simulator.hpp"
+
+namespace omega::harness::adversary_testing {
+namespace {
+
+/// One received datagram: who sent it, the first payload byte (the tests
+/// use it as a message tag), and when it arrived.
+struct rx_record {
+  node_id from;
+  std::uint8_t tag;
+  time_point at;
+};
+
+/// Four nodes on a lossless LAN with an adversary installed and every
+/// endpoint recording what it receives.
+struct mesh {
+  sim::simulator sim;
+  net::sim_network net;
+  net::adversary adv;
+  std::array<std::vector<rx_record>, 4> rx;
+
+  explicit mesh(std::uint64_t seed)
+      : net(sim, 4, net::link_profile::lan(), rng(seed)),
+        adv(rng(seed ^ 0x9e3779b97f4a7c15ull)) {
+    net.install_adversary(&adv);
+    for (std::size_t i = 0; i < 4; ++i) {
+      net.endpoint(node_id{static_cast<std::uint32_t>(i)})
+          .set_receive_handler([this, i](const net::datagram& d) {
+            rx[i].push_back({d.from,
+                             std::to_integer<std::uint8_t>(d.payload[0]),
+                             sim.now()});
+          });
+    }
+  }
+
+  void send(std::uint32_t from, std::uint32_t to, std::uint8_t tag) {
+    const std::byte payload[1] = {std::byte{tag}};
+    net.endpoint(node_id{from}).send(node_id{to}, payload);
+  }
+
+  void flush() { sim.run_until(sim.now() + sec(1)); }
+};
+
+TEST(adversary_mechanics, one_way_cut_drops_exactly_one_direction) {
+  for_each_seed([](std::uint64_t seed) {
+    mesh m(seed);
+    m.adv.cut_link(node_id{0}, node_id{1});
+    EXPECT_TRUE(m.adv.link_cut(node_id{0}, node_id{1}));
+    EXPECT_FALSE(m.adv.link_cut(node_id{1}, node_id{0}));
+    for (int i = 0; i < 10; ++i) {
+      m.send(0, 1, 1);
+      m.send(1, 0, 2);
+    }
+    m.flush();
+    EXPECT_TRUE(m.rx[1].empty());            // cut direction
+    EXPECT_EQ(m.rx[0].size(), 10u);          // reverse direction untouched
+    EXPECT_EQ(m.adv.totals().dropped_cut, 10u);
+
+    m.adv.heal_link(node_id{0}, node_id{1});
+    m.send(0, 1, 3);
+    m.flush();
+    EXPECT_EQ(m.rx[1].size(), 1u);
+    EXPECT_EQ(m.adv.totals().dropped_cut, 10u);  // no more drops after heal
+  });
+}
+
+TEST(adversary_mechanics, partition_severs_both_ways_and_heals_by_name) {
+  for_each_seed([](std::uint64_t seed) {
+    mesh m(seed);
+    m.adv.partition("split", {node_id{0}, node_id{1}});
+    EXPECT_TRUE(m.adv.partitioned(node_id{0}, node_id{2}));
+    EXPECT_TRUE(m.adv.partitioned(node_id{3}, node_id{1}));
+    EXPECT_FALSE(m.adv.partitioned(node_id{0}, node_id{1}));
+    EXPECT_FALSE(m.adv.partitioned(node_id{2}, node_id{3}));
+
+    m.send(0, 2, 1);  // crosses the boundary: dropped
+    m.send(2, 0, 2);  // crosses the boundary: dropped
+    m.send(0, 1, 3);  // same side: delivered
+    m.send(2, 3, 4);  // same side: delivered
+    m.flush();
+    EXPECT_TRUE(m.rx[2].empty());
+    EXPECT_EQ(m.rx[1].size(), 1u);
+    EXPECT_EQ(m.rx[3].size(), 1u);
+    EXPECT_EQ(m.adv.totals().dropped_partition, 2u);
+
+    // Partitions compose: a second named partition isolating node 3 severs
+    // 2<->3 while the first one still severs 0<->2.
+    m.adv.partition("lone", {node_id{3}});
+    EXPECT_TRUE(m.adv.partitioned(node_id{2}, node_id{3}));
+    EXPECT_TRUE(m.adv.heal_partition("lone"));
+    EXPECT_FALSE(m.adv.heal_partition("lone"));  // already healed
+    EXPECT_FALSE(m.adv.partitioned(node_id{2}, node_id{3}));
+
+    EXPECT_TRUE(m.adv.heal_partition("split"));
+    m.send(0, 2, 5);
+    m.flush();
+    EXPECT_EQ(m.rx[2].size(), 1u);
+  });
+}
+
+TEST(adversary_mechanics, flap_duty_cycle_is_deterministic_arithmetic) {
+  for_each_seed([](std::uint64_t seed) {
+    mesh m(seed);
+    net::flap_spec flap;
+    flap.period = sec(10);
+    flap.up_fraction = 0.5;
+    m.adv.flap_link(node_id{0}, node_id{1}, flap);
+
+    // Pure phase arithmetic, no RNG: up on [0,5s), down on [5s,10s).
+    EXPECT_TRUE(m.adv.flap_up(node_id{0}, node_id{1}, time_origin + sec(2)));
+    EXPECT_FALSE(m.adv.flap_up(node_id{0}, node_id{1}, time_origin + sec(7)));
+    EXPECT_TRUE(m.adv.flap_up(node_id{0}, node_id{1}, time_origin + sec(12)));
+
+    m.sim.run_until(time_origin + sec(2));
+    m.send(0, 1, 1);  // up window
+    m.sim.run_until(time_origin + sec(7));
+    m.send(0, 1, 2);  // down window
+    m.send(1, 0, 3);  // reverse link never flaps
+    m.sim.run_until(time_origin + sec(12));
+    m.send(0, 1, 4);  // up again
+    m.flush();
+
+    ASSERT_EQ(m.rx[1].size(), 2u);
+    EXPECT_EQ(m.rx[1][0].tag, 1u);
+    EXPECT_EQ(m.rx[1][1].tag, 4u);
+    EXPECT_EQ(m.rx[0].size(), 1u);
+    EXPECT_EQ(m.adv.totals().dropped_flap, 1u);
+
+    m.adv.stop_flap(node_id{0}, node_id{1});
+    m.sim.run_until(time_origin + sec(17));  // would be a down window
+    m.send(0, 1, 5);
+    m.flush();
+    EXPECT_EQ(m.rx[1].size(), 3u);
+  });
+}
+
+TEST(adversary_mechanics, duplication_is_bounded_and_counted) {
+  for_each_seed([](std::uint64_t seed) {
+    mesh m(seed);
+    net::duplicate_spec dup;
+    dup.probability = 1.0;
+    dup.max_copies = 3;
+    dup.spread = msec(5);
+    m.adv.set_duplication(dup);
+
+    constexpr std::size_t kSends = 50;
+    for (std::size_t i = 0; i < kSends; ++i) m.send(0, 1, 1);
+    m.flush();
+
+    // Every send is duplicated with 1..max_copies extra copies on top of
+    // the original, so deliveries land in [2N, (1+max)N] on a lossless LAN.
+    EXPECT_GE(m.rx[1].size(), 2 * kSends);
+    EXPECT_LE(m.rx[1].size(), (1 + dup.max_copies) * kSends);
+    EXPECT_EQ(m.rx[1].size(), kSends + m.adv.totals().duplicated);
+
+    m.adv.clear_duplication();
+    m.rx[1].clear();
+    m.send(0, 1, 2);
+    m.flush();
+    EXPECT_EQ(m.rx[1].size(), 1u);
+  });
+}
+
+TEST(adversary_mechanics, reorder_window_permutes_a_burst) {
+  for_each_seed([](std::uint64_t seed) {
+    mesh m(seed);
+    net::reorder_spec re;
+    re.window = 4;
+    re.spacing = msec(20);  // >> the 25 us LAN jitter: order is forced
+    m.adv.set_reorder(re);
+
+    // A burst of 4 sent in the same instant arrives reversed: slot k gets
+    // an extra (window-1-k) * spacing delay.
+    for (std::uint8_t tag = 0; tag < 4; ++tag) m.send(0, 1, tag);
+    m.flush();
+    ASSERT_EQ(m.rx[1].size(), 4u);
+    for (std::uint8_t i = 0; i < 4; ++i) {
+      EXPECT_EQ(m.rx[1][i].tag, 3 - i) << "position " << int(i);
+    }
+    // The last slot of the window travels undelayed; the rest are counted.
+    EXPECT_EQ(m.adv.totals().reorder_delayed, 3u);
+
+    m.adv.clear_reorder();
+    m.rx[1].clear();
+    for (std::uint8_t tag = 0; tag < 4; ++tag) {
+      // 1 ms apart: the 25 us LAN jitter cannot invert consecutive sends.
+      m.send(0, 1, tag);
+      m.sim.run_until(m.sim.now() + msec(1));
+    }
+    m.flush();
+    ASSERT_EQ(m.rx[1].size(), 4u);
+    for (std::uint8_t i = 0; i < 4; ++i) EXPECT_EQ(m.rx[1][i].tag, i);
+  });
+}
+
+TEST(adversary_mechanics, kind_delay_targets_only_the_selected_kind) {
+  for_each_seed([](std::uint64_t seed) {
+    mesh m(seed);
+    m.adv.set_kind_delay(proto::msg_kind::accuse, msec(200));
+
+    // Minimal wire envelopes: [version, type]. peek_kind only reads these
+    // two bytes, so the adversary classifies them like real datagrams.
+    const std::byte alive[2] = {std::byte{proto::protocol_version},
+                                std::byte{1}};  // msg_kind::alive
+    const std::byte accuse[2] = {std::byte{proto::protocol_version},
+                                 std::byte{2}};  // msg_kind::accuse
+    m.net.endpoint(node_id{0}).send(node_id{1}, alive);
+    m.net.endpoint(node_id{0}).send(node_id{1}, accuse);
+    m.flush();
+
+    ASSERT_EQ(m.rx[1].size(), 2u);
+    // tag here is the version byte for both; distinguish by arrival time.
+    const duration alive_delay = m.rx[1][0].at - time_origin;
+    const duration accuse_delay = m.rx[1][1].at - time_origin;
+    EXPECT_LT(alive_delay, msec(50));
+    EXPECT_GE(accuse_delay, msec(200));
+    EXPECT_EQ(m.adv.totals().kind_delayed, 1u);
+
+    m.adv.clear_kind_delays();
+    m.rx[1].clear();
+    const time_point sent = m.sim.now();
+    m.net.endpoint(node_id{0}).send(node_id{1}, accuse);
+    m.flush();
+    ASSERT_EQ(m.rx[1].size(), 1u);
+    EXPECT_LT(m.rx[1][0].at - sent, msec(50));
+  });
+}
+
+TEST(adversary_mechanics, drop_precedence_is_cut_then_partition_then_flap) {
+  for_each_seed([](std::uint64_t seed) {
+    mesh m(seed);
+    // All three fault classes cover 0 -> 1; the cut wins the accounting.
+    m.adv.cut_link(node_id{0}, node_id{1});
+    m.adv.partition("p", {node_id{0}});
+    net::flap_spec flap;
+    flap.period = sec(10);
+    flap.up_fraction = 0.0;
+    m.adv.flap_link(node_id{0}, node_id{1}, flap);
+
+    m.send(0, 1, 1);
+    m.flush();
+    EXPECT_EQ(m.adv.totals().dropped_cut, 1u);
+    EXPECT_EQ(m.adv.totals().dropped_partition, 0u);
+    EXPECT_EQ(m.adv.totals().dropped_flap, 0u);
+
+    m.adv.heal_link(node_id{0}, node_id{1});
+    m.send(0, 1, 2);
+    m.flush();
+    EXPECT_EQ(m.adv.totals().dropped_partition, 1u);
+
+    m.adv.heal_all_partitions();
+    m.send(0, 1, 3);
+    m.flush();
+    EXPECT_EQ(m.adv.totals().dropped_flap, 1u);
+    EXPECT_TRUE(m.rx[1].empty());
+    EXPECT_EQ(m.net.dropped_by_adversary(), 3u);
+  });
+}
+
+}  // namespace
+}  // namespace omega::harness::adversary_testing

@@ -1,0 +1,115 @@
+// Clock skew/drift vs election fairness (ISSUE 10): skewed clocks shift a
+// node's view of time through the clock_source seam. The cluster must keep
+// (or quickly restore) agreement when skew appears, and a skewed node must
+// stay electable — timestamp offset alone must not permanently bar it from
+// leadership.
+#include <gtest/gtest.h>
+
+#include "adversary/adversary_fixture.hpp"
+
+namespace omega::harness::adversary_testing {
+namespace {
+
+constexpr std::size_t kNodes = 8;
+const node_id kAhead{3};   // clock jumps +300 ms and drifts +400 ppm
+const node_id kBehind{5};  // clock jumps -300 ms
+
+scenario skew_scenario(std::uint64_t seed) {
+  scenario sc;
+  sc.name = "clock-skew";
+  sc.nodes = kNodes;
+  sc.alg = election::algorithm::omega_lc;
+  sc.churn = churn_profile::none();
+  sc.trace = true;
+  sc.trace_capacity = 8192;
+  sc.seed = seed;
+
+  fault_step ahead;
+  ahead.at = sec(20);
+  fault_skew a;
+  a.node = kAhead;
+  a.offset = msec(300);
+  a.drift = 400e-6;
+  ahead.action = a;
+  sc.fault_script.push_back(ahead);
+
+  fault_step behind;
+  behind.at = sec(20);
+  fault_skew b;
+  b.node = kBehind;
+  b.offset = -msec(300);
+  behind.action = b;
+  sc.fault_script.push_back(behind);
+  return sc;
+}
+
+std::optional<process_id> poll_agreed(experiment& exp, duration budget) {
+  const time_point deadline = exp.simulator().now() + budget;
+  std::optional<process_id> leader = exp.group().agreed_leader();
+  while (!leader.has_value() && exp.simulator().now() < deadline) {
+    exp.simulator().run_until(exp.simulator().now() + msec(100));
+    leader = exp.group().agreed_leader();
+  }
+  return leader;
+}
+
+TEST(adversary_clock_skew, agreement_survives_skew_onset) {
+  for_each_seed([](std::uint64_t seed) {
+    experiment exp(skew_scenario(seed));
+    run_to(exp, sec(60));
+    const auto agreed = poll_agreed(exp, sec(30));
+    ASSERT_TRUE(agreed.has_value());
+
+    // The wrappers report exactly the scripted offsets.
+    ASSERT_NE(exp.node_clock(kAhead), nullptr);
+    ASSERT_NE(exp.node_clock(kBehind), nullptr);
+    const duration ahead_by =
+        exp.node_clock(kAhead)->now() - exp.simulator().now();
+    EXPECT_GE(ahead_by, msec(300));
+    EXPECT_LE(ahead_by, msec(340));  // +400 ppm over the elapsed window
+    EXPECT_EQ(exp.node_clock(kBehind)->now() + msec(300),
+              exp.simulator().now());
+
+    // Bounded disturbance, then quiet: the onset may cost a reshuffle but
+    // must not leave the cluster oscillating.
+    const time_point now = exp.simulator().now();
+    exp.simulator().run_until(now + sec(20));
+    EXPECT_EQ(exp.group().agreed_leader(), agreed);
+    EXPECT_EQ(leader_changes_after(exp.merged_trace(), now + sec(5),
+                                   group_id{1}),
+              0u);
+  });
+}
+
+TEST(adversary_clock_skew, skewed_nodes_remain_electable) {
+  for_each_seed([](std::uint64_t seed) {
+    experiment exp(skew_scenario(seed));
+    run_to(exp, sec(60));
+    ASSERT_TRUE(poll_agreed(exp, sec(30)).has_value());
+
+    // Kill every unskewed node: leadership must land on one of the two
+    // skewed survivors — offset alone must not disqualify them.
+    for (std::uint32_t i = 0; i < kNodes; ++i) {
+      const node_id n{i};
+      if (n != kAhead && n != kBehind) exp.crash_node(n);
+    }
+    exp.simulator().run_until(exp.simulator().now() + sec(10));
+    const auto pair_leader = poll_agreed(exp, sec(60));
+    ASSERT_TRUE(pair_leader.has_value());
+    EXPECT_TRUE(pair_leader->value() == kAhead.value() ||
+                pair_leader->value() == kBehind.value());
+
+    // Kill that one too: the remaining skewed node must elect itself —
+    // both skew signs end up leading at some point.
+    const node_id second_victim{pair_leader->value()};
+    const node_id last = second_victim == kAhead ? kBehind : kAhead;
+    exp.crash_node(second_victim);
+    exp.simulator().run_until(exp.simulator().now() + sec(10));
+    const auto last_leader = poll_agreed(exp, sec(60));
+    ASSERT_TRUE(last_leader.has_value());
+    EXPECT_EQ(last_leader->value(), last.value());
+  });
+}
+
+}  // namespace
+}  // namespace omega::harness::adversary_testing

@@ -1,0 +1,186 @@
+// Declarative fault-script semantics (ISSUE 10 tentpole): at-time
+// application, for-duration revert, repetition, region-based partition
+// resolution, and the skewed-clock seam — all checked white-box against
+// the experiment's installed fault plane.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "adversary/adversary_fixture.hpp"
+
+namespace omega::harness::adversary_testing {
+namespace {
+
+scenario base_scenario(std::uint64_t seed, std::size_t nodes = 4) {
+  scenario sc;
+  sc.name = "fault-script-semantics";
+  sc.nodes = nodes;
+  sc.churn = churn_profile::none();
+  sc.seed = seed;
+  return sc;
+}
+
+TEST(adversary_fault_script, empty_script_installs_no_adversary) {
+  for_each_seed([](std::uint64_t seed) {
+    experiment exp(base_scenario(seed));
+    EXPECT_EQ(exp.fault_plane(), nullptr);
+    EXPECT_EQ(exp.node_clock(node_id{0}), nullptr);
+  });
+}
+
+TEST(adversary_fault_script, at_time_applies_and_duration_reverts) {
+  for_each_seed([](std::uint64_t seed) {
+    scenario sc = base_scenario(seed);
+    fault_step step;
+    step.at = sec(5);
+    step.lasts = sec(10);
+    step.action = fault_cut{node_id{0}, node_id{1}};
+    sc.fault_script.push_back(step);
+
+    experiment exp(sc);
+    ASSERT_NE(exp.fault_plane(), nullptr);
+    run_to(exp, sec(4));
+    EXPECT_FALSE(exp.fault_plane()->link_cut(node_id{0}, node_id{1}));
+    run_to(exp, sec(6));
+    EXPECT_TRUE(exp.fault_plane()->link_cut(node_id{0}, node_id{1}));
+    run_to(exp, sec(16));
+    EXPECT_FALSE(exp.fault_plane()->link_cut(node_id{0}, node_id{1}));
+  });
+}
+
+TEST(adversary_fault_script, zero_duration_means_permanent) {
+  for_each_seed([](std::uint64_t seed) {
+    scenario sc = base_scenario(seed);
+    fault_step step;
+    step.at = sec(2);
+    step.action = fault_cut{node_id{2}, node_id{3}};
+    sc.fault_script.push_back(step);
+
+    experiment exp(sc);
+    run_to(exp, sec(60));
+    EXPECT_TRUE(exp.fault_plane()->link_cut(node_id{2}, node_id{3}));
+  });
+}
+
+TEST(adversary_fault_script, repeat_fires_count_plus_one_times) {
+  for_each_seed([](std::uint64_t seed) {
+    scenario sc = base_scenario(seed);
+    fault_step step;
+    step.at = sec(2);
+    step.lasts = sec(1);
+    step.repeat_every = sec(5);
+    step.repeat_count = 2;  // firings at 2s, 7s, 12s — three in total
+    step.action = fault_cut{node_id{0}, node_id{1}};
+    sc.fault_script.push_back(step);
+
+    experiment exp(sc);
+    auto* adv = exp.fault_plane();
+    ASSERT_NE(adv, nullptr);
+    const auto cut = [&] { return adv->link_cut(node_id{0}, node_id{1}); };
+    struct probe {
+      duration at;
+      bool expect_cut;
+    };
+    const probe probes[] = {
+        {msec(2500), true},  {sec(4), false},  {msec(7500), true},
+        {sec(9), false},     {msec(12500), true}, {sec(14), false},
+        {msec(17500), false},  // no fourth firing
+    };
+    for (const probe& p : probes) {
+      run_to(exp, p.at);
+      EXPECT_EQ(cut(), p.expect_cut)
+          << "at t=" << to_seconds(p.at) << "s";
+    }
+  });
+}
+
+TEST(adversary_fault_script, partition_resolves_hierarchy_regions) {
+  for_each_seed([](std::uint64_t seed) {
+    scenario sc = base_scenario(seed, 16);
+    sc.hierarchy = hierarchy_profile::three_tier(4, 2);  // regions of 4
+    fault_step step;
+    step.at = sec(1);
+    fault_partition part;
+    part.name = "region0-plus-guest";
+    part.regions = {0};                  // nodes 0..3
+    part.members = {node_id{7}};         // plus one explicit outsider
+    step.action = part;
+    sc.fault_script.push_back(step);
+
+    experiment exp(sc);
+    run_to(exp, sec(2));
+    auto* adv = exp.fault_plane();
+    ASSERT_NE(adv, nullptr);
+    EXPECT_EQ(adv->active_partitions(), 1u);
+    // Inside the island: region 0 and the explicit guest.
+    EXPECT_FALSE(adv->partitioned(node_id{0}, node_id{3}));
+    EXPECT_FALSE(adv->partitioned(node_id{2}, node_id{7}));
+    // Across the boundary, both directions.
+    EXPECT_TRUE(adv->partitioned(node_id{1}, node_id{5}));
+    EXPECT_TRUE(adv->partitioned(node_id{12}, node_id{0}));
+    // Outsiders among themselves are untouched.
+    EXPECT_FALSE(adv->partitioned(node_id{5}, node_id{12}));
+  });
+}
+
+TEST(adversary_fault_script, skew_wraps_only_targeted_clocks) {
+  for_each_seed([](std::uint64_t seed) {
+    scenario sc = base_scenario(seed);
+    fault_step step;
+    step.at = sec(5);
+    step.lasts = sec(5);
+    fault_skew skew;
+    skew.node = node_id{2};
+    skew.offset = msec(250);
+    skew.drift = 0.001;  // 1000 ppm
+    step.action = skew;
+    sc.fault_script.push_back(step);
+
+    experiment exp(sc);
+    ASSERT_NE(exp.node_clock(node_id{2}), nullptr);
+    EXPECT_EQ(exp.node_clock(node_id{1}), nullptr);
+
+    // Before the step fires the wrapper is an exact pass-through.
+    run_to(exp, sec(4));
+    EXPECT_EQ(exp.node_clock(node_id{2})->now(), exp.simulator().now());
+
+    // While active: offset plus drift accumulated since the anchor (5s).
+    run_to(exp, sec(9));
+    const duration ahead =
+        exp.node_clock(node_id{2})->now() - exp.simulator().now();
+    EXPECT_GE(ahead, msec(250));
+    EXPECT_LE(ahead, msec(260));  // 4 s of 1000 ppm = 4 ms on top
+
+    // Reverted: exact pass-through again.
+    run_to(exp, sec(11));
+    EXPECT_EQ(exp.node_clock(node_id{2})->now(), exp.simulator().now());
+  });
+}
+
+TEST(adversary_fault_script, wan_flap_covers_inter_region_links_only) {
+  for_each_seed([](std::uint64_t seed) {
+    scenario sc = base_scenario(seed, 8);
+    sc.hierarchy = hierarchy_profile::with_regions(2);  // 0..3 | 4..7
+    fault_step step;
+    step.at = sec(1);
+    fault_flap_wan flap;
+    flap.spec.period = sec(10);
+    flap.spec.up_fraction = 0.0;  // permanently down while active
+    step.action = flap;
+    sc.fault_script.push_back(step);
+
+    experiment exp(sc);
+    run_to(exp, sec(2));
+    auto* adv = exp.fault_plane();
+    ASSERT_NE(adv, nullptr);
+    const time_point now = exp.simulator().now();
+    EXPECT_FALSE(adv->flap_up(node_id{0}, node_id{5}, now));
+    EXPECT_FALSE(adv->flap_up(node_id{6}, node_id{2}, now));
+    // Intra-region links never flap: no flap registered means "up".
+    EXPECT_TRUE(adv->flap_up(node_id{0}, node_id{1}, now));
+    EXPECT_TRUE(adv->flap_up(node_id{4}, node_id{7}, now));
+  });
+}
+
+}  // namespace
+}  // namespace omega::harness::adversary_testing

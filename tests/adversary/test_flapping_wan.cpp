@@ -1,0 +1,98 @@
+// Flapping WAN links vs the hierarchical election (ISSUE 10): the global
+// tier must reach (and keep) a single global leader while inter-region
+// links flap on a gentle duty cycle, and must re-converge after a harsh
+// flapping episode ends.
+#include <gtest/gtest.h>
+
+#include "adversary/adversary_fixture.hpp"
+
+namespace omega::harness::adversary_testing {
+namespace {
+
+constexpr std::size_t kNodes = 24;
+
+scenario wan_scenario(std::uint64_t seed) {
+  scenario sc;
+  sc.name = "flapping-wan";
+  sc.nodes = kNodes;
+  sc.churn = churn_profile::none();
+  sc.hierarchy = hierarchy_profile::three_tier(6, 2);  // regions of 4
+  sc.trace = true;
+  sc.trace_capacity = 8192;
+  sc.warmup = sec(30);
+  sc.seed = seed;
+  return sc;
+}
+
+std::optional<process_id> poll_agreed(experiment& exp, duration budget) {
+  const time_point deadline = exp.simulator().now() + budget;
+  std::optional<process_id> leader = exp.group().agreed_leader();
+  while (!leader.has_value() && exp.simulator().now() < deadline) {
+    exp.simulator().run_until(exp.simulator().now() + msec(250));
+    leader = exp.group().agreed_leader();
+  }
+  return leader;
+}
+
+TEST(adversary_flapping_wan, harsh_flap_episode_then_reconvergence) {
+  for_each_seed([](std::uint64_t seed) {
+    scenario sc = wan_scenario(seed);
+    fault_step step;
+    step.at = sec(45);
+    step.lasts = sec(30);
+    fault_flap_wan flap;
+    flap.spec.period = sec(10);
+    flap.spec.up_fraction = 0.3;  // 7 s dark per cycle: brutal for a 1 s FD
+    step.action = flap;
+    sc.fault_script.push_back(step);
+
+    experiment exp(sc);
+    run_to(exp, sec(45));
+    const auto pre = poll_agreed(exp, sec(30));
+    ASSERT_TRUE(pre.has_value());
+
+    // Ride out the episode (the global tier may churn freely here), then
+    // demand a single agreed global leader again.
+    run_to(exp, sec(80));
+    const auto post = poll_agreed(exp, sec(40));
+    ASSERT_TRUE(post.has_value());
+    ASSERT_NE(exp.fault_plane(), nullptr);
+    EXPECT_GT(exp.fault_plane()->totals().dropped_flap, 0u);
+
+    // And it sticks: quiet global tier once re-converged.
+    const time_point converged = exp.simulator().now();
+    exp.simulator().run_until(converged + sec(20));
+    EXPECT_EQ(exp.group().agreed_leader(), post);
+  });
+}
+
+TEST(adversary_flapping_wan, eventual_single_leader_while_flapping_persists) {
+  for_each_seed([](std::uint64_t seed) {
+    scenario sc = wan_scenario(seed);
+    fault_step step;
+    step.at = sec(45);  // lasts = 0: flaps forever
+    fault_flap_wan flap;
+    flap.spec.period = sec(2);
+    flap.spec.up_fraction = 0.9;  // 200 ms dark per cycle: below the FD's
+                                  // freshness slack, so leadership can hold
+    step.action = flap;
+    sc.fault_script.push_back(step);
+
+    experiment exp(sc);
+    run_to(exp, sec(45));
+    ASSERT_TRUE(poll_agreed(exp, sec(30)).has_value());
+
+    // Let the permanent flapping bite, then require agreement *while the
+    // links keep flapping* — the eventual-leadership claim.
+    run_to(exp, sec(90));
+    const auto agreed = poll_agreed(exp, sec(40));
+    ASSERT_TRUE(agreed.has_value());
+    const time_point at = exp.simulator().now();
+    exp.simulator().run_until(at + sec(15));
+    EXPECT_EQ(exp.group().agreed_leader(), agreed);
+    EXPECT_GT(exp.fault_plane()->totals().dropped_flap, 0u);
+  });
+}
+
+}  // namespace
+}  // namespace omega::harness::adversary_testing

@@ -1,0 +1,127 @@
+// Asymmetric (one-way) link cuts vs the election invariants (ISSUE 10):
+// the failure detector must degrade gracefully — a bounded reshuffle, then
+// renewed agreement — and after the cut heals the cluster must converge on
+// a single leader, trace-checked.
+#include <gtest/gtest.h>
+
+#include "adversary/adversary_fixture.hpp"
+#include "net/adversary.hpp"
+
+namespace omega::harness::adversary_testing {
+namespace {
+
+constexpr std::size_t kNodes = 8;
+
+scenario cut_scenario(std::uint64_t seed) {
+  scenario sc;
+  sc.name = "one-way-cut";
+  sc.nodes = kNodes;
+  sc.alg = election::algorithm::omega_lc;
+  sc.churn = churn_profile::none();
+  sc.trace = true;
+  sc.trace_capacity = 8192;
+  sc.seed = seed;
+  return sc;
+}
+
+/// Polls the ground-truth oracle until every up node agrees (or timeout).
+std::optional<process_id> poll_agreed(experiment& exp, duration budget) {
+  const time_point deadline = exp.simulator().now() + budget;
+  std::optional<process_id> leader = exp.group().agreed_leader();
+  while (!leader.has_value() && exp.simulator().now() < deadline) {
+    exp.simulator().run_until(exp.simulator().now() + msec(100));
+    leader = exp.group().agreed_leader();
+  }
+  return leader;
+}
+
+TEST(adversary_one_way_cut, muted_leader_is_replaced_and_stays_replaced) {
+  for_each_seed([](std::uint64_t seed) {
+    net::adversary adv(rng(seed ^ 0xadf00dull));
+    experiment exp(cut_scenario(seed));
+    exp.network().install_adversary(&adv);
+
+    run_to(exp, sec(40));
+    const auto first = poll_agreed(exp, sec(30));
+    ASSERT_TRUE(first.has_value());
+    const node_id muted{first->value()};  // pid i runs on node i
+
+    // Cut every *outbound* link of the leader: it hears the cluster, the
+    // cluster no longer hears it — the classic asymmetric failure.
+    for (std::uint32_t i = 0; i < kNodes; ++i) {
+      if (node_id{i} != muted) adv.cut_link(muted, node_id{i});
+    }
+    exp.simulator().run_until(exp.simulator().now() + sec(5));
+    const auto second = poll_agreed(exp, sec(40));
+    ASSERT_TRUE(second.has_value());
+    // The cluster replaced the mute leader — and the mute node itself
+    // agrees (its inbound links still work, so it adopts the successor).
+    EXPECT_NE(*second, *first);
+    EXPECT_GT(adv.totals().dropped_cut, 0u);
+
+    // Heal. The demoted ex-leader's accusation time advanced while muted,
+    // so leadership must NOT flap back to it.
+    for (std::uint32_t i = 0; i < kNodes; ++i) {
+      if (node_id{i} != muted) adv.heal_link(muted, node_id{i});
+    }
+    const time_point healed = exp.simulator().now();
+    exp.simulator().run_until(healed + sec(30));
+    const auto final_leader = exp.group().agreed_leader();
+    ASSERT_TRUE(final_leader.has_value());
+    EXPECT_EQ(*final_leader, *second);
+
+    // Trace-checked: once converged after the heal, no node's leader view
+    // moves again — no two simultaneous leaders anywhere in that window.
+    EXPECT_EQ(leader_changes_after(exp.merged_trace(), healed + sec(15),
+                                   group_id{1}),
+              0u);
+    const auto views = final_views(exp.merged_trace(), kNodes, group_id{1});
+    for (std::uint32_t i = 0; i < kNodes; ++i) {
+      EXPECT_EQ(views[i], *final_leader) << "node " << i;
+    }
+  });
+}
+
+TEST(adversary_one_way_cut, deafened_node_degrades_gracefully) {
+  for_each_seed([](std::uint64_t seed) {
+    net::adversary adv(rng(seed ^ 0xdeaf00ull));
+    experiment exp(cut_scenario(seed));
+    exp.network().install_adversary(&adv);
+
+    run_to(exp, sec(40));
+    const auto first = poll_agreed(exp, sec(30));
+    ASSERT_TRUE(first.has_value());
+    // Deafen a non-leader node: it hears nobody, everybody hears it.
+    const node_id deaf{
+        static_cast<std::uint32_t>((first->value() + 1) % kNodes)};
+
+    for (std::uint32_t i = 0; i < kNodes; ++i) {
+      if (node_id{i} != deaf) adv.cut_link(node_id{i}, deaf);
+    }
+    // The deaf node's FD suspects everyone and accuses each candidate at
+    // most once (one trust->suspect edge per peer), advancing their
+    // accusation times — while its own stays put and its ALIVEs still
+    // flow. Graceful degradation = one bounded reshuffle: the cluster
+    // re-agrees (on the deaf node, now holding the earliest accusation
+    // time), rather than demoting leaders in an endless storm.
+    exp.simulator().run_until(exp.simulator().now() + sec(10));
+    const auto during = poll_agreed(exp, sec(50));
+    ASSERT_TRUE(during.has_value());
+    EXPECT_EQ(during->value(), deaf.value());
+
+    for (std::uint32_t i = 0; i < kNodes; ++i) {
+      if (node_id{i} != deaf) adv.heal_link(node_id{i}, deaf);
+    }
+    const time_point healed = exp.simulator().now();
+    exp.simulator().run_until(healed + sec(30));
+    const auto final_leader = exp.group().agreed_leader();
+    ASSERT_TRUE(final_leader.has_value());
+    // Stable after the heal: converged and quiet.
+    EXPECT_EQ(leader_changes_after(exp.merged_trace(), healed + sec(15),
+                                   group_id{1}),
+              0u);
+  });
+}
+
+}  // namespace
+}  // namespace omega::harness::adversary_testing

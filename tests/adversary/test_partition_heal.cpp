@@ -1,0 +1,110 @@
+// Named partitions vs the agreement invariant (ISSUE 10): during a
+// partition each side may elect its own leader (that is unavoidable), but
+// after the heal the cluster must converge on a *single* leader — checked
+// both through the ground-truth oracle and the merged trace.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "adversary/adversary_fixture.hpp"
+#include "net/adversary.hpp"
+
+namespace omega::harness::adversary_testing {
+namespace {
+
+constexpr std::size_t kNodes = 9;
+
+scenario partition_scenario(std::uint64_t seed) {
+  scenario sc;
+  sc.name = "partition-heal";
+  sc.nodes = kNodes;
+  sc.alg = election::algorithm::omega_lc;
+  sc.churn = churn_profile::none();
+  sc.trace = true;
+  sc.trace_capacity = 8192;
+  sc.seed = seed;
+  return sc;
+}
+
+std::optional<process_id> poll_agreed(experiment& exp, duration budget) {
+  const time_point deadline = exp.simulator().now() + budget;
+  std::optional<process_id> leader = exp.group().agreed_leader();
+  while (!leader.has_value() && exp.simulator().now() < deadline) {
+    exp.simulator().run_until(exp.simulator().now() + msec(100));
+    leader = exp.group().agreed_leader();
+  }
+  return leader;
+}
+
+TEST(adversary_partition, no_two_leaders_after_heal) {
+  for_each_seed([](std::uint64_t seed) {
+    net::adversary adv(rng(seed ^ 0x5017ull));
+    experiment exp(partition_scenario(seed));
+    exp.network().install_adversary(&adv);
+
+    run_to(exp, sec(40));
+    const auto pre = poll_agreed(exp, sec(30));
+    ASSERT_TRUE(pre.has_value());
+    const node_id leader_node{pre->value()};
+
+    // Carve a 3-node minority island around the leader; the 6-node rest
+    // must elect a replacement while the island keeps the old leader.
+    std::vector<node_id> island{leader_node};
+    for (std::uint32_t i = 0; island.size() < 3; ++i) {
+      if (node_id{i} != leader_node) island.push_back(node_id{i});
+    }
+    adv.partition("island", island);
+    exp.simulator().run_until(exp.simulator().now() + sec(40));
+
+    // Both sides settled on *their* leader: the island still follows the
+    // old one (it hears it; cross-boundary accusations died at the fence)…
+    for (const node_id n : island) {
+      auto* svc = exp.node_service(n);
+      ASSERT_NE(svc, nullptr);
+      EXPECT_EQ(svc->leader(group_id{1}), pre) << "island node " << n.value();
+    }
+    // …while the majority converged on a single replacement.
+    std::optional<process_id> majority;
+    bool majority_agrees = true;
+    for (std::uint32_t i = 0; i < kNodes; ++i) {
+      const node_id n{i};
+      if (std::find(island.begin(), island.end(), n) != island.end()) continue;
+      auto* svc = exp.node_service(n);
+      ASSERT_NE(svc, nullptr);
+      const auto view = svc->leader(group_id{1});
+      if (!view.has_value()) {
+        majority_agrees = false;
+        break;
+      }
+      if (!majority.has_value()) {
+        majority = view;
+      } else if (*majority != *view) {
+        majority_agrees = false;
+      }
+    }
+    ASSERT_TRUE(majority_agrees);
+    ASSERT_TRUE(majority.has_value());
+    EXPECT_NE(*majority, *pre);
+    EXPECT_GT(adv.totals().dropped_partition, 0u);
+
+    // Heal. The old leader's accusation time never advanced (the fence ate
+    // every accusation), so it still ranks first: the cluster must
+    // re-unify behind exactly one leader and go quiet.
+    ASSERT_TRUE(adv.heal_partition("island"));
+    const time_point healed = exp.simulator().now();
+    exp.simulator().run_until(healed + sec(30));
+    const auto unified = exp.group().agreed_leader();
+    ASSERT_TRUE(unified.has_value());
+
+    const auto trace = exp.merged_trace();
+    EXPECT_EQ(leader_changes_after(trace, healed + sec(15), group_id{1}), 0u);
+    const auto views = final_views(trace, kNodes, group_id{1});
+    for (std::uint32_t i = 0; i < kNodes; ++i) {
+      EXPECT_EQ(views[i], *unified) << "node " << i;
+    }
+  });
+}
+
+}  // namespace
+}  // namespace omega::harness::adversary_testing

@@ -1,0 +1,141 @@
+// ACCUSE idempotency under at-least-once delivery (ISSUE 10 satellite).
+// The adversary plane duplicates and reorders datagrams, so both electors
+// identify a suspicion by (accuser, accuser's suspicion time `when`):
+// replaying the same ACCUSE, or delivering an older one late, must not
+// demote the target a second time — otherwise a duplicating network keeps
+// a healthy leader demoted forever. A genuinely *new* suspicion from the
+// same accuser (a later `when`) must still count.
+#include <gtest/gtest.h>
+
+#include "election/omega_l.hpp"
+#include "election/omega_lc.hpp"
+#include "elector_fixture.hpp"
+
+namespace omega::election {
+namespace {
+
+using testing::elector_world;
+
+constexpr process_id p1{1};
+
+proto::accuse_msg accuse_from(node_id accuser, time_point when,
+                              std::uint32_t phase = 1) {
+  proto::accuse_msg msg;
+  msg.from = accuser;
+  msg.group = group_id{1};
+  msg.target = p1;
+  msg.target_inc = 1;
+  msg.when = when;
+  msg.phase = phase;
+  return msg;
+}
+
+TEST(AccuseIdempotency, OmegaLcReplayDoesNotDemoteTwice) {
+  elector_world w;
+  w.clock.set(time_origin + sec(10));
+  omega_lc e(w.context(p1, true));
+  w.add_member(p1);
+
+  const proto::accuse_msg msg = accuse_from(node_id{2}, w.clock.now());
+  e.on_accuse(msg);
+  const time_point demoted_to = e.self_accusation_time();
+  EXPECT_EQ(demoted_to, w.clock.now());
+
+  // The duplicate arrives 30 s later. Without dedup this would re-stamp
+  // self_acc to t40 — a permanent demotion under steady duplication.
+  w.clock.advance(sec(30));
+  e.on_accuse(msg);
+  EXPECT_EQ(e.self_accusation_time(), demoted_to);
+}
+
+TEST(AccuseIdempotency, OmegaLcReorderedOlderAccuseIsSubsumed) {
+  elector_world w;
+  w.clock.set(time_origin + sec(10));
+  omega_lc e(w.context(p1, true));
+  w.add_member(p1);
+
+  // The accuser suspected us at t5 and again at t10; the network delivers
+  // them newest-first. The stale t5 suspicion is subsumed by the t10 one.
+  e.on_accuse(accuse_from(node_id{2}, time_origin + sec(10)));
+  const time_point demoted_to = e.self_accusation_time();
+  w.clock.advance(sec(30));
+  e.on_accuse(accuse_from(node_id{2}, time_origin + sec(5)));
+  EXPECT_EQ(e.self_accusation_time(), demoted_to);
+}
+
+TEST(AccuseIdempotency, OmegaLcFreshSuspicionStillDemotes) {
+  elector_world w;
+  w.clock.set(time_origin + sec(10));
+  omega_lc e(w.context(p1, true));
+  w.add_member(p1);
+
+  e.on_accuse(accuse_from(node_id{2}, w.clock.now()));
+  const time_point first = e.self_accusation_time();
+
+  // A genuinely newer suspicion from the same accuser must count.
+  w.clock.advance(sec(30));
+  e.on_accuse(accuse_from(node_id{2}, w.clock.now()));
+  EXPECT_GT(e.self_accusation_time(), first);
+}
+
+TEST(AccuseIdempotency, OmegaLcDistinctAccusersEachCount) {
+  elector_world w;
+  w.clock.set(time_origin + sec(10));
+  omega_lc e(w.context(p1, true));
+  w.add_member(p1);
+
+  // Two accusers happen to stamp the same `when`: dedup is per accuser,
+  // so the second accuser's suspicion still demotes.
+  const time_point when = w.clock.now();
+  e.on_accuse(accuse_from(node_id{2}, when));
+  const time_point first = e.self_accusation_time();
+  w.clock.advance(sec(30));
+  e.on_accuse(accuse_from(node_id{3}, when));
+  EXPECT_GT(e.self_accusation_time(), first);
+}
+
+TEST(AccuseIdempotency, OmegaLReplayDoesNotDemoteTwice) {
+  elector_world w;
+  w.clock.set(time_origin + sec(10));
+  omega_l e(w.context(p1, true));
+  w.add_member(p1);
+  ASSERT_EQ(e.evaluate(), p1);  // competing, phase 1
+
+  const proto::accuse_msg msg = accuse_from(node_id{2}, w.clock.now());
+  e.on_accuse(msg);
+  const time_point demoted_to = e.self_accusation_time();
+  EXPECT_EQ(demoted_to, w.clock.now());
+
+  w.clock.advance(sec(30));
+  e.on_accuse(msg);
+  EXPECT_EQ(e.self_accusation_time(), demoted_to);
+}
+
+TEST(AccuseIdempotency, OmegaLPhaseGuardStillScreensReplays) {
+  // Order of the two filters matters to neither outcome: a duplicate that
+  // also carries a stale phase is dropped (by the phase guard and by the
+  // dedup), and a current-phase duplicate is dropped by the dedup alone.
+  elector_world w;
+  w.clock.set(time_origin + sec(10));
+  omega_l e(w.context(p1, true));
+  w.add_member(p1);
+  ASSERT_EQ(e.evaluate(), p1);
+  const time_point join_acc = e.self_accusation_time();
+
+  // Phase 0 predates our competition phase (1): ignored outright, and it
+  // must not poison the dedup map for the real phase-1 suspicion.
+  e.on_accuse(accuse_from(node_id{2}, w.clock.now(), /*phase=*/0));
+  EXPECT_EQ(e.self_accusation_time(), join_acc)
+      << "stale-phase accuse must not demote";
+
+  const proto::accuse_msg real = accuse_from(node_id{2}, w.clock.now());
+  e.on_accuse(real);
+  const time_point demoted_to = e.self_accusation_time();
+  EXPECT_EQ(demoted_to, w.clock.now());
+  w.clock.advance(sec(30));
+  e.on_accuse(real);
+  EXPECT_EQ(e.self_accusation_time(), demoted_to);
+}
+
+}  // namespace
+}  // namespace omega::election

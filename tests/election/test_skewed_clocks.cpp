@@ -1,0 +1,189 @@
+// Omega_lc under skewed clocks (ISSUE 10 satellite). Accusation times are
+// read from each process's *local* clock and compared across processes, so
+// a clock offset shifts every timestamp one process reports. The algorithm
+// never compensates — instead its stability argument makes offsets benign:
+// accusation times of distinct processes are separated by join/accusation
+// *events* (seconds apart), so an offset far smaller than that separation
+// can never flip the (accusation time, pid) order; and an offset large
+// enough to flip one comparison still cannot make the skewed candidate win
+// or lose *permanently*, because a single accusation moves its time past
+// any bounded offset. These tests pin both halves of that argument, plus
+// stage-2 forwarding carrying skewed timestamps verbatim.
+//
+// Mechanics: two elector instances live in two `elector_world`s whose
+// manual clocks disagree by a constant offset; `advance()` moves both in
+// lockstep (real time passes equally, the clocks just disagree), electors
+// are constructed at the instant whose local reading should become their
+// join-time accusation stamp, and payloads are ferried between the
+// instances exactly as ALIVEs would carry them.
+#include <gtest/gtest.h>
+
+#include "election/omega_lc.hpp"
+#include "elector_fixture.hpp"
+
+namespace omega::election {
+namespace {
+
+using testing::elector_world;
+using testing::payload_from;
+
+constexpr process_id p1{1};
+constexpr process_id p2{2};
+constexpr process_id p3{3};
+
+/// Two worlds with disagreeing clocks advancing in lockstep. World `a`
+/// hosts p1 and runs `skew` ahead of world `b`'s (reference) clock.
+struct skewed_pair {
+  elector_world a;  // p1's world, clock = reference + skew
+  elector_world b;  // p2's world, reference clock
+
+  explicit skewed_pair(duration skew, duration start = duration{0}) {
+    a.clock.set(time_origin + start + skew);
+    b.clock.set(time_origin + start);
+  }
+
+  void advance(duration d) {
+    a.clock.advance(d);
+    b.clock.advance(d);
+  }
+
+  /// Both processes appear in both membership views.
+  void add_members() {
+    for (auto* world : {&a, &b}) {
+      world->add_member(p1);
+      world->add_member(p2);
+    }
+  }
+};
+
+/// Ferries `from`'s current ALIVE payload into `to`.
+void deliver(omega_lc& from, process_id from_pid, omega_lc& to) {
+  proto::group_payload p;
+  from.fill_payload(p);
+  to.on_alive_payload(node_id{from_pid.value()}, 1, p);
+}
+
+TEST(SkewedClocks, SmallOffsetCannotStealEstablishedLeadership) {
+  // p2 is the established leader (stamp t0). p1 joins 50 s later with its
+  // clock 300 ms *behind* — its join stamp reads 49.7 s, "too early" by
+  // the offset but still far later than t0. The offset must not hand p1
+  // the leadership on either side.
+  skewed_pair w(msec(-300));
+  omega_lc e2(w.b.context(p2, true));  // stamp t0
+  w.advance(sec(50));
+  omega_lc e1(w.a.context(p1, true));  // stamp t49.7
+  w.add_members();
+
+  deliver(e2, p2, e1);
+  deliver(e1, p1, e2);
+  EXPECT_EQ(e1.evaluate(), p2);
+  EXPECT_EQ(e2.evaluate(), p2);
+}
+
+TEST(SkewedClocks, SkewedCandidateStillWinsWhenGenuinelyEarliest) {
+  // The mirror image: p1's clock runs 300 ms *ahead*, inflating its join
+  // stamp to t0.3 — but p1 is genuinely senior by 50 s, so the offset
+  // must not cost it the election either.
+  skewed_pair w(msec(300));
+  omega_lc e1(w.a.context(p1, true));  // stamp t0.3
+  w.advance(sec(50));
+  omega_lc e2(w.b.context(p2, true));  // stamp t50
+  w.add_members();
+
+  deliver(e1, p1, e2);
+  deliver(e2, p2, e1);
+  EXPECT_EQ(e1.evaluate(), p1);
+  EXPECT_EQ(e2.evaluate(), p1);
+}
+
+TEST(SkewedClocks, AccusedSkewedLeaderIsDemotedDespiteOffset) {
+  // p1 leads with its clock 300 ms behind. When an accusation lands, p1
+  // re-stamps its accusation time from its *own* (behind) clock — still
+  // tens of seconds past p2's stamp, so the offset cannot save it.
+  skewed_pair w(msec(-300), sec(10));
+  omega_lc e1(w.a.context(p1, true));  // stamp t9.7
+  omega_lc e2(w.b.context(p2, true));  // stamp t10
+  w.add_members();
+  deliver(e1, p1, e2);
+  deliver(e2, p2, e1);
+  ASSERT_EQ(e2.evaluate(), p1);
+
+  w.advance(sec(60));
+  proto::accuse_msg accuse;
+  accuse.from = node_id{2};
+  accuse.group = group_id{1};
+  accuse.target = p1;
+  accuse.target_inc = 1;
+  e1.on_accuse(accuse);
+  // p1's own clock reads t69.7 — behind real time, but 59.7 s past p2.
+  EXPECT_EQ(e1.self_accusation_time(), w.a.clock.now());
+
+  deliver(e1, p1, e2);
+  EXPECT_EQ(e1.evaluate(), p2);
+  EXPECT_EQ(e2.evaluate(), p2);
+}
+
+TEST(SkewedClocks, OversizedOffsetFlipsOneElectionButNotForever) {
+  // The documented boundary: an offset LARGER than the stamp separation
+  // does flip the comparison — p1's clock is 5 s behind and the genuine
+  // seniority gap is only 2 s, so p1's join stamp (t7) undercuts the
+  // sitting leader's (t10) and p1 wrongly wins. The stability property is
+  // that this cannot be permanent: one accusation against p1 moves its
+  // stamp past any bounded offset and the rightful leader takes over for
+  // good.
+  skewed_pair w(sec(-5), sec(10));
+  omega_lc e2(w.b.context(p2, true));  // stamp t10
+  w.advance(sec(2));
+  omega_lc e1(w.a.context(p1, true));  // joins at real t12, stamps t7
+  w.add_members();
+  deliver(e1, p1, e2);
+  deliver(e2, p2, e1);
+  ASSERT_EQ(e2.evaluate(), p1) << "oversized offset should flip the rank";
+
+  // p2's FD (rightly or wrongly) accuses p1 once.
+  w.advance(sec(30));
+  proto::accuse_msg accuse;
+  accuse.from = node_id{2};
+  accuse.group = group_id{1};
+  accuse.target = p1;
+  accuse.target_inc = 1;
+  e1.on_accuse(accuse);
+  deliver(e1, p1, e2);
+  EXPECT_EQ(e1.evaluate(), p2);
+  EXPECT_EQ(e2.evaluate(), p2);
+
+  // ...and p1's offset cannot win it back: its stamp only moves forward.
+  w.advance(sec(30));
+  deliver(e2, p2, e1);
+  deliver(e1, p1, e2);
+  EXPECT_EQ(e1.evaluate(), p2);
+  EXPECT_EQ(e2.evaluate(), p2);
+}
+
+TEST(SkewedClocks, ForwardingCarriesSkewedStampsVerbatim) {
+  // Stage 2 must forward a skewed leader's accusation stamp as-is: p2's
+  // direct link FROM p1 is dead (FD suspects p1), p3 forwards p1 as its
+  // local leader with p1's behind-by-300ms stamp. p2 keeps electing p1
+  // through the report, exactly as with a true stamp.
+  elector_world w;
+  w.clock.set(time_origin + sec(100));
+  omega_lc e(w.context(p2, true));
+  w.add_member(p1);
+  w.add_member(p2);
+  w.add_member(p3);
+
+  const time_point skewed_stamp = time_origin + sec(1) - msec(300);
+  proto::group_payload from_p3 = payload_from(p3, time_origin + sec(50));
+  from_p3.local_leader = p1;
+  from_p3.local_leader_acc = skewed_stamp;
+  e.on_alive_payload(node_id{3}, 1, from_p3);
+  w.distrust(p1);
+
+  EXPECT_EQ(e.evaluate(), p1);
+  // The suppression rule holds regardless of the stamp's skew: while p3
+  // forwards p1, p2's pending accusation of p1 must not fire.
+  EXPECT_TRUE(w.accusations.empty());
+}
+
+}  // namespace
+}  // namespace omega::election
